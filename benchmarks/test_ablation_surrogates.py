@@ -1,0 +1,80 @@
+"""Ablation G: the surrogate-model family of Sec. II-B.
+
+Fits each surrogate — exact GPR (the paper's), local GP mixture, sparse
+DTC GP, sparse-spectrum GP, and treed GP — once on 400 training rows of
+the 600-job dataset and evaluates non-log cost RMSE on the held-out 200,
+plus wall-clock fit time.  This measures the accuracy/scalability
+trade-off the paper says these approximations buy for "massive
+experimental datasets".
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core.metrics import rmse_nonlog
+from repro.core.preprocessing import DesignTransform
+from repro.gp import (
+    GPRegressor,
+    LocalGPRegressor,
+    SparseGPRegressor,
+    SpectralGPRegressor,
+    TreedGPRegressor,
+)
+
+
+def surrogates(rng):
+    return {
+        "exact_gpr": GPRegressor(rng=rng, n_restarts=2),
+        "local_k6": LocalGPRegressor(n_regions=6, rng=rng),
+        "sparse_dtc_m60": SparseGPRegressor(n_inducing=60, rng=rng),
+        "spectral_m100": SpectralGPRegressor(n_frequencies=100, rng=rng),
+        "treed_leaf100": TreedGPRegressor(max_leaf_size=100, rng=rng),
+    }
+
+
+def test_ablation_surrogate_family(benchmark, report, dataset):
+    transform = DesignTransform(dataset.bounds)
+    U = transform.transform(dataset.X)
+    y = dataset.log_cost()
+    rng = np.random.default_rng(0)
+    perm = rng.permutation(len(dataset))
+    train, test = perm[:400], perm[400:]
+
+    results = {}
+
+    def run():
+        for name, model in surrogates(np.random.default_rng(1)).items():
+            t0 = time.perf_counter()
+            model.fit(U[train], y[train])
+            fit_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            mu = model.predict(U[test])
+            pred_s = time.perf_counter() - t0
+            results[name] = (
+                rmse_nonlog(mu, dataset.cost[test]),
+                fit_s,
+                pred_s,
+            )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [[name, *vals] for name, vals in results.items()]
+    report(
+        "ablation_surrogates",
+        format_table(["surrogate", "rmse_cost_nh", "fit_s", "predict_s"], rows),
+    )
+
+    # --- shape assertions -----------------------------------------------------
+    exact_rmse = results["exact_gpr"][0]
+    assert np.isfinite(exact_rmse) and exact_rmse < float(dataset.cost.max())
+    for name, (rmse, fit_s, _) in results.items():
+        assert np.isfinite(rmse), name
+        # Approximations trade accuracy for speed but must stay in the same
+        # regime as the exact model on this small-n dataset.
+        assert rmse < 8.0 * exact_rmse + 0.5, name
+    # The sparse methods must not be drastically slower than exact at this n
+    # (their payoff grows with n; here we just require sanity).
+    assert results["sparse_dtc_m60"][1] < 60.0
+    assert results["spectral_m100"][1] < 60.0

@@ -1,0 +1,64 @@
+"""Fig. 2: cost distributions of the samples selected by each algorithm.
+
+One AL trajectory per algorithm (n_init = 50), first N iterations; the
+violin summary (median, IQR, min/max, width profile) of the *actual* costs
+of the selected samples.  The paper's reading:
+
+- RandUniform and MaxSigma: unbiased / expensive-leaning, long-tailed.
+- MinPred and RandGoodness: strongly biased to inexpensive samples.
+"""
+
+import numpy as np
+
+from repro.analysis import cost_distribution_table, violin_stats
+from repro.core import ActiveLearner, MaxSigma, MinPred, RandGoodness, RandUniform, random_partition
+
+ALGOS = [RandUniform, MaxSigma, MinPred, RandGoodness]
+
+
+def one_trajectory(dataset, policy_cls, iterations, refit_interval, seed=2024):
+    rng = np.random.default_rng(seed)
+    part = random_partition(rng, len(dataset), n_init=50, n_test=200)
+    learner = ActiveLearner(
+        dataset,
+        part,
+        policy=policy_cls(),
+        rng=rng,
+        max_iterations=iterations,
+        hyper_refit_interval=refit_interval,
+    )
+    return learner.run()
+
+
+def test_fig2_selected_cost_distributions(benchmark, report, dataset, bench_scale):
+    iterations = bench_scale["fig2_iterations"]
+    refit = bench_scale["hyper_refit_interval"]
+    trajectories = {}
+
+    def run_all():
+        for cls in ALGOS:
+            trajectories[cls.name] = one_trajectory(dataset, cls, iterations, refit)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    stats = [violin_stats(name, t.costs) for name, t in trajectories.items()]
+    report("fig2_cost_distributions", cost_distribution_table(stats))
+
+    by_name = {s.label: s for s in stats}
+    ds_median = float(np.median(dataset.cost))
+
+    # --- shape assertions (paper Sec. V-A) -----------------------------------
+    # RandGoodness and MinPred tend to select inexpensive experiments.
+    assert by_name["min_pred"].median < 0.5 * ds_median
+    assert by_name["rand_goodness"].median < 0.5 * ds_median
+    # RandUniform selects more expensive experiments than MinPred, with a
+    # long-tailed distribution (max far above the IQR).
+    assert by_name["rand_uniform"].median > by_name["min_pred"].median
+    assert by_name["rand_uniform"].maximum > 5.0 * by_name["rand_uniform"].q3
+    # RandUniform and MaxSigma have similar medians (no basis to prefer one
+    # from this view alone): within a factor a few of each other.
+    ratio = by_name["max_sigma"].median / by_name["rand_uniform"].median
+    assert 0.2 < ratio < 8.0
+    # The randomized goodness sampler occasionally explores expensive
+    # candidates: its max exceeds its q3 substantially.
+    assert by_name["rand_goodness"].maximum > 2.0 * by_name["rand_goodness"].q3

@@ -1,0 +1,93 @@
+"""Fig. 3: the cost-error trade-off — RMSE vs cumulative cost per algorithm.
+
+The paper's central comparison: how fast each algorithm reduces test RMSE
+*per node-hour spent*, medians over several random partitions.  The
+cost-aware samplers reach a given accuracy at a fraction of the cumulative
+cost of the unbiased ones, while MaxSigma converges fastest per iteration
+but spends far more.
+"""
+
+import numpy as np
+
+from repro.analysis import format_series, line_plot, tradeoff_curve
+from repro.core import (
+    BatchConfig,
+    MaxSigma,
+    MinPred,
+    RandGoodness,
+    RandUniform,
+    run_batch,
+)
+
+FACTORIES = {
+    "rand_uniform": RandUniform,
+    "max_sigma": MaxSigma,
+    "min_pred": MinPred,
+    "rand_goodness": RandGoodness,
+}
+
+
+def test_fig3_rmse_vs_cumulative_cost(benchmark, report, dataset, bench_scale):
+    cfg = BatchConfig(
+        n_trajectories=bench_scale["n_trajectories"],
+        n_init=50,
+        n_test=200,
+        max_iterations=bench_scale["fig34_iterations"],
+        hyper_refit_interval=bench_scale["hyper_refit_interval"],
+        base_seed=77,
+    )
+    holder = {}
+
+    def run():
+        holder["batch"] = run_batch(dataset, FACTORIES, cfg)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    batch = holder["batch"]
+
+    # Common cost grid spanning the cheap-policy spend range.
+    grid = np.logspace(-1.0, np.log10(30.0), 12)
+    lines = []
+    curves = {}
+    for name in FACTORIES:
+        curves[name] = tradeoff_curve(name, batch[name], cost_grid=grid)
+        lines.append(
+            format_series(
+                name, grid, curves[name].rmse_median, "cum_cost_nh", "rmse_cost"
+            )
+        )
+    summary = [
+        f"{name}: total_cost median = "
+        f"{np.median([t.total_cost for t in batch[name]]):.2f} nh, "
+        f"final rmse median = "
+        f"{np.median([t.final_rmse_cost for t in batch[name]]):.3f}"
+        for name in FACTORIES
+    ]
+    chart = line_plot(
+        {name: (grid, curves[name].rmse_median) for name in FACTORIES},
+        logx=True,
+        x_label="cumulative cost (nh)",
+        y_label="RMSE (nh)",
+    )
+    report(
+        "fig3_cost_error_tradeoff", "\n".join(lines + [""] + summary + ["", chart])
+    )
+
+    # --- shape assertions -----------------------------------------------------
+    total = lambda n: np.median([t.total_cost for t in batch[n]])
+    # Spending order: cheap-seeking policies spend far less than MaxSigma.
+    assert total("min_pred") < total("rand_uniform") < total("max_sigma")
+    assert total("rand_goodness") < 0.5 * total("rand_uniform")
+
+    # At small budgets the cost-aware samplers have usable models while the
+    # expensive samplers have barely completed iterations: RandGoodness's
+    # RMSE at a 2 node-hour budget must be finite.
+    rg_at_2 = curves["rand_goodness"].rmse_median[np.searchsorted(grid, 2.0)]
+    assert np.isfinite(rg_at_2)
+
+    # Given the full iteration budget, the unbiased samplers achieve lower
+    # final error than the purely exploitative MinPred (the paper's
+    # motivation for adding exploration).
+    final = lambda n: np.median([t.final_rmse_cost for t in batch[n]])
+    assert final("rand_uniform") < final("min_pred")
+    # ... and RandGoodness improves on MinPred thanks to its exploration.
+    assert final("rand_goodness") < 1.2 * final("min_pred")

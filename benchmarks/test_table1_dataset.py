@@ -1,0 +1,45 @@
+"""Table I: the AMR shock-bubble dataset with 600 selected samples.
+
+Regenerates the campaign and prints min/median/mean/max for every feature
+and response side by side with the paper's values.  The benchmark measures
+the cost of the full campaign generation (1920 work estimates + 600
+simulated jobs).
+"""
+
+import numpy as np
+
+from repro.data import render_table1, run_campaign, summarize_dataset
+from repro.data.summary import TABLE1_PAPER
+
+
+def test_table1_regeneration(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_campaign(np.random.default_rng(42)), rounds=3, iterations=1
+    )
+    ds = result.dataset
+    report("table1_dataset", render_table1(ds, compare_paper=True))
+
+    # --- shape assertions against the paper -------------------------------
+    assert len(ds) == 600
+    assert ds.num_unique_configs() == 525
+
+    s = summarize_dataset(ds)
+    # Feature marginals are exact (same sampled grid as Table I).
+    for feat in ("p", "mx", "maxlevel", "r0", "rhoin"):
+        assert s[feat].minimum == TABLE1_PAPER[feat][0]
+        assert s[feat].maximum == TABLE1_PAPER[feat][3]
+
+    # Responses: same order of magnitude at every summary point.
+    for resp in ("wall_seconds", "cost_node_hours", "max_rss_MB"):
+        mine = s[resp]
+        paper_min, paper_med, paper_mean, paper_max = TABLE1_PAPER[resp]
+        for got, want in [
+            (mine.minimum, paper_min),
+            (mine.median, paper_med),
+            (mine.mean, paper_mean),
+            (mine.maximum, paper_max),
+        ]:
+            assert want / 12 < got < want * 12, (resp, got, want)
+
+    # Cost dynamic range: paper reports 5.4e3.
+    assert 5e2 < ds.cost_dynamic_range() < 5e4

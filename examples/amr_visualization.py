@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Fig. 1: visualize the shock-bubble interaction and its adaptive mesh.
+
+Runs the real AMR solver to a chosen time and prints two ASCII panels:
+the density field (shock, compressed bubble, wake) and the refinement-level
+map (where the forest spent its cells).  Increasing ``MAX_LEVEL`` shows the
+paper's point — finer features appear, and the work grows sharply.
+
+Run:  python examples/amr_visualization.py [max_level]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.amr import AmrConfig, AmrDriver
+from repro.solver import ShockBubbleProblem
+
+NX, NY = 76, 26
+DENSITY_RAMP = " .:-=+*#%@"
+
+
+def ascii_panel(img: np.ndarray, ramp: str) -> str:
+    lo, hi = img.min(), img.max()
+    norm = (img - lo) / (hi - lo + 1e-300)
+    lines = []
+    for j in reversed(range(img.shape[1])):
+        lines.append("".join(ramp[int(v * (len(ramp) - 1))] for v in norm[:, j]))
+    return "\n".join(lines)
+
+
+def level_map(driver: AmrDriver) -> np.ndarray:
+    w, h = driver.forest.domain_extent()
+    out = np.empty((NX, NY))
+    for i in range(NX):
+        for j in range(NY):
+            x = (i + 0.5) * w / NX
+            y = (j + 0.5) * h / NY
+            _, quad = driver.forest.locate(float(x), float(y))
+            out[i, j] = quad.level
+    return out
+
+
+def main() -> None:
+    max_level = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    problem = ShockBubbleProblem(r0=0.3, rhoin=0.1, mach=2.0)
+    config = AmrConfig(mx=8, min_level=1, max_level=max_level, refine_threshold=0.05)
+
+    print(f"Simulating shock-bubble to t=0.15 at max_level={max_level}...")
+    driver = AmrDriver(problem, config)
+    stats = driver.run(t_end=0.15)
+
+    print(f"\nDensity at t={driver.t:.3f}:")
+    print(ascii_panel(driver.sample_uniform(NX, NY, field=0), DENSITY_RAMP))
+
+    print("\nRefinement levels (darker = finer):")
+    print(ascii_panel(level_map(driver), " 123456789"[: max_level + 1]))
+
+    hist = driver.forest.level_histogram()
+    print(
+        f"\npatches per level: {dict(sorted(hist.items()))}  "
+        f"steps: {stats.num_steps}  cell updates: {stats.total_cells_advanced:,}  "
+        f"regrids: {stats.num_regrids}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Run real shock-bubble AMR simulations across a small parameter sweep.
+
+Where the campaign generator uses the fast analytic work model, this
+example exercises the *actual* solver stack — forest-of-quadtrees mesh,
+HLLC finite-volume Euler solver, patch-based AMR with regridding — for a
+3x2 sweep over bubble size and density, then feeds the measured work
+profiles through the same Edison machine model used for the dataset.
+
+Run:  python examples/shock_bubble_sweep.py          (~1-2 minutes)
+"""
+
+import time
+
+import numpy as np
+
+from repro.amr import AmrConfig, AmrDriver
+from repro.analysis import format_table
+from repro.machine import EDISON, MemoryModel, PerformanceModel, WorkEstimate
+from repro.solver import ShockBubbleProblem
+
+R0_VALUES = (0.2, 0.3, 0.4)
+RHOIN_VALUES = (0.05, 0.2)
+T_END = 0.08
+NODES = 4
+
+
+def run_simulation(r0: float, rhoin: float) -> tuple[AmrDriver, WorkEstimate]:
+    problem = ShockBubbleProblem(r0=r0, rhoin=rhoin, mach=2.0)
+    config = AmrConfig(mx=8, min_level=1, max_level=3, refine_threshold=0.05)
+    driver = AmrDriver(problem, config)
+    stats = driver.run(t_end=T_END)
+    hist = driver.forest.level_histogram()
+    work = WorkEstimate(
+        patches_per_level=tuple(sorted(hist.items())),
+        mx=config.mx,
+        ng=config.ng,
+        num_steps=stats.num_steps,
+        num_regrids=stats.num_regrids,
+    )
+    return driver, work
+
+
+def main() -> None:
+    perf = PerformanceModel(EDISON, seconds_per_cell=5e-6)
+    mem = MemoryModel(EDISON)
+
+    rows = []
+    for r0 in R0_VALUES:
+        for rhoin in RHOIN_VALUES:
+            t0 = time.perf_counter()
+            driver, work = run_simulation(r0, rhoin)
+            elapsed = time.perf_counter() - t0
+            mass, energy = driver.conserved_totals()
+            rows.append(
+                [
+                    r0,
+                    rhoin,
+                    work.total_patches,
+                    work.num_steps,
+                    perf.wall_time(work, NODES),
+                    perf.node_hours(work, NODES),
+                    mem.max_rss_MB(work, NODES),
+                    elapsed,
+                ]
+            )
+            print(
+                f"  r0={r0:.2f} rhoin={rhoin:.2f}: {work.total_patches} patches, "
+                f"{work.num_steps} steps, mass={mass:.3f}, ({elapsed:.1f}s local)"
+            )
+
+    print("\nPredicted Edison performance (4 nodes):")
+    print(
+        format_table(
+            [
+                "r0",
+                "rhoin",
+                "patches",
+                "steps",
+                "wall_s",
+                "node_hours",
+                "MaxRSS_MB",
+                "local_s",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nNote the paper's observation: bigger bubbles and stronger density "
+        "contrasts refine more of the domain, and cost grows unpredictably."
+    )
+
+
+if __name__ == "__main__":
+    main()

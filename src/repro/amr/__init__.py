@@ -1,0 +1,38 @@
+"""Patch-based adaptive mesh refinement driver (ForestClaw analogue).
+
+Every leaf quadrant of a :class:`repro.mesh.Forest` carries a ghosted
+``mx x mx`` finite-volume patch.  The driver advances all patches with a
+global (non-subcycled) CFL time step, exchanges ghost layers across
+same-level, coarse–fine, and physical boundaries, and periodically regrids:
+tagging patches by an undivided-gradient indicator, refining/coarsening,
+re-establishing 2:1 balance, and transferring the solution conservatively.
+
+Public API
+----------
+- :class:`Patch` — a ghosted block bound to a quadrant.
+- :class:`AmrConfig`, :class:`AmrDriver` — simulation configuration/driver.
+- :class:`RunStats` — work/memory counters consumed by :mod:`repro.machine`.
+- tagging, prolongation/restriction and ghost-exchange primitives.
+"""
+
+from repro.amr.patch import Patch, patch_cell_centers
+from repro.amr.tagging import gradient_indicator, tag_for_refinement
+from repro.amr.transfer import prolong_patch, restrict_patch, restrict_area_average
+from repro.amr.ghost import exchange_ghosts
+from repro.amr.stats import RunStats, StepRecord
+from repro.amr.driver import AmrConfig, AmrDriver
+
+__all__ = [
+    "Patch",
+    "patch_cell_centers",
+    "gradient_indicator",
+    "tag_for_refinement",
+    "prolong_patch",
+    "restrict_patch",
+    "restrict_area_average",
+    "exchange_ghosts",
+    "RunStats",
+    "StepRecord",
+    "AmrConfig",
+    "AmrDriver",
+]

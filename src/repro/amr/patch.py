@@ -1,0 +1,115 @@
+"""A ghosted finite-volume patch bound to a forest quadrant.
+
+ForestClaw attaches one ``mx x my`` Clawpack grid to every leaf of the
+forest; here ``my == mx`` (square patches on square quadrants).  The patch
+owns its conserved-state array including ``ng`` ghost layers and knows its
+physical geometry (from the tree's position in the brick and the quadrant's
+position in the tree).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.quadrant import Quadrant
+
+#: Number of conserved fields (rho, rho*u, rho*v, E).
+NUM_FIELDS = 4
+
+
+class Patch:
+    """State and geometry of one AMR block.
+
+    Parameters
+    ----------
+    tree : int
+        Index of the owning tree in the forest's brick.
+    quad : Quadrant
+        The leaf quadrant this patch covers.
+    mx : int
+        Cells per side (the paper's "box size" feature, Table I: 8–32).
+    ng : int
+        Ghost layers per side (>= 2 for the MUSCL scheme).
+    tree_origin : (float, float)
+        Physical lower-left corner of the owning tree in brick coordinates.
+    """
+
+    __slots__ = ("tree", "quad", "mx", "ng", "q", "x0", "y0", "dx")
+
+    def __init__(
+        self,
+        tree: int,
+        quad: Quadrant,
+        mx: int,
+        ng: int,
+        tree_origin: tuple[float, float],
+    ) -> None:
+        if mx < 4:
+            raise ValueError("mx must be at least 4")
+        if ng < 2:
+            raise ValueError("ng must be at least 2")
+        self.tree = tree
+        self.quad = quad
+        self.mx = mx
+        self.ng = ng
+        ox, oy = quad.origin
+        self.x0 = tree_origin[0] + ox
+        self.y0 = tree_origin[1] + oy
+        self.dx = quad.size / mx  # trees are unit squares -> dx == dy
+        n = mx + 2 * ng
+        self.q = np.zeros((NUM_FIELDS, n, n), dtype=np.float64)
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def interior(self) -> np.ndarray:
+        """Writable view of the interior cells, shape (4, mx, mx)."""
+        ng = self.ng
+        return self.q[:, ng:-ng, ng:-ng]
+
+    @property
+    def level(self) -> int:
+        return self.quad.level
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the state array (ghosts included)."""
+        return self.q.nbytes
+
+    @property
+    def cell_area(self) -> float:
+        return self.dx * self.dx
+
+    def cell_centers(self) -> tuple[np.ndarray, np.ndarray]:
+        """Interior cell-center coordinate arrays, each shape (mx, mx)."""
+        c = (np.arange(self.mx) + 0.5) * self.dx
+        x = self.x0 + c
+        y = self.y0 + c
+        return np.meshgrid(x, y, indexing="ij")
+
+    def fill_from(self, fn) -> None:
+        """Initialize the interior by evaluating ``fn(x, y) -> (4, mx, mx)``."""
+        x, y = self.cell_centers()
+        self.interior[...] = fn(x, y)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Patch(tree={self.tree}, quad={self.quad}, mx={self.mx}, "
+            f"origin=({self.x0:.4g}, {self.y0:.4g}), dx={self.dx:.4g})"
+        )
+
+
+def patch_cell_centers(
+    quad: Quadrant, mx: int, tree_origin: tuple[float, float] = (0.0, 0.0)
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cell-center coordinates of a hypothetical patch on ``quad``.
+
+    Convenience for initializing patches that have not been constructed yet
+    (e.g. when deciding refinement from the initial condition).
+    """
+    h = quad.size / mx
+    ox, oy = quad.origin
+    c = (np.arange(mx) + 0.5) * h
+    x = tree_origin[0] + ox + c
+    y = tree_origin[1] + oy + c
+    return np.meshgrid(x, y, indexing="ij")

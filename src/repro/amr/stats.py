@@ -1,0 +1,87 @@
+"""Work and memory counters collected during an AMR run.
+
+These statistics are the interface between the simulator and the machine
+model of :mod:`repro.machine`: the machine model converts them into
+wall-clock time, node-hours, and MaxRSS — the responses the paper's AL
+procedure learns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class StepRecord:
+    """Per-step accounting.
+
+    Attributes
+    ----------
+    t : float
+        Simulation time *after* the step.
+    dt : float
+        Step size taken.
+    num_patches : int
+        Patches advanced this step.
+    cells_advanced : int
+        Interior cells updated (patches * mx^2).
+    bytes_allocated : int
+        Total bytes of patch state currently held.
+    regridded : bool
+        Whether a regrid happened just before this step.
+    """
+
+    t: float
+    dt: float
+    num_patches: int
+    cells_advanced: int
+    bytes_allocated: int
+    regridded: bool
+
+
+@dataclass
+class RunStats:
+    """Aggregate counters for a complete AMR run."""
+
+    steps: list[StepRecord] = field(default_factory=list)
+    num_regrids: int = 0
+    num_refinements: int = 0
+    num_coarsenings: int = 0
+
+    def record_step(self, rec: StepRecord) -> None:
+        self.steps.append(rec)
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def total_cells_advanced(self) -> int:
+        """Total cell updates — the dominant work term of the run."""
+        return sum(s.cells_advanced for s in self.steps)
+
+    @property
+    def peak_bytes(self) -> int:
+        """Largest instantaneous allocation — drives the MaxRSS response."""
+        return max((s.bytes_allocated for s in self.steps), default=0)
+
+    @property
+    def peak_patches(self) -> int:
+        return max((s.num_patches for s in self.steps), default=0)
+
+    @property
+    def final_time(self) -> float:
+        return self.steps[-1].t if self.steps else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """Flat numeric summary for logging or feature extraction."""
+        return {
+            "num_steps": float(self.num_steps),
+            "total_cells_advanced": float(self.total_cells_advanced),
+            "peak_bytes": float(self.peak_bytes),
+            "peak_patches": float(self.peak_patches),
+            "num_regrids": float(self.num_regrids),
+            "num_refinements": float(self.num_refinements),
+            "num_coarsenings": float(self.num_coarsenings),
+            "final_time": self.final_time,
+        }

@@ -1,0 +1,63 @@
+"""Refinement tagging criteria.
+
+The paper's simulations use user-defined refinement thresholds whose effect
+on runtime is "difficult to predict" — exactly the behaviour AL must learn.
+The indicator implemented here is ForestClaw's default style: the maximum
+undivided gradient of density over the patch.  A patch is tagged for
+refinement when the indicator exceeds ``refine_threshold`` and allowed to
+coarsen when it falls below ``coarsen_threshold``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solver.state import IRHO
+
+
+def gradient_indicator(q: np.ndarray, field: int = IRHO) -> float:
+    """Maximum undivided difference of ``field`` over a patch interior.
+
+    "Undivided" (no 1/dx factor) makes the indicator scale-invariant across
+    levels, so one threshold applies to the whole hierarchy.
+
+    Parameters
+    ----------
+    q : ndarray, shape (4, mx, my)
+        Patch interior (no ghosts).
+
+    Returns
+    -------
+    float
+    """
+    w = q[field]
+    gx = np.abs(np.diff(w, axis=0)).max(initial=0.0)
+    gy = np.abs(np.diff(w, axis=1)).max(initial=0.0)
+    return float(max(gx, gy))
+
+
+def tag_for_refinement(
+    q: np.ndarray,
+    refine_threshold: float,
+    coarsen_threshold: float | None = None,
+    field: int = IRHO,
+) -> int:
+    """Classify a patch: +1 refine, 0 keep, -1 may coarsen.
+
+    Parameters
+    ----------
+    refine_threshold : float
+        Tag for refinement when the indicator exceeds this.
+    coarsen_threshold : float, optional
+        Allow coarsening below this; defaults to ``refine_threshold / 4``.
+    """
+    if coarsen_threshold is None:
+        coarsen_threshold = refine_threshold / 4.0
+    if coarsen_threshold > refine_threshold:
+        raise ValueError("coarsen_threshold must not exceed refine_threshold")
+    g = gradient_indicator(q, field)
+    if g > refine_threshold:
+        return 1
+    if g < coarsen_threshold:
+        return -1
+    return 0

@@ -1,0 +1,39 @@
+"""Aggregation and presentation of AL trajectories (the paper's figures).
+
+- :mod:`distributions` — violin-plot statistics of selected-sample costs
+  (Fig. 2: medians, IQRs, relative-frequency profiles).
+- :mod:`aggregate` — cross-trajectory statistics: median/quantile curves of
+  RMSE, cumulative cost, and cumulative regret per iteration.
+- :mod:`tradeoff` — RMSE vs cumulative-cost trade-off curves (Fig. 3).
+- :mod:`tables` — plain-text rendering used by the benchmark harness.
+"""
+
+from repro.analysis.distributions import ViolinStats, violin_stats, cost_distribution_table
+from repro.analysis.aggregate import (
+    CurveBundle,
+    stack_metric,
+    median_curve,
+    quantile_band,
+    aggregate_policy_curves,
+)
+from repro.analysis.tradeoff import TradeoffCurve, tradeoff_curve, interpolate_rmse_at_cost
+from repro.analysis.tables import format_table, format_series
+from repro.analysis.ascii_plot import line_plot, sparkline
+
+__all__ = [
+    "line_plot",
+    "sparkline",
+    "ViolinStats",
+    "violin_stats",
+    "cost_distribution_table",
+    "CurveBundle",
+    "stack_metric",
+    "median_curve",
+    "quantile_band",
+    "aggregate_policy_curves",
+    "TradeoffCurve",
+    "tradeoff_curve",
+    "interpolate_rmse_at_cost",
+    "format_table",
+    "format_series",
+]

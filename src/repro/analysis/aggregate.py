@@ -1,0 +1,98 @@
+"""Cross-trajectory aggregation: median and quantile curves per iteration.
+
+Trajectories from different partitions can have different lengths (RGMA
+terminates early); curves are aligned on iteration index and aggregated
+over however many trajectories reach each iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.trajectory import Trajectory
+
+#: Metrics extractable from a trajectory by name.
+METRIC_ATTRS = (
+    "rmse_cost",
+    "rmse_mem",
+    "rmse_cost_weighted",
+    "cumulative_cost",
+    "cumulative_regret",
+    "costs",
+    "mems",
+)
+
+
+def stack_metric(trajectories: list[Trajectory], metric: str) -> np.ndarray:
+    """(n_traj, max_len) array of ``metric``, NaN-padded past each end."""
+    if metric not in METRIC_ATTRS:
+        raise ValueError(f"unknown metric {metric!r}; choose from {METRIC_ATTRS}")
+    if not trajectories:
+        raise ValueError("no trajectories")
+    rows = [getattr(t, metric) for t in trajectories]
+    width = max(r.size for r in rows)
+    out = np.full((len(rows), width), np.nan)
+    for i, r in enumerate(rows):
+        out[i, : r.size] = r
+    return out
+
+
+def median_curve(trajectories: list[Trajectory], metric: str) -> np.ndarray:
+    """Median of ``metric`` at each iteration over surviving trajectories."""
+    stacked = stack_metric(trajectories, metric)
+    return np.nanmedian(stacked, axis=0)
+
+
+def quantile_band(
+    trajectories: list[Trajectory], metric: str, q_lo: float = 0.25, q_hi: float = 0.75
+) -> tuple[np.ndarray, np.ndarray]:
+    """(lower, upper) quantile curves of ``metric`` per iteration."""
+    if not 0 <= q_lo < q_hi <= 1:
+        raise ValueError("need 0 <= q_lo < q_hi <= 1")
+    stacked = stack_metric(trajectories, metric)
+    return (
+        np.nanquantile(stacked, q_lo, axis=0),
+        np.nanquantile(stacked, q_hi, axis=0),
+    )
+
+
+@dataclass(frozen=True)
+class CurveBundle:
+    """Median + IQR band of one metric for one policy."""
+
+    label: str
+    metric: str
+    median: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    n_trajectories: int
+
+    def at(self, iteration: int) -> tuple[float, float, float]:
+        """(median, lower, upper) at an iteration (NaN past all ends)."""
+        if iteration >= self.median.size:
+            return (float("nan"),) * 3
+        return (
+            float(self.median[iteration]),
+            float(self.lower[iteration]),
+            float(self.upper[iteration]),
+        )
+
+
+def aggregate_policy_curves(
+    by_policy: dict[str, list[Trajectory]], metric: str
+) -> dict[str, CurveBundle]:
+    """One :class:`CurveBundle` per policy for the requested metric."""
+    out: dict[str, CurveBundle] = {}
+    for name, trajs in by_policy.items():
+        lo, hi = quantile_band(trajs, metric)
+        out[name] = CurveBundle(
+            label=name,
+            metric=metric,
+            median=median_curve(trajs, metric),
+            lower=lo,
+            upper=hi,
+            n_trajectories=len(trajs),
+        )
+    return out

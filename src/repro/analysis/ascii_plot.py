@@ -1,0 +1,119 @@
+"""ASCII line plots: render figure series as text charts.
+
+The environment has no plotting stack, so the benchmark harness renders
+each figure's series as a character grid — enough to see the *shape* the
+paper's plots show (regret flattening, RMSE decay, trade-off frontiers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Glyphs cycled across series, in plotting order.
+SERIES_GLYPHS = "ox+*#@%&"
+
+
+def _scale(v: np.ndarray, lo: float, hi: float, n: int) -> np.ndarray:
+    """Map values in [lo, hi] to integer cells 0..n-1 (clipped)."""
+    if hi <= lo:
+        return np.zeros(v.shape, dtype=int)
+    t = (v - lo) / (hi - lo)
+    return np.clip((t * (n - 1)).round().astype(int), 0, n - 1)
+
+
+def line_plot(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    width: int = 64,
+    height: int = 16,
+    logx: bool = False,
+    logy: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more (x, y) series on a shared character grid.
+
+    Parameters
+    ----------
+    series : dict
+        Label -> (x, y) arrays.  NaNs are dropped per point.
+    width, height : int
+        Plot area size in characters (axes add a margin).
+    logx, logy : bool
+        Logarithmic axes; non-positive values are dropped.
+
+    Returns
+    -------
+    str
+        The rendered chart, including a legend line.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+
+    cleaned: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for label, (x, y) in series.items():
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.shape != y.shape:
+            raise ValueError(f"series {label!r}: x and y must align")
+        keep = np.isfinite(x) & np.isfinite(y)
+        if logx:
+            keep &= x > 0
+        if logy:
+            keep &= y > 0
+        if keep.any():
+            xs = np.log10(x[keep]) if logx else x[keep]
+            ys = np.log10(y[keep]) if logy else y[keep]
+            cleaned[label] = (xs, ys)
+    if not cleaned:
+        raise ValueError("all points dropped (NaN or non-positive on log axes)")
+
+    all_x = np.concatenate([v[0] for v in cleaned.values()])
+    all_y = np.concatenate([v[1] for v in cleaned.values()])
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, (xs, ys)), glyph in zip(cleaned.items(), SERIES_GLYPHS):
+        cols = _scale(xs, x_lo, x_hi, width)
+        rows = _scale(ys, y_lo, y_hi, height)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = glyph
+
+    def fmt(v: float, is_log: bool) -> str:
+        return f"1e{v:.1f}" if is_log else f"{v:.3g}"
+
+    top = f"{fmt(y_hi, logy):>8} |"
+    bot = f"{fmt(y_lo, logy):>8} |"
+    lines = []
+    for i, row in enumerate(grid):
+        prefix = top if i == 0 else (bot if i == height - 1 else " " * 8 + " |")
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 10
+        + f"{fmt(x_lo, logx)}  ...  {x_label}  ...  {fmt(x_hi, logx)}   ({y_label})"
+    )
+    legend = "  ".join(
+        f"{glyph}={label}" for (label, _), glyph in zip(cleaned.items(), SERIES_GLYPHS)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def sparkline(y, width: int = 40) -> str:
+    """One-line trend of ``y`` using block glyphs (NaNs become spaces)."""
+    ramp = "▁▂▃▄▅▆▇█"
+    y = np.asarray(y, dtype=np.float64)
+    if y.size == 0:
+        return ""
+    if y.size > width:
+        idx = np.linspace(0, y.size - 1, width).astype(int)
+        y = y[idx]
+    finite = y[np.isfinite(y)]
+    if finite.size == 0:
+        return " " * y.size
+    lo, hi = float(finite.min()), float(finite.max())
+    cells = _scale(np.where(np.isfinite(y), y, lo), lo, hi, len(ramp))
+    return "".join(" " if not np.isfinite(v) else ramp[c] for v, c in zip(y, cells))

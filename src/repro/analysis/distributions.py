@@ -1,0 +1,113 @@
+"""Violin-plot statistics of selected-sample cost distributions (Fig. 2).
+
+Fig. 2 shows, for each algorithm, the distribution of the *actual* costs of
+the samples selected in the first 150 AL iterations of one trajectory: the
+violin width profile (relative frequency along the cost axis), the
+interquartile range, and the median.  This module computes those summaries
+numerically so the benchmark harness can print and compare them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ViolinStats:
+    """Numeric content of one violin in Fig. 2.
+
+    Attributes
+    ----------
+    label : str
+        Algorithm name.
+    median : float
+    q1, q3 : float
+        Interquartile range endpoints (the thick vertical line).
+    minimum, maximum : float
+    grid : ndarray
+        Cost-axis sample points of the width profile (log-spaced).
+    density : ndarray
+        Relative frequency at each grid point (unit peak).
+    n : int
+        Number of selections summarized.
+    """
+
+    label: str
+    median: float
+    q1: float
+    q3: float
+    minimum: float
+    maximum: float
+    grid: np.ndarray
+    density: np.ndarray
+    n: int
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+
+def _log_kde(values: np.ndarray, grid: np.ndarray) -> np.ndarray:
+    """Gaussian KDE in log10 space with Silverman bandwidth, unit peak."""
+    logs = np.log10(values)
+    n = logs.size
+    std = logs.std(ddof=1) if n > 1 else 0.0
+    if std == 0.0:
+        density = np.zeros_like(grid)
+        density[np.argmin(np.abs(np.log10(grid) - logs[0]))] = 1.0
+        return density
+    bw = 1.06 * std * n ** (-0.2)
+    lg = np.log10(grid)
+    z = (lg[:, None] - logs[None, :]) / bw
+    density = np.exp(-0.5 * z * z).sum(axis=1)
+    peak = density.max()
+    return density / peak if peak > 0 else density
+
+
+def violin_stats(
+    label: str, costs: np.ndarray, grid_points: int = 64
+) -> ViolinStats:
+    """Summarize one algorithm's selected-cost distribution.
+
+    Parameters
+    ----------
+    costs : ndarray
+        Actual costs of the selected samples (one trajectory's first-N
+        selections in the paper's figure).
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    if costs.size == 0:
+        raise ValueError("no costs to summarize")
+    if np.any(costs <= 0):
+        raise ValueError("costs must be positive")
+    q1, med, q3 = np.percentile(costs, [25, 50, 75])
+    lo, hi = costs.min(), costs.max()
+    grid = np.logspace(np.log10(lo), np.log10(hi), grid_points) if hi > lo else np.array([lo])
+    return ViolinStats(
+        label=label,
+        median=float(med),
+        q1=float(q1),
+        q3=float(q3),
+        minimum=float(lo),
+        maximum=float(hi),
+        grid=grid,
+        density=_log_kde(costs, grid),
+        n=int(costs.size),
+    )
+
+
+def cost_distribution_table(stats: list[ViolinStats]) -> str:
+    """Plain-text Fig. 2: one row per algorithm with the violin summary."""
+    lines = [
+        f"{'algorithm':<16} {'n':>4} {'min':>9} {'q1':>9} {'median':>9} "
+        f"{'q3':>9} {'max':>9} {'IQR':>9}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for s in stats:
+        lines.append(
+            f"{s.label:<16} {s.n:>4d} {s.minimum:>9.4f} {s.q1:>9.4f} "
+            f"{s.median:>9.4f} {s.q3:>9.4f} {s.maximum:>9.4f} {s.iqr:>9.4f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Plain-text table and series rendering for the benchmark harness.
+
+The harness regenerates every table and figure of the paper as text: rows
+for tables, sampled series for figures.  These helpers keep the formatting
+consistent across benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    float_fmt: str = "{:.4g}",
+    min_width: int = 8,
+) -> str:
+    """Render rows as a fixed-width text table."""
+    def cell(v) -> str:
+        if isinstance(v, float) or isinstance(v, np.floating):
+            return float_fmt.format(v)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(min_width, len(h), *(len(r[j]) for r in str_rows)) if str_rows else max(min_width, len(h))
+        for j, h in enumerate(headers)
+    ]
+    out = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    out.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        out.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def format_series(
+    label: str,
+    x: np.ndarray,
+    y: np.ndarray,
+    x_name: str = "x",
+    y_name: str = "y",
+    max_points: int = 12,
+) -> str:
+    """Render one figure series as a downsampled text block."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError("x and y must align")
+    if x.size == 0:
+        return f"{label}: (empty)"
+    if x.size > max_points:
+        idx = np.unique(np.linspace(0, x.size - 1, max_points).astype(int))
+    else:
+        idx = np.arange(x.size)
+    pairs = "  ".join(f"({x[i]:.4g}, {y[i]:.4g})" for i in idx)
+    return f"{label} [{x_name} -> {y_name}]: {pairs}"

@@ -1,0 +1,101 @@
+"""Cost–error trade-off curves: RMSE as a function of cumulative cost.
+
+The paper's central comparison is not "RMSE after k iterations" but "RMSE
+per node-hour spent": a cheap-leaning policy may need more iterations yet
+reach a given accuracy at a fraction of the cost.  Each trajectory traces a
+monotone cumulative-cost axis; curves from different trajectories are
+compared by interpolating RMSE onto a common cost grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.trajectory import Trajectory
+
+
+@dataclass(frozen=True)
+class TradeoffCurve:
+    """Median RMSE over trajectories, sampled on a common cost grid."""
+
+    label: str
+    cost_grid: np.ndarray
+    rmse_median: np.ndarray
+    rmse_lower: np.ndarray
+    rmse_upper: np.ndarray
+    n_trajectories: int
+
+
+def interpolate_rmse_at_cost(
+    traj: Trajectory, cost_grid: np.ndarray, which: str = "cost"
+) -> np.ndarray:
+    """RMSE of one trajectory evaluated at given cumulative-cost points.
+
+    Uses previous-value (step) interpolation — the model's accuracy at
+    budget ``b`` is whatever the last completed retraining achieved.
+    Points beyond the trajectory's total spend are NaN; points before the
+    first iteration get the first recorded RMSE.
+    """
+    if which not in ("cost", "mem"):
+        raise ValueError("which must be 'cost' or 'mem'")
+    cc = traj.cumulative_cost
+    rmse = traj.rmse_cost if which == "cost" else traj.rmse_mem
+    if cc.size == 0:
+        return np.full_like(np.asarray(cost_grid, dtype=np.float64), np.nan)
+    grid = np.asarray(cost_grid, dtype=np.float64)
+    pos = np.searchsorted(cc, grid, side="right") - 1
+    out = np.empty_like(grid)
+    for i, p in enumerate(pos):
+        if grid[i] > cc[-1]:
+            out[i] = np.nan
+        elif p < 0:
+            out[i] = rmse[0]
+        else:
+            out[i] = rmse[p]
+    return out
+
+
+def tradeoff_curve(
+    label: str,
+    trajectories: list[Trajectory],
+    cost_grid: np.ndarray | None = None,
+    which: str = "cost",
+    grid_points: int = 40,
+) -> TradeoffCurve:
+    """Median (and IQR) RMSE vs cumulative cost for one policy.
+
+    ``cost_grid`` defaults to a log-spaced grid spanning the cheapest
+    first-selection to the largest total spend across trajectories.
+    """
+    if not trajectories:
+        raise ValueError("no trajectories")
+    if cost_grid is None:
+        starts = [t.cumulative_cost[0] for t in trajectories if len(t) > 0]
+        ends = [t.total_cost for t in trajectories if len(t) > 0]
+        if not starts:
+            raise ValueError("all trajectories are empty")
+        cost_grid = np.logspace(
+            np.log10(max(min(starts), 1e-12)), np.log10(max(ends)), grid_points
+        )
+    rows = np.vstack(
+        [interpolate_rmse_at_cost(t, cost_grid, which) for t in trajectories]
+    )
+    # Columns where every trajectory has finished spending are all-NaN;
+    # they legitimately aggregate to NaN without the numpy warning.
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.filterwarnings("ignore", message="All-NaN slice", category=RuntimeWarning)
+        median = np.nanmedian(rows, axis=0)
+        lower = np.nanquantile(rows, 0.25, axis=0)
+        upper = np.nanquantile(rows, 0.75, axis=0)
+    return TradeoffCurve(
+        label=label,
+        cost_grid=np.asarray(cost_grid, dtype=np.float64),
+        rmse_median=median,
+        rmse_lower=lower,
+        rmse_upper=upper,
+        n_trajectories=len(trajectories),
+    )

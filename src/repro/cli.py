@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro.cli <command>`` (or ``repro``).
+
+Three subcommands cover the paper's workflow end to end:
+
+- ``dataset`` — generate the 600-job campaign, print Table I, optionally
+  save it as CSV or NPZ.
+- ``run`` — one Active-Learning trajectory on a dataset (generated or
+  loaded), with any of the five policies and the paper's knobs.
+- ``simulate`` — run one real AMR shock-bubble simulation and report the
+  measured work plus the machine model's cost/memory predictions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core import ActiveLearner, POLICIES, RGMA, random_partition
+from repro.data import load_csv, load_npz, render_table1, run_campaign, save_csv, save_npz
+
+
+def _add_dataset_cmd(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("dataset", help="generate the Table I campaign dataset")
+    p.add_argument("--seed", type=int, default=42, help="campaign RNG seed")
+    p.add_argument("--out", type=str, default=None, help="save to .csv or .npz")
+    p.add_argument(
+        "--no-compare", action="store_true", help="omit the paper's reference column"
+    )
+    p.set_defaults(func=cmd_dataset)
+
+
+def cmd_dataset(args: argparse.Namespace) -> int:
+    result = run_campaign(np.random.default_rng(args.seed))
+    print(render_table1(result.dataset, compare_paper=not args.no_compare))
+    print(
+        f"\nexcluded combinations: {result.excluded_combinations}  "
+        f"simulated core-hours: {result.total_core_hours:.0f}"
+    )
+    if args.out:
+        if args.out.endswith(".csv"):
+            save_csv(result.dataset, args.out)
+        elif args.out.endswith(".npz"):
+            save_npz(result.dataset, args.out)
+        else:
+            print("error: --out must end in .csv or .npz", file=sys.stderr)
+            return 2
+        print(f"saved {len(result.dataset)} jobs to {args.out}")
+    return 0
+
+
+def _add_run_cmd(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("run", help="run one Active-Learning trajectory")
+    p.add_argument("--policy", choices=sorted(POLICIES), default="rand_goodness")
+    p.add_argument("--dataset", type=str, default=None, help=".csv/.npz (default: generate)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--n-init", type=int, default=50)
+    p.add_argument("--n-test", type=int, default=200)
+    p.add_argument("--iterations", type=int, default=100)
+    p.add_argument("--refit-interval", type=int, default=1)
+    p.add_argument(
+        "--memory-limit",
+        type=float,
+        default=None,
+        help="L_mem in MB for rgma (default: the paper's 95%% log rule)",
+    )
+    p.add_argument(
+        "--log2-features",
+        type=int,
+        nargs="*",
+        default=[],
+        help="feature columns modeled via log2 (e.g. 0 1 for p and mx)",
+    )
+    p.set_defaults(func=cmd_run)
+
+
+def _load_dataset(path: str | None, rng: np.random.Generator):
+    if path is None:
+        return run_campaign(rng).dataset
+    if path.endswith(".csv"):
+        return load_csv(path)
+    if path.endswith(".npz"):
+        return load_npz(path)
+    raise ValueError("dataset path must end in .csv or .npz")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    dataset = _load_dataset(args.dataset, rng)
+    if args.policy == "rgma":
+        limit = args.memory_limit if args.memory_limit else dataset.memory_limit()
+        policy = RGMA(memory_limit_MB=limit)
+        print(f"L_mem = {limit:.3f} MB")
+    else:
+        policy = POLICIES[args.policy]()
+    partition = random_partition(
+        rng, len(dataset), n_init=args.n_init, n_test=args.n_test
+    )
+    learner = ActiveLearner(
+        dataset,
+        partition,
+        policy=policy,
+        rng=rng,
+        max_iterations=args.iterations,
+        hyper_refit_interval=args.refit_interval,
+        log2_features=tuple(args.log2_features),
+    )
+    traj = learner.run()
+    print(f"policy            : {traj.policy_name}")
+    print(f"iterations        : {len(traj)}  (stop: {traj.stop_reason.value})")
+    print(f"initial cost RMSE : {traj.initial_rmse_cost:.4f} node-hours")
+    print(f"final cost RMSE   : {traj.final_rmse_cost:.4f} node-hours")
+    print(f"final mem RMSE    : {traj.final_rmse_mem:.4f} MB")
+    print(f"cumulative cost   : {traj.total_cost:.3f} node-hours")
+    print(f"cumulative regret : {traj.total_regret:.3f} node-hours")
+    print(f"median selection  : {np.median(traj.costs):.4f} node-hours")
+    return 0
+
+
+def _add_simulate_cmd(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("simulate", help="run one real AMR shock-bubble job")
+    p.add_argument("--p", type=int, default=4, help="nodes")
+    p.add_argument("--mx", type=int, default=8, help="patch box size")
+    p.add_argument("--maxlevel", type=int, default=3)
+    p.add_argument("--r0", type=float, default=0.3, help="bubble size")
+    p.add_argument("--rhoin", type=float, default=0.1, help="bubble density")
+    p.add_argument("--t-end", type=float, default=0.05, help="simulated end time")
+    p.set_defaults(func=cmd_simulate)
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.machine import EDISON, JobConfig, JobRunner, MemoryModel, PerformanceModel
+
+    config = JobConfig(
+        p=args.p, mx=args.mx, maxlevel=args.maxlevel, r0=args.r0, rhoin=args.rhoin
+    )
+    runner = JobRunner()
+    work = runner.work_from_simulation(config, t_end=args.t_end)
+    perf = PerformanceModel(EDISON, seconds_per_cell=5e-6)
+    mem = MemoryModel(EDISON)
+    print(f"config            : {config}")
+    print(f"patches per level : {dict(work.patches_per_level)}")
+    print(f"steps             : {work.num_steps}  regrids: {work.num_regrids}")
+    print(f"cell updates      : {work.total_cell_updates:,.0f}")
+    print(f"predicted wall    : {perf.wall_time(work, config.p):.2f} s on {config.p} nodes")
+    print(f"predicted cost    : {perf.node_hours(work, config.p):.5f} node-hours")
+    print(f"predicted MaxRSS  : {mem.max_rss_MB(work, config.p):.3f} MB")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cost- and memory-aware Active Learning for AMR performance modeling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_dataset_cmd(sub)
+    _add_run_cmd(sub)
+    _add_simulate_cmd(sub)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    raise SystemExit(main())

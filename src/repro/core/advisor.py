@@ -1,0 +1,209 @@
+"""Configuration advisor: what the trained surrogates are *for*.
+
+The paper's chief goal is "an experimental framework in which application
+specialists running AMR simulations can choose suitable parameter values,
+while avoiding those that might lead to overly expensive computations",
+and its Sec. II-C lists the downstream uses of the surrogate models:
+inverse problems, numerical integration, and multi-objective optimization.
+This module implements those uses over trained cost/memory GPs:
+
+- :meth:`ConfigurationAdvisor.feasible` — inverse problem: all grid
+  configurations predicted to satisfy a node-hour budget, a wall-clock
+  deadline, and/or a memory limit (with a configurable confidence margin);
+- :meth:`ConfigurationAdvisor.cheapest_at_resolution` — the cheapest safe
+  configuration achieving a requested refinement level;
+- :meth:`ConfigurationAdvisor.pareto_front` — the cost/resolution
+  trade-off frontier across the grid;
+- :meth:`ConfigurationAdvisor.expected_cost` — numerical integration of
+  the cost surrogate over a parameter region (mean over the grid points
+  inside it).
+
+Predictions are conservative by default: ``mu + z * sigma`` in log space,
+so a ``z`` of 1.64 bounds ~95% of the predictive mass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.preprocessing import DesignTransform
+from repro.data.space import ParameterSpace, TABLE1_SPACE
+from repro.machine.runner import JobConfig
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One advised configuration with its conservative predictions."""
+
+    config: JobConfig
+    cost_node_hours: float
+    max_rss_MB: float
+    wall_hours: float
+
+    def as_row(self) -> list:
+        return [
+            self.config.p,
+            self.config.mx,
+            self.config.maxlevel,
+            self.config.r0,
+            self.config.rhoin,
+            self.cost_node_hours,
+            self.wall_hours,
+            self.max_rss_MB,
+        ]
+
+
+class ConfigurationAdvisor:
+    """Answers practitioner queries from trained cost/memory surrogates.
+
+    Parameters
+    ----------
+    gpr_cost, gpr_mem
+        Trained models over the *scaled* feature space, predicting log10
+        cost (node-hours) and log10 memory (MB) — i.e. the two models an
+        :class:`~repro.core.loop.ActiveLearner` trains.
+    space : ParameterSpace
+        Grid of candidate configurations.
+    z : float
+        Confidence multiplier on the predictive std (conservative bound).
+    log2_features : iterable of int
+        Must match the transform the models were trained with.
+    """
+
+    def __init__(
+        self,
+        gpr_cost,
+        gpr_mem,
+        space: ParameterSpace = TABLE1_SPACE,
+        z: float = 1.64,
+        log2_features=(),
+    ) -> None:
+        if z < 0:
+            raise ValueError("z must be non-negative")
+        self.gpr_cost = gpr_cost
+        self.gpr_mem = gpr_mem
+        self.space = space
+        self.z = float(z)
+        self.grid = space.grid()
+        feats = np.array([c.as_features() for c in self.grid])
+        self._X = feats
+        self._U = DesignTransform(space.bounds(), log2_columns=log2_features).transform(feats)
+        self._cache: dict[str, np.ndarray] | None = None
+
+    # ----------------------------------------------------------- predictions
+
+    def _predictions(self) -> dict[str, np.ndarray]:
+        """Conservative (upper-bound) cost and memory over the whole grid."""
+        if self._cache is None:
+            mu_c, sd_c = self.gpr_cost.predict(self._U, return_std=True)
+            mu_m, sd_m = self.gpr_mem.predict(self._U, return_std=True)
+            cost = 10.0 ** (mu_c + self.z * sd_c)
+            mem = 10.0 ** (mu_m + self.z * sd_m)
+            nodes = self._X[:, 0]
+            self._cache = {
+                "cost": cost,
+                "mem": mem,
+                "wall_hours": cost / nodes,
+                "cost_mean": 10.0**mu_c,
+            }
+        return self._cache
+
+    def _recommend(self, i: int) -> Recommendation:
+        p = self._predictions()
+        return Recommendation(
+            config=self.grid[i],
+            cost_node_hours=float(p["cost"][i]),
+            max_rss_MB=float(p["mem"][i]),
+            wall_hours=float(p["wall_hours"][i]),
+        )
+
+    # ------------------------------------------------------------- inverse
+
+    def feasible(
+        self,
+        budget_node_hours: float | None = None,
+        memory_limit_MB: float | None = None,
+        deadline_hours: float | None = None,
+    ) -> list[Recommendation]:
+        """All configurations predicted (conservatively) to satisfy the
+        given constraints, cheapest first."""
+        p = self._predictions()
+        mask = np.ones(len(self.grid), dtype=bool)
+        if budget_node_hours is not None:
+            mask &= p["cost"] <= budget_node_hours
+        if memory_limit_MB is not None:
+            mask &= p["mem"] < memory_limit_MB
+        if deadline_hours is not None:
+            mask &= p["wall_hours"] <= deadline_hours
+        order = np.argsort(p["cost"])
+        return [self._recommend(int(i)) for i in order if mask[i]]
+
+    def cheapest_at_resolution(
+        self,
+        maxlevel: int,
+        memory_limit_MB: float | None = None,
+        deadline_hours: float | None = None,
+    ) -> Recommendation | None:
+        """Cheapest safe configuration reaching refinement level ``maxlevel``."""
+        if maxlevel not in self.space.maxlevel_values:
+            raise ValueError(
+                f"maxlevel {maxlevel} not in the sampled grid {self.space.maxlevel_values}"
+            )
+        candidates = self.feasible(
+            memory_limit_MB=memory_limit_MB, deadline_hours=deadline_hours
+        )
+        for rec in candidates:  # already cost-sorted
+            if rec.config.maxlevel == maxlevel:
+                return rec
+        return None
+
+    # ------------------------------------------------------ multi-objective
+
+    def pareto_front(self, memory_limit_MB: float | None = None) -> list[Recommendation]:
+        """Cost vs. resolution frontier.
+
+        Resolution is the finest cell count per tree edge,
+        ``2**maxlevel * mx``; a configuration is Pareto-optimal when no
+        safe configuration is both cheaper and at least as resolved.
+        """
+        p = self._predictions()
+        resolution = (2.0 ** self._X[:, 2]) * self._X[:, 1]
+        mask = np.ones(len(self.grid), dtype=bool)
+        if memory_limit_MB is not None:
+            mask &= p["mem"] < memory_limit_MB
+        idx = np.flatnonzero(mask)
+        order = idx[np.argsort(p["cost"][idx])]
+        front: list[int] = []
+        best_res = -np.inf
+        for i in order:
+            if resolution[i] > best_res:
+                front.append(int(i))
+                best_res = resolution[i]
+        return [self._recommend(i) for i in front]
+
+    # ---------------------------------------------------------- integration
+
+    def expected_cost(self, region: dict[str, tuple[float, float]] | None = None) -> float:
+        """Mean *predicted-mean* cost over the grid points inside ``region``.
+
+        ``region`` maps feature names (from
+        :data:`repro.data.dataset.FEATURE_NAMES`) to inclusive
+        ``(low, high)`` intervals; omitted features are unconstrained.
+        This is the grid quadrature of the surrogate — the "numerical
+        integration" use of Sec. II-C.
+        """
+        from repro.data.dataset import FEATURE_NAMES
+
+        p = self._predictions()
+        mask = np.ones(len(self.grid), dtype=bool)
+        if region:
+            for name, (lo, hi) in region.items():
+                if name not in FEATURE_NAMES:
+                    raise ValueError(f"unknown feature {name!r}")
+                j = FEATURE_NAMES.index(name)
+                mask &= (self._X[:, j] >= lo) & (self._X[:, j] <= hi)
+        if not mask.any():
+            raise ValueError("region contains no grid points")
+        return float(p["cost_mean"][mask].mean())

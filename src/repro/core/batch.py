@@ -1,0 +1,142 @@
+"""Batch execution of AL trajectories (the paper's cross-validation).
+
+The paper compares algorithms by running AL on many random partitions of
+the dataset and reasoning about the statistics of the resulting
+trajectories, parallelizing the batch with Python's process-based
+``multiprocessing``.  :func:`run_batch` reproduces that: one trajectory per
+(policy, partition seed) pair, executed serially or across worker
+processes.
+
+Determinism: every trajectory derives its own ``Generator`` from
+``(base_seed, trajectory_index)`` via ``SeedSequence.spawn``, so results
+are identical whether run serially or in parallel, at any worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.loop import ActiveLearner
+from repro.core.partitions import random_partition
+from repro.core.trajectory import Trajectory
+from repro.data.dataset import Dataset
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Specification of a trajectory batch.
+
+    Attributes
+    ----------
+    n_trajectories : int
+        Random partitions per policy.
+    n_init, n_test : int
+        Partition sizes (paper: n_init in {1, 50, 100}, n_test = 200).
+    max_iterations : int, optional
+        Iteration cap per trajectory (None runs the Active pool dry).
+    hyper_refit_interval : int
+        Passed through to :class:`ActiveLearner`.
+    n_restarts : int
+        LML restarts for the initial fits.
+    base_seed : int
+        Root of the per-trajectory seed tree.
+    processes : int
+        Worker processes; 1 means serial in-process execution.
+    """
+
+    n_trajectories: int = 5
+    n_init: int = 50
+    n_test: int = 200
+    max_iterations: int | None = None
+    hyper_refit_interval: int = 1
+    n_restarts: int = 2
+    base_seed: int = 0
+    processes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_trajectories < 1:
+            raise ValueError("n_trajectories must be >= 1")
+        if self.processes < 1:
+            raise ValueError("processes must be >= 1")
+
+
+@dataclass
+class BatchResult:
+    """Trajectories grouped by policy name."""
+
+    trajectories: dict[str, list[Trajectory]] = field(default_factory=dict)
+
+    def policies(self) -> list[str]:
+        return sorted(self.trajectories)
+
+    def __getitem__(self, policy_name: str) -> list[Trajectory]:
+        return self.trajectories[policy_name]
+
+
+def _run_one(
+    dataset: Dataset,
+    policy_factory: Callable[[], object],
+    config: BatchConfig,
+    traj_index: int,
+) -> Trajectory:
+    """Worker body: one policy on one partition, fully seeded."""
+    seed_seq = np.random.SeedSequence(entropy=config.base_seed, spawn_key=(traj_index,))
+    rng = np.random.default_rng(seed_seq)
+    partition = random_partition(
+        rng, len(dataset), n_init=config.n_init, n_test=config.n_test
+    )
+    learner = ActiveLearner(
+        dataset,
+        partition,
+        policy=policy_factory(),  # fresh policy instance per trajectory
+        rng=rng,
+        n_restarts=config.n_restarts,
+        hyper_refit_interval=config.hyper_refit_interval,
+        max_iterations=config.max_iterations,
+    )
+    return learner.run()
+
+
+def _star(args) -> tuple[str, Trajectory]:
+    name, dataset, factory, config, idx = args
+    return name, _run_one(dataset, factory, config, idx)
+
+
+def run_batch(
+    dataset: Dataset,
+    policy_factories: dict[str, Callable[[], object]],
+    config: BatchConfig = BatchConfig(),
+) -> BatchResult:
+    """Run ``n_trajectories`` AL runs per policy.
+
+    Parameters
+    ----------
+    policy_factories : dict
+        Maps a display name to a zero-argument factory producing a fresh
+        policy instance (policies may be stateful).
+
+    Notes
+    -----
+    Trajectory ``i`` of *every* policy shares the same partition (same
+    spawn key), giving a paired comparison across policies — differences in
+    outcomes come from the algorithms, not from partition luck.
+    """
+    jobs = [
+        (name, dataset, factory, config, i)
+        for i in range(config.n_trajectories)
+        for name, factory in policy_factories.items()
+    ]
+    result = BatchResult({name: [] for name in policy_factories})
+    if config.processes == 1:
+        pairs = map(_star, jobs)
+        for name, traj in pairs:
+            result.trajectories[name].append(traj)
+    else:
+        with mp.get_context("spawn").Pool(config.processes) as pool:
+            for name, traj in pool.map(_star, jobs):
+                result.trajectories[name].append(traj)
+    return result

@@ -1,0 +1,223 @@
+"""Batch Active Learning: select several experiments per iteration.
+
+The paper's future work (Sec. VI) asks about "running multiple simulations
+in parallel at each iteration of Active Learning: such schemes increase
+the scheduling overhead and result in less greedy and optimal selection
+strategies, but the achieved reduction of the time required to train
+accurate models may be advantageous".  This module implements that scheme.
+
+Two in-batch strategies are provided:
+
+- ``"independent"`` — ask the policy ``k`` times against the same model
+  state, masking already-picked candidates.  Natural for randomized
+  policies (RandGoodness, RGMA); for deterministic ones it degenerates to
+  the top-k of the acquisition ranking.
+- ``"believer"`` — the *kriging believer* heuristic: after each in-batch
+  pick, append the model's own predictive mean as a pseudo-observation
+  (hyperparameters frozen) and re-predict, so the collapsed uncertainty
+  around the pick steers the next one away.  Costlier but less redundant.
+
+:class:`BatchActiveLearner` extends Algorithm 1 accordingly: per round it
+selects a batch, "runs" all of its experiments, then retrains once.  Each
+selected sample still gets its own :class:`IterationRecord` (so cumulative
+cost/regret remain per-sample), but the recorded RMSE only changes between
+rounds — the models never see mid-batch results, exactly as a parallel
+launch on the machine would behave.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.loop import ActiveLearner
+from repro.core.metrics import individual_regrets
+from repro.core.policies import CandidateView, RGMA
+from repro.core.trajectory import IterationRecord, StopReason, Trajectory
+
+BATCH_STRATEGIES = ("independent", "believer")
+
+
+def _mask_view(view: CandidateView, keep: np.ndarray) -> CandidateView:
+    return CandidateView(
+        X=view.X[keep],
+        mu_cost=view.mu_cost[keep],
+        sigma_cost=view.sigma_cost[keep],
+        mu_mem=view.mu_mem[keep],
+        sigma_mem=view.sigma_mem[keep],
+    )
+
+
+class BatchActiveLearner(ActiveLearner):
+    """Algorithm 1 with per-round batches of ``batch_size`` selections.
+
+    Parameters
+    ----------
+    batch_size : int
+        Experiments launched per AL round.
+    batch_strategy : {"independent", "believer"}
+        How in-batch diversity is achieved (see module docstring).
+    **kwargs
+        Everything :class:`~repro.core.loop.ActiveLearner` accepts;
+        ``max_iterations`` counts *selected samples*, not rounds.
+    """
+
+    def __init__(self, *args, batch_size: int = 4, batch_strategy: str = "believer", **kwargs):
+        super().__init__(*args, **kwargs)
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if batch_strategy not in BATCH_STRATEGIES:
+            raise ValueError(f"batch_strategy must be one of {BATCH_STRATEGIES}")
+        self.batch_size = int(batch_size)
+        self.batch_strategy = batch_strategy
+
+    # ----------------------------------------------------------- batch picks
+
+    def _select_batch(self) -> list[int]:
+        """Positions (into ``self._remaining``) of this round's batch."""
+        want = min(self.batch_size, len(self._remaining))
+        view = self._candidate_view()
+        if self.batch_strategy == "independent":
+            return self._select_independent(view, want)
+        return self._select_believer(view, want)
+
+    def _select_independent(self, view: CandidateView, want: int) -> list[int]:
+        available = np.arange(len(view))
+        picks: list[int] = []
+        for _ in range(want):
+            sub = _mask_view(view, available)
+            pos = self.policy.select(sub, self.rng)
+            if pos is None:
+                break
+            picks.append(int(available[pos]))
+            available = np.delete(available, pos)
+        return picks
+
+    def _select_believer(self, view: CandidateView, want: int) -> list[int]:
+        idx_all = np.asarray(self._remaining, dtype=np.int64)
+        available = np.arange(len(view))
+        picks: list[int] = []
+        # Working copies of the training sets, extended by pseudo-points.
+        train_idx = self._train_indices()
+        U = self._U[train_idx]
+        yc = self._log_cost[train_idx]
+        ym = self._log_mem[train_idx]
+        for _ in range(want):
+            sub = _mask_view(view, available)
+            pos = self.policy.select(sub, self.rng)
+            if pos is None:
+                break
+            g = int(available[pos])
+            picks.append(g)
+            available = np.delete(available, pos)
+            if available.size == 0 or len(picks) == want:
+                break
+            # Believe the model: pseudo-observe the predictive means at the
+            # picked point (hyperparameters frozen), then re-predict.
+            u_new = self._U[idx_all[g]][None, :]
+            U = np.vstack([U, u_new])
+            yc = np.append(yc, view.mu_cost[g])
+            ym = np.append(ym, view.mu_mem[g])
+            self.gpr_cost.refactor(U, yc)
+            self.gpr_mem.refactor(U, ym)
+            rem = self._U[idx_all[available]]
+            mu_c, sd_c = self.gpr_cost.predict(rem, return_std=True)
+            mu_m, sd_m = self.gpr_mem.predict(rem, return_std=True)
+            full_mu_c = view.mu_cost.copy()
+            full_sd_c = view.sigma_cost.copy()
+            full_mu_m = view.mu_mem.copy()
+            full_sd_m = view.sigma_mem.copy()
+            full_mu_c[available] = mu_c
+            full_sd_c[available] = sd_c
+            full_mu_m[available] = mu_m
+            full_sd_m[available] = sd_m
+            view = CandidateView(
+                X=view.X,
+                mu_cost=full_mu_c,
+                sigma_cost=full_sd_c,
+                mu_mem=full_mu_m,
+                sigma_mem=full_sd_m,
+            )
+        # Restore the true (pseudo-point-free) factors for the round's refit.
+        real_idx = self._train_indices()
+        self.gpr_cost.refactor(self._U[real_idx], self._log_cost[real_idx])
+        self.gpr_mem.refactor(self._U[real_idx], self._log_mem[real_idx])
+        return picks
+
+    # ----------------------------------------------------------------- run
+
+    def run(self) -> Trajectory:
+        """Execute batched AL; one retraining per round."""
+        self.stopping_rule.reset()
+        self._fit_models(optimize=True)
+        rmse_c0, rmse_m0, _ = self._test_rmse()
+
+        memory_limit = (
+            self.policy.memory_limit_MB if isinstance(self.policy, RGMA) else None
+        )
+        records: list[IterationRecord] = []
+        cum_cost = 0.0
+        cum_regret = 0.0
+        stop = StopReason.EXHAUSTED
+        sample_count = 0
+        round_index = 0
+
+        while self._remaining:
+            if (
+                self.max_iterations is not None
+                and sample_count >= self.max_iterations
+            ):
+                stop = StopReason.MAX_ITERATIONS
+                break
+            picks = self._select_batch()
+            if not picks:
+                stop = StopReason.MEMORY_CONSTRAINED
+                break
+            # Launch the whole batch: observe actual responses.
+            chosen_ds = [self._remaining[p] for p in picks]
+            for p in sorted(picks, reverse=True):
+                del self._remaining[p]
+            self._learned.extend(chosen_ds)
+
+            optimize = (round_index % self.hyper_refit_interval) == 0
+            self._fit_models(optimize=optimize)
+            rmse_c, rmse_m, rmse_w = self._test_rmse()
+
+            for ds_index in chosen_ds:
+                cost = float(self.dataset.cost[ds_index])
+                mem = float(self.dataset.mem[ds_index])
+                cum_cost += cost
+                if memory_limit is not None:
+                    cum_regret += float(
+                        individual_regrets(
+                            np.array([cost]), np.array([mem]), memory_limit
+                        )[0]
+                    )
+                records.append(
+                    IterationRecord(
+                        iteration=sample_count,
+                        dataset_index=int(ds_index),
+                        cost=cost,
+                        mem=mem,
+                        rmse_cost=rmse_c,
+                        rmse_mem=rmse_m,
+                        cumulative_cost=cum_cost,
+                        cumulative_regret=cum_regret,
+                        rmse_cost_weighted=rmse_w,
+                    )
+                )
+                sample_count += 1
+            round_index += 1
+
+        return Trajectory(
+            policy_name=f"{self.policy.name}_batch{self.batch_size}",
+            n_init=self.partition.n_init,
+            records=tuple(records),
+            stop_reason=stop,
+            initial_rmse_cost=rmse_c0,
+            initial_rmse_mem=rmse_m0,
+        )
+
+    @property
+    def num_rounds_estimate(self) -> int:
+        """Rounds needed to exhaust the Active pool at this batch size."""
+        return -(-self.partition.n_active // self.batch_size)

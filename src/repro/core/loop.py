@@ -1,0 +1,223 @@
+"""Algorithm 1: the Active Learning procedure.
+
+The learner owns two GPR models — cost and memory — pre-fit on the Initial
+partition.  Each iteration it predicts over the remaining Active samples,
+asks the selection policy for a candidate, "runs the experiment" by looking
+the sample up in the offline dataset, moves it into the learned set, and
+retrains both models warm-started from the previous hyperparameters.
+Test-set RMSE, cumulative cost, and cumulative regret are recorded after
+every iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metrics import individual_regrets, rmse_nonlog
+from repro.core.partitions import Partition
+from repro.core.policies import CandidateView, RGMA, SelectionPolicy
+from repro.core.preprocessing import DesignTransform
+from repro.core.stopping import NoEarlyStopping, StoppingRule
+from repro.core.trajectory import IterationRecord, StopReason, Trajectory
+from repro.data.dataset import Dataset
+from repro.gp.gpr import GPRegressor
+from repro.gp.kernels import Kernel, default_kernel
+
+
+class ActiveLearner:
+    """Runs Algorithm 1 on an offline dataset.
+
+    Parameters
+    ----------
+    dataset : Dataset
+        Precomputed job table (features + cost/memory responses).
+    partition : Partition
+        Initial / Active / Test split.
+    policy : SelectionPolicy
+        One of the Sec. IV-B algorithms (:mod:`repro.core.policies`).
+    rng : numpy.random.Generator
+        Drives randomized policies and GPR restarts.
+    kernel : Kernel, optional
+        Prior covariance for *both* models; defaults to the paper's
+        amplitude * RBF + noise.
+    n_restarts : int
+        LML restarts on the initial fit (later fits warm-start).
+    hyper_refit_interval : int
+        Re-optimize hyperparameters every this many iterations; in between,
+        the models are refactored on the enlarged training set with frozen
+        hyperparameters.  1 (default) is the paper-faithful behaviour.
+    stopping_rule : StoppingRule, optional
+        Extra early-termination heuristic (Sec. V-D); default never fires.
+    max_iterations : int, optional
+        Hard cap on AL iterations (e.g. 150 for the Fig. 2 analysis).
+    log2_features : iterable of int, optional
+        Feature columns to model through their log2 exponent (Sec. V-D:
+        powers-of-two features like the node count ``p``).
+    weight_rmse_by_cost : bool
+        Also record the cost-weighted test RMSE of Eq. (12) each iteration
+        (``rho = diag(test costs)``), the scale-dependent metric Sec. V-D
+        argues suits cost-efficient AL.
+    model_factory : callable, optional
+        Zero-argument factory producing the surrogate model for *each* of
+        the cost and memory responses.  Anything with the
+        ``fit`` / ``refactor`` / ``predict(return_std=True)`` surface of
+        :class:`~repro.gp.gpr.GPRegressor` works — e.g.
+        :class:`repro.gp.local.LocalGPRegressor` (the paper's "multiple
+        local performance models" future work).  Overrides ``kernel`` and
+        ``n_restarts``.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        partition: Partition,
+        policy: SelectionPolicy,
+        rng: np.random.Generator,
+        kernel: Kernel | None = None,
+        n_restarts: int = 2,
+        hyper_refit_interval: int = 1,
+        stopping_rule: StoppingRule | None = None,
+        max_iterations: int | None = None,
+        log2_features=(),
+        weight_rmse_by_cost: bool = False,
+        model_factory=None,
+    ) -> None:
+        if hyper_refit_interval < 1:
+            raise ValueError("hyper_refit_interval must be >= 1")
+        self.dataset = dataset
+        self.partition = partition
+        self.policy = policy
+        self.rng = rng
+        self.hyper_refit_interval = int(hyper_refit_interval)
+        self.stopping_rule = stopping_rule if stopping_rule is not None else NoEarlyStopping()
+        self.max_iterations = max_iterations
+        self.weight_rmse_by_cost = weight_rmse_by_cost
+
+        self.scaler = DesignTransform(dataset.bounds, log2_columns=log2_features)
+        self._U = self.scaler.transform(dataset.X)  # all features, unit cube
+        self._log_cost = dataset.log_cost()
+        self._log_mem = dataset.log_mem()
+
+        if model_factory is not None:
+            self.gpr_cost = model_factory()
+            self.gpr_mem = model_factory()
+        else:
+            base_kernel = kernel if kernel is not None else default_kernel()
+            self.gpr_cost = GPRegressor(kernel=base_kernel, n_restarts=n_restarts, rng=rng)
+            self.gpr_mem = GPRegressor(
+                kernel=base_kernel.with_theta(base_kernel.theta),
+                n_restarts=n_restarts,
+                rng=rng,
+            )
+
+        # Mutable AL state.
+        self._remaining = list(partition.active_idx)
+        self._learned: list[int] = []
+
+    # ---------------------------------------------------------------- helpers
+
+    def _train_indices(self) -> np.ndarray:
+        return np.concatenate(
+            [self.partition.init_idx, np.asarray(self._learned, dtype=np.int64)]
+        )
+
+    def _fit_models(self, optimize: bool = True) -> None:
+        idx = self._train_indices()
+        U, lc, lm = self._U[idx], self._log_cost[idx], self._log_mem[idx]
+        if optimize:
+            self.gpr_cost.fit(U, lc)
+            self.gpr_mem.fit(U, lm)
+        else:
+            self.gpr_cost.refactor(U, lc)
+            self.gpr_mem.refactor(U, lm)
+
+    def _test_rmse(self) -> tuple[float, float, float]:
+        t = self.partition.test_idx
+        mu_c = self.gpr_cost.predict(self._U[t])
+        mu_m = self.gpr_mem.predict(self._U[t])
+        weighted = float("nan")
+        if self.weight_rmse_by_cost:
+            weighted = rmse_nonlog(mu_c, self.dataset.cost[t], weights=self.dataset.cost[t])
+        return (
+            rmse_nonlog(mu_c, self.dataset.cost[t]),
+            rmse_nonlog(mu_m, self.dataset.mem[t]),
+            weighted,
+        )
+
+    def _candidate_view(self) -> CandidateView:
+        idx = np.asarray(self._remaining, dtype=np.int64)
+        U = self._U[idx]
+        mu_c, sd_c = self.gpr_cost.predict(U, return_std=True)
+        mu_m, sd_m = self.gpr_mem.predict(U, return_std=True)
+        return CandidateView(
+            X=U, mu_cost=mu_c, sigma_cost=sd_c, mu_mem=mu_m, sigma_mem=sd_m
+        )
+
+    # -------------------------------------------------------------------- run
+
+    def run(self) -> Trajectory:
+        """Execute the full AL loop and return its trajectory."""
+        self.stopping_rule.reset()
+        self._fit_models(optimize=True)
+        rmse_c0, rmse_m0, _ = self._test_rmse()
+
+        memory_limit = (
+            self.policy.memory_limit_MB if isinstance(self.policy, RGMA) else None
+        )
+        records: list[IterationRecord] = []
+        cum_cost = 0.0
+        cum_regret = 0.0
+        stop = StopReason.EXHAUSTED
+
+        iteration = 0
+        while self._remaining:
+            if self.max_iterations is not None and iteration >= self.max_iterations:
+                stop = StopReason.MAX_ITERATIONS
+                break
+            view = self._candidate_view()
+            if self.stopping_rule.update(view.mu_cost, view.sigma_cost):
+                stop = StopReason.STOPPING_RULE
+                break
+            pos = self.policy.select(view, self.rng)
+            if pos is None:
+                stop = StopReason.MEMORY_CONSTRAINED
+                break
+            ds_index = self._remaining.pop(pos)
+            self._learned.append(ds_index)
+
+            cost = float(self.dataset.cost[ds_index])
+            mem = float(self.dataset.mem[ds_index])
+            cum_cost += cost
+            if memory_limit is not None:
+                cum_regret += float(
+                    individual_regrets(
+                        np.array([cost]), np.array([mem]), memory_limit
+                    )[0]
+                )
+
+            optimize = (iteration % self.hyper_refit_interval) == 0
+            self._fit_models(optimize=optimize)
+            rmse_c, rmse_m, rmse_w = self._test_rmse()
+            records.append(
+                IterationRecord(
+                    iteration=iteration,
+                    dataset_index=int(ds_index),
+                    cost=cost,
+                    mem=mem,
+                    rmse_cost=rmse_c,
+                    rmse_mem=rmse_m,
+                    cumulative_cost=cum_cost,
+                    cumulative_regret=cum_regret,
+                    rmse_cost_weighted=rmse_w,
+                )
+            )
+            iteration += 1
+
+        return Trajectory(
+            policy_name=self.policy.name,
+            n_init=self.partition.n_init,
+            records=tuple(records),
+            stop_reason=stop,
+            initial_rmse_cost=rmse_c0,
+            initial_rmse_mem=rmse_m0,
+        )

@@ -1,0 +1,87 @@
+"""Evaluation metrics of Sec. V-B.
+
+- **RMSE** (Eq. (10)) — aggregate prediction error on the Test partition,
+  computed in **non-log** space: model outputs are exponentiated before
+  comparison against the unmodified responses.
+- **Cumulative cost** — total node-hours of the samples AL has selected.
+- **Cumulative regret** (Eq. (11)) — opportunity cost of selections that
+  violate the memory limit: the job runs almost to completion, exceeds
+  ``L_mem`` at the very end, and crashes; its entire cost is wasted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.preprocessing import unlog10_response
+
+
+def rmse_nonlog(mu_log: np.ndarray, y_raw: np.ndarray, weights: np.ndarray | None = None) -> float:
+    """Eq. (10): RMSE of exponentiated predictions against raw responses.
+
+    Parameters
+    ----------
+    mu_log : ndarray
+        Predictive means in log10 space.
+    y_raw : ndarray
+        Measured responses in natural units.
+    weights : ndarray, optional
+        Non-negative diagonal weighting ``rho`` (Eq. (12), Sec. V-D); must
+        sum to a positive value.  ``None`` means uniform, as in Eq. (10).
+    """
+    mu_log = np.asarray(mu_log, dtype=np.float64)
+    y_raw = np.asarray(y_raw, dtype=np.float64)
+    if mu_log.shape != y_raw.shape:
+        raise ValueError("shapes must match")
+    e = unlog10_response(mu_log) - y_raw
+    if weights is None:
+        return float(np.sqrt(np.mean(e * e)))
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != e.shape or np.any(w < 0):
+        raise ValueError("weights must be non-negative and aligned")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return float(np.sqrt((w * e * e).sum() / total))
+
+
+def individual_regrets(
+    costs: np.ndarray, mems: np.ndarray, memory_limit_MB: float
+) -> np.ndarray:
+    """Eq. (11) inner term: ``IR_i = c_i`` if ``m_i >= L_mem`` else 0.
+
+    ``costs`` and ``mems`` are the *actual* measured cost and memory of the
+    selected samples, in selection order.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    mems = np.asarray(mems, dtype=np.float64)
+    if costs.shape != mems.shape:
+        raise ValueError("costs and mems must align")
+    if memory_limit_MB <= 0:
+        raise ValueError("memory limit must be positive")
+    return np.where(mems >= memory_limit_MB, costs, 0.0)
+
+
+def cumulative_regret(
+    costs: np.ndarray, mems: np.ndarray, memory_limit_MB: float
+) -> np.ndarray:
+    """Running sum of individual regrets after each iteration (Eq. (11))."""
+    return np.cumsum(individual_regrets(costs, mems, memory_limit_MB))
+
+
+def cumulative_cost(costs: np.ndarray) -> np.ndarray:
+    """Running sum of selected-sample costs after each iteration."""
+    return np.cumsum(np.asarray(costs, dtype=np.float64))
+
+
+def cost_weighted_rmse_weights(costs_test: np.ndarray) -> np.ndarray:
+    """A scale-dependent weighting for Eq. (12).
+
+    Sec. V-D argues prediction errors on expensive experiments matter more
+    than the same errors on cheap ones; weighting each test sample by its
+    cost realizes that priority.
+    """
+    w = np.asarray(costs_test, dtype=np.float64)
+    if np.any(w < 0):
+        raise ValueError("costs must be non-negative")
+    return w

@@ -1,0 +1,267 @@
+"""Online Active Learning: decide, *run*, then learn — no precomputed pool.
+
+The paper's analysis framework "runs in an 'offline' mode, consulting a
+database of precomputed performance samples ... In contrast, an 'online'
+AL system makes decisions about what experiment to run next" and then
+actually runs it.  This module implements that mode against the simulated
+machine: the candidate pool is the full parameter grid (e.g. all 1920
+Table I combinations), each selected configuration is executed by the
+:class:`~repro.machine.runner.JobRunner`, and the measured cost/memory
+feed the models.
+
+Differences from the offline :class:`~repro.core.loop.ActiveLearner`:
+
+- candidates are *configurations*, not dataset rows; repeats are allowed
+  only if ``allow_repeats`` is set (machine noise makes them informative);
+- there is no Test partition with measured truth — model quality is
+  tracked against noise-free machine-model ground truth on a held-out
+  subset of the grid (something a real experimenter cannot do; it is
+  reported for evaluation, exactly like the paper's simulator);
+- an out-of-memory selection *fails*: it returns no memory measurement,
+  costs its full price (the regret), and only the cost model learns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import rmse_nonlog
+from repro.core.policies import CandidateView, RGMA, SelectionPolicy
+from repro.core.preprocessing import DesignTransform
+from repro.core.trajectory import IterationRecord, StopReason, Trajectory
+from repro.data.space import ParameterSpace, TABLE1_SPACE
+from repro.gp.gpr import GPRegressor
+from repro.gp.kernels import default_kernel
+from repro.machine.runner import JobConfig, JobRunner
+
+
+@dataclass(frozen=True)
+class OnlineResult:
+    """Trajectory plus the online-specific bookkeeping."""
+
+    trajectory: Trajectory
+    executed: tuple[JobConfig, ...]
+    failed_configs: tuple[JobConfig, ...]
+    total_node_hours: float
+
+
+class OnlineActiveLearner:
+    """AL driving real (simulated-machine) job executions.
+
+    Parameters
+    ----------
+    runner : JobRunner
+        Executes selected configurations.
+    policy : SelectionPolicy
+        Any of the Sec. IV-B policies.
+    rng : numpy.random.Generator
+    space : ParameterSpace
+        Candidate grid (default: the Table I space).
+    n_init : int
+        Random configurations run before AL starts (the paper's Initial
+        phase; with ``n_init=1`` this is the "first run on a new platform"
+        scenario).
+    n_eval : int
+        Held-out grid points used for ground-truth RMSE tracking.
+    memory_limit_MB : float, optional
+        Enforced at *execution*: selections whose measured memory reaches
+        the limit crash (cost spent, memory unobserved).  Defaults to the
+        RGMA policy's limit when one is used.
+    max_runs : int
+        Experiment budget (AL iterations after the initial phase).
+    """
+
+    def __init__(
+        self,
+        runner: JobRunner,
+        policy: SelectionPolicy,
+        rng: np.random.Generator,
+        space: ParameterSpace = TABLE1_SPACE,
+        n_init: int = 5,
+        n_eval: int = 100,
+        memory_limit_MB: float | None = None,
+        max_runs: int = 50,
+        hyper_refit_interval: int = 1,
+        allow_repeats: bool = False,
+    ) -> None:
+        if n_init < 1 or max_runs < 1 or n_eval < 1:
+            raise ValueError("n_init, n_eval and max_runs must be >= 1")
+        self.runner = runner
+        self.policy = policy
+        self.rng = rng
+        self.space = space
+        self.n_init = n_init
+        self.max_runs = max_runs
+        self.hyper_refit_interval = int(hyper_refit_interval)
+        self.allow_repeats = allow_repeats
+        if memory_limit_MB is None and isinstance(policy, RGMA):
+            memory_limit_MB = policy.memory_limit_MB
+        self.memory_limit_MB = memory_limit_MB
+
+        self.grid = space.grid()
+        self._features = np.array([c.as_features() for c in self.grid])
+        self.scaler = DesignTransform(space.bounds())
+        self._U = self.scaler.transform(self._features)
+
+        # Held-out evaluation set with noise-free ground truth.
+        eval_idx = rng.choice(len(self.grid), size=min(n_eval, len(self.grid)), replace=False)
+        self._eval_idx = np.asarray(eval_idx)
+        perf = runner._perf()
+        mem = runner._mem()
+        truth_cost = []
+        truth_mem = []
+        for i in self._eval_idx:
+            work = runner.work_estimate(self.grid[i])
+            truth_cost.append(perf.node_hours(work, self.grid[i].p))
+            truth_mem.append(mem.max_rss_MB(work, self.grid[i].p))
+        self._truth_cost = np.array(truth_cost)
+        self._truth_mem = np.array(truth_mem)
+
+        kernel = default_kernel()
+        self.gpr_cost = GPRegressor(kernel=kernel, rng=rng, n_restarts=2)
+        self.gpr_mem = GPRegressor(
+            kernel=kernel.with_theta(kernel.theta), rng=rng, n_restarts=2
+        )
+
+        # Mutable state: executed observations.
+        self._obs_U: list[np.ndarray] = []
+        self._obs_cost: list[float] = []
+        self._obs_mem_U: list[np.ndarray] = []
+        self._obs_mem: list[float] = []
+        self._available = np.ones(len(self.grid), dtype=bool)
+
+    # --------------------------------------------------------------- internals
+
+    def _execute(self, grid_index: int, job_id: int):
+        record = self.runner.run(
+            self.grid[grid_index],
+            self.rng,
+            job_id=job_id,
+            memory_limit_MB=self.memory_limit_MB,
+        )
+        u = self._U[grid_index]
+        self._obs_U.append(u)
+        self._obs_cost.append(np.log10(record.cost_node_hours))
+        if not record.failed:
+            self._obs_mem_U.append(u)
+            self._obs_mem.append(np.log10(record.max_rss_MB))
+        if not self.allow_repeats:
+            self._available[grid_index] = False
+        return record
+
+    def _fit(self, optimize: bool) -> None:
+        Uc = np.asarray(self._obs_U)
+        yc = np.asarray(self._obs_cost)
+        if optimize or not self.gpr_cost.is_fitted:
+            self.gpr_cost.fit(Uc, yc)
+        else:
+            self.gpr_cost.refactor(Uc, yc)
+        if self._obs_mem:
+            Um = np.asarray(self._obs_mem_U)
+            ym = np.asarray(self._obs_mem)
+            if optimize or not self.gpr_mem.is_fitted:
+                self.gpr_mem.fit(Um, ym)
+            else:
+                self.gpr_mem.refactor(Um, ym)
+
+    def _eval_rmse(self) -> tuple[float, float]:
+        mu_c = self.gpr_cost.predict(self._U[self._eval_idx])
+        rmse_c = rmse_nonlog(mu_c, self._truth_cost)
+        if self.gpr_mem.is_fitted:
+            mu_m = self.gpr_mem.predict(self._U[self._eval_idx])
+            rmse_m = rmse_nonlog(mu_m, self._truth_mem)
+        else:
+            rmse_m = float("nan")
+        return rmse_c, rmse_m
+
+    def _view(self) -> tuple[CandidateView, np.ndarray]:
+        idx = np.flatnonzero(self._available)
+        U = self._U[idx]
+        mu_c, sd_c = self.gpr_cost.predict(U, return_std=True)
+        if self.gpr_mem.is_fitted:
+            mu_m, sd_m = self.gpr_mem.predict(U, return_std=True)
+        else:
+            # No memory data yet: everything looks safe (prior mean 0 =
+            # 1 MB), with prior uncertainty.
+            mu_m = np.zeros(len(idx))
+            sd_m = np.ones(len(idx))
+        return (
+            CandidateView(X=U, mu_cost=mu_c, sigma_cost=sd_c, mu_mem=mu_m, sigma_mem=sd_m),
+            idx,
+        )
+
+    # --------------------------------------------------------------------- run
+
+    def run(self) -> OnlineResult:
+        """Initial phase, then AL-driven execution until the budget ends."""
+        executed: list[JobConfig] = []
+        failed: list[JobConfig] = []
+        total_nh = 0.0
+
+        init_idx = self.rng.choice(len(self.grid), size=self.n_init, replace=False)
+        job_id = 0
+        for gi in init_idx:
+            rec = self._execute(int(gi), job_id)
+            executed.append(self.grid[int(gi)])
+            total_nh += rec.cost_node_hours
+            if rec.failed:
+                failed.append(self.grid[int(gi)])
+            job_id += 1
+        self._fit(optimize=True)
+        rmse_c0, rmse_m0 = self._eval_rmse()
+
+        records: list[IterationRecord] = []
+        cum_cost = 0.0
+        cum_regret = 0.0
+        stop = StopReason.MAX_ITERATIONS
+        for iteration in range(self.max_runs):
+            view, idx = self._view()
+            if len(view) == 0:
+                stop = StopReason.EXHAUSTED
+                break
+            pos = self.policy.select(view, self.rng)
+            if pos is None:
+                stop = StopReason.MEMORY_CONSTRAINED
+                break
+            gi = int(idx[pos])
+            rec = self._execute(gi, job_id)
+            job_id += 1
+            executed.append(self.grid[gi])
+            total_nh += rec.cost_node_hours
+            cum_cost += rec.cost_node_hours
+            if rec.failed:
+                failed.append(self.grid[gi])
+                cum_regret += rec.cost_node_hours
+
+            optimize = (iteration % self.hyper_refit_interval) == 0
+            self._fit(optimize=optimize)
+            rmse_c, rmse_m = self._eval_rmse()
+            records.append(
+                IterationRecord(
+                    iteration=iteration,
+                    dataset_index=gi,
+                    cost=rec.cost_node_hours,
+                    mem=rec.max_rss_MB if not rec.failed else float("inf"),
+                    rmse_cost=rmse_c,
+                    rmse_mem=rmse_m,
+                    cumulative_cost=cum_cost,
+                    cumulative_regret=cum_regret,
+                )
+            )
+
+        trajectory = Trajectory(
+            policy_name=f"online_{self.policy.name}",
+            n_init=self.n_init,
+            records=tuple(records),
+            stop_reason=stop,
+            initial_rmse_cost=rmse_c0,
+            initial_rmse_mem=rmse_m0,
+        )
+        return OnlineResult(
+            trajectory=trajectory,
+            executed=tuple(executed),
+            failed_configs=tuple(failed),
+            total_node_hours=total_nh,
+        )

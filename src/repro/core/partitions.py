@@ -1,0 +1,80 @@
+"""Dataset partitioning for the AL simulator (paper Sec. IV).
+
+Each experiment shuffles the dataset and splits it into three disjoint
+index sets:
+
+- **Initial** — fits the models before AL starts (n_init of 1, 50, or 100
+  in the paper's evaluation),
+- **Active** — the pool AL selects from, one sample per iteration,
+- **Test** — held out for RMSE estimation only (n_test = 200).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Disjoint Initial / Active / Test index sets over a dataset."""
+
+    init_idx: np.ndarray
+    active_idx: np.ndarray
+    test_idx: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in ("init_idx", "active_idx", "test_idx"):
+            v = np.asarray(getattr(self, name), dtype=np.int64)
+            object.__setattr__(self, name, v)
+        allidx = np.concatenate([self.init_idx, self.active_idx, self.test_idx])
+        if np.unique(allidx).size != allidx.size:
+            raise ValueError("partitions must be disjoint")
+        if self.init_idx.size < 1:
+            raise ValueError("Initial partition must have at least 1 sample")
+        if self.active_idx.size < 1:
+            raise ValueError("Active partition must be non-empty")
+        if self.test_idx.size < 1:
+            raise ValueError("Test partition must be non-empty")
+
+    @property
+    def n_init(self) -> int:
+        return int(self.init_idx.size)
+
+    @property
+    def n_active(self) -> int:
+        return int(self.active_idx.size)
+
+    @property
+    def n_test(self) -> int:
+        return int(self.test_idx.size)
+
+
+def random_partition(
+    rng: np.random.Generator,
+    n: int,
+    n_init: int = 50,
+    n_test: int = 200,
+    n_active: int | None = None,
+) -> Partition:
+    """Shuffle ``range(n)`` and split as in the paper.
+
+    The paper assigns 200 samples to Test, then splits the remaining 400
+    between Initial and Active; here ``n_active`` defaults to everything
+    left after Test and Initial are taken.
+    """
+    if n_init < 1 or n_test < 1:
+        raise ValueError("n_init and n_test must be >= 1")
+    remaining = n - n_test - n_init
+    if n_active is None:
+        n_active = remaining
+    if n_active < 1 or n_active > remaining:
+        raise ValueError(
+            f"cannot take n_init={n_init}, n_active={n_active}, n_test={n_test} from n={n}"
+        )
+    perm = rng.permutation(n)
+    test = perm[:n_test]
+    init = perm[n_test : n_test + n_init]
+    active = perm[n_test + n_init : n_test + n_init + n_active]
+    return Partition(init_idx=init, active_idx=active, test_idx=test)

@@ -1,0 +1,119 @@
+"""Pre-processing used before GPR modeling (paper Sec. IV-A).
+
+Two transforms are applied to the dataset before any model sees it:
+
+1. Responses (cost and memory) are ``log10``-transformed.  This reduces
+   the error discrepancy between the smallest and largest responses and
+   eliminates the nonsensical negative predictions GPR can produce for
+   near-zero runtimes; predictions are mapped back by exponentiation.
+2. Features are scaled to the unit cube ``[0, 1]^d``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def log10_response(y) -> np.ndarray:
+    """``log10`` transform of a positive response vector."""
+    y = np.asarray(y, dtype=np.float64)
+    if np.any(y <= 0):
+        raise ValueError("responses must be positive for the log10 transform")
+    return np.log10(y)
+
+
+def unlog10_response(y_log) -> np.ndarray:
+    """Inverse of :func:`log10_response`; always positive."""
+    return np.power(10.0, np.asarray(y_log, dtype=np.float64))
+
+
+class FeatureScaler:
+    """Affine map of features onto the unit cube and back.
+
+    Parameters
+    ----------
+    bounds : ndarray, shape (2, d)
+        Row 0 the per-feature minima, row 1 the maxima.  Using the *design
+        grid* bounds (not data bounds) keeps the scaling identical across
+        dataset partitions, as the paper's cross-validation requires.
+    """
+
+    def __init__(self, bounds: np.ndarray) -> None:
+        bounds = np.asarray(bounds, dtype=np.float64)
+        if bounds.ndim != 2 or bounds.shape[0] != 2:
+            raise ValueError("bounds must be (2, d)")
+        if np.any(bounds[1] <= bounds[0]):
+            raise ValueError("bounds must satisfy max > min per feature")
+        self.lo = bounds[0].copy()
+        self.hi = bounds[1].copy()
+
+    @property
+    def n_features(self) -> int:
+        return self.lo.shape[0]
+
+    def transform(self, X) -> np.ndarray:
+        """Map raw features into ``[0, 1]^d`` (values may exceed the box
+        if ``X`` lies outside the design bounds)."""
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self.lo) / (self.hi - self.lo)
+
+    def inverse_transform(self, U) -> np.ndarray:
+        """Map unit-cube coordinates back to raw feature values."""
+        U = np.asarray(U, dtype=np.float64)
+        return U * (self.hi - self.lo) + self.lo
+
+
+class DesignTransform:
+    """Unit-cube scaling with optional log2 treatment of selected features.
+
+    Sec. V-D's first tuning direction: features sampled at powers of two
+    (the node count ``p``, and in this dataset also ``mx``) are better
+    modeled through their *exponent*, so that 2^3 processors is spaced
+    equally from 2^2 and 2^4.  This transform applies ``log2`` to the
+    chosen columns (of both the data and the design bounds) before the
+    affine map onto ``[0, 1]^d``.
+
+    Parameters
+    ----------
+    bounds : ndarray, shape (2, d)
+        Raw design bounds.
+    log2_columns : iterable of int
+        Indices of features to transform by ``log2``; their raw values and
+        bounds must be positive.
+    """
+
+    def __init__(self, bounds: np.ndarray, log2_columns=()) -> None:
+        bounds = np.asarray(bounds, dtype=np.float64)
+        self.log2_columns = tuple(sorted(set(int(c) for c in log2_columns)))
+        d = bounds.shape[1] if bounds.ndim == 2 else 0
+        for c in self.log2_columns:
+            if not 0 <= c < d:
+                raise ValueError(f"log2 column {c} outside 0..{d - 1}")
+            if bounds[0, c] <= 0:
+                raise ValueError(f"log2 column {c} requires positive bounds")
+        self._scaler = FeatureScaler(self._log2(bounds))
+
+    def _log2(self, X: np.ndarray) -> np.ndarray:
+        X = np.array(X, dtype=np.float64, copy=True)
+        for c in self.log2_columns:
+            col = X[..., c]
+            if np.any(col <= 0):
+                raise ValueError(f"log2 column {c} requires positive values")
+            X[..., c] = np.log2(col)
+        return X
+
+    @property
+    def n_features(self) -> int:
+        return self._scaler.n_features
+
+    def transform(self, X) -> np.ndarray:
+        """Raw features -> (log2 on selected columns) -> unit cube."""
+        return self._scaler.transform(self._log2(np.asarray(X, dtype=np.float64)))
+
+    def inverse_transform(self, U) -> np.ndarray:
+        """Unit cube -> raw feature values (inverting the log2 columns)."""
+        X = self._scaler.inverse_transform(U)
+        X = np.array(X, copy=True)
+        for c in self.log2_columns:
+            X[..., c] = np.exp2(X[..., c])
+        return X

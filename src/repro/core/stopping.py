@@ -1,0 +1,101 @@
+"""Optional AL stopping heuristics (paper Sec. V-D, second direction).
+
+The paper notes that finding optimal stopping conditions is non-trivial and
+points to stabilizing predictions [Bloodgood & Vijay-Shanker] as a usable
+heuristic; it also observes RMSE can *grow* in the last iterations when
+candidates become scarce.  These rules let callers stop before the pool is
+exhausted.  They are extensions — the paper's headline runs use
+:class:`NoEarlyStopping` (plus RGMA's built-in constraint termination).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Protocol
+
+import numpy as np
+
+
+class StoppingRule(Protocol):
+    """Decides after each iteration whether AL should stop."""
+
+    def update(self, mu_cost: np.ndarray, sigma_cost: np.ndarray) -> bool:
+        """Feed the latest candidate predictions; True means stop now."""
+        ...
+
+    def reset(self) -> None:
+        """Clear internal state before a new trajectory."""
+        ...
+
+
+class NoEarlyStopping:
+    """Never stops; the default."""
+
+    def update(self, mu_cost: np.ndarray, sigma_cost: np.ndarray) -> bool:
+        return False
+
+    def reset(self) -> None:  # pragma: no cover - nothing to clear
+        pass
+
+
+class StabilizingPredictions:
+    """Stop when successive models agree on the remaining candidates.
+
+    Tracks the mean absolute change of the predictive means between
+    consecutive iterations (restricted to candidates present in both);
+    stops after ``patience`` consecutive iterations below ``tolerance``.
+    """
+
+    def __init__(self, tolerance: float = 1e-3, patience: int = 5) -> None:
+        if tolerance <= 0 or patience < 1:
+            raise ValueError("tolerance must be positive, patience >= 1")
+        self.tolerance = float(tolerance)
+        self.patience = int(patience)
+        self._prev: np.ndarray | None = None
+        self._calm = 0
+
+    def update(self, mu_cost: np.ndarray, sigma_cost: np.ndarray) -> bool:
+        mu = np.asarray(mu_cost, dtype=np.float64)
+        if self._prev is not None and mu.size > 0:
+            # One candidate was removed since last time; compare on the
+            # overlap by trimming to the shorter length is wrong in general,
+            # so compare distributional summaries instead, which are
+            # insensitive to the removed element.
+            prev_summary = np.percentile(self._prev, [10, 50, 90])
+            cur_summary = np.percentile(mu, [10, 50, 90])
+            delta = float(np.abs(prev_summary - cur_summary).mean())
+            self._calm = self._calm + 1 if delta < self.tolerance else 0
+        self._prev = mu.copy()
+        return self._calm >= self.patience
+
+    def reset(self) -> None:
+        self._prev = None
+        self._calm = 0
+
+
+class UncertaintyReduction:
+    """Stop when the pool's maximum predictive std falls below a floor.
+
+    Once every remaining candidate is predicted with confidence, more
+    samples buy little model improvement.
+    """
+
+    def __init__(self, sigma_floor: float = 0.02, patience: int = 3) -> None:
+        if sigma_floor <= 0 or patience < 1:
+            raise ValueError("sigma_floor must be positive, patience >= 1")
+        self.sigma_floor = float(sigma_floor)
+        self.patience = int(patience)
+        self._recent: deque[float] = deque(maxlen=patience)
+
+    def update(self, mu_cost: np.ndarray, sigma_cost: np.ndarray) -> bool:
+        sigma = np.asarray(sigma_cost, dtype=np.float64)
+        if sigma.size == 0:
+            return True
+        self._recent.append(float(sigma.max()))
+        return (
+            len(self._recent) == self.patience
+            and max(self._recent) < self.sigma_floor
+        )
+
+    def reset(self) -> None:
+        self._recent.clear()

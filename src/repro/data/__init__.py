@@ -1,0 +1,49 @@
+"""Dataset generation and handling for the AL study.
+
+The paper's analysis is *offline*: AL consults a precomputed database of
+600 accounting records drawn from a 1920-combination parameter sweep of
+the shock–bubble problem.  This subpackage defines that input space
+(Table I), generates the campaign on the simulated machine, and packages
+the result into the :class:`Dataset` container the AL loop consumes.
+
+Public API
+----------
+- :class:`ParameterSpace`, :data:`TABLE1_SPACE` — the 5-D sampled grid.
+- :func:`run_campaign`, :class:`CampaignResult` — sweep + 600-job selection.
+- :class:`Dataset` — feature matrix and response vectors with log transforms.
+- :func:`summarize_dataset`, :func:`table1_rows` — Table I statistics.
+- CSV / NPZ round-trips in :mod:`repro.data.io`.
+"""
+
+from repro.data.space import ParameterSpace, TABLE1_SPACE
+from repro.data.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    RawCollection,
+    collect_raw_campaign,
+    run_campaign,
+)
+from repro.data.dataset import Dataset, FEATURE_NAMES, RESPONSE_NAMES
+from repro.data.summary import ColumnSummary, summarize_dataset, table1_rows, render_table1
+from repro.data.io import save_npz, load_npz, save_csv, load_csv
+
+__all__ = [
+    "ParameterSpace",
+    "TABLE1_SPACE",
+    "CampaignConfig",
+    "CampaignResult",
+    "RawCollection",
+    "collect_raw_campaign",
+    "run_campaign",
+    "Dataset",
+    "FEATURE_NAMES",
+    "RESPONSE_NAMES",
+    "ColumnSummary",
+    "summarize_dataset",
+    "table1_rows",
+    "render_table1",
+    "save_npz",
+    "load_npz",
+    "save_csv",
+    "load_csv",
+]

@@ -1,0 +1,143 @@
+"""The dataset container consumed by the AL simulator.
+
+A :class:`Dataset` holds the feature matrix ``X`` (n, 5) and the three
+response vectors of Table I — wall-clock seconds, cost in node-hours, and
+MaxRSS in MB — plus the transforms the paper applies before modeling:
+``log10`` on the responses and unit-cube scaling on the features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.accounting import JobRecord
+
+#: Feature columns, Table I order.
+FEATURE_NAMES = ("p", "mx", "maxlevel", "r0", "rhoin")
+#: Response columns.
+RESPONSE_NAMES = ("wall_seconds", "cost_node_hours", "max_rss_MB")
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Immutable feature/response table.
+
+    Attributes
+    ----------
+    X : ndarray, shape (n, 5)
+        Raw (unscaled) features in :data:`FEATURE_NAMES` order.
+    wall : ndarray, shape (n,)
+        Wall-clock seconds.
+    cost : ndarray, shape (n,)
+        Node-hours (the paper's cost response ``c``).
+    mem : ndarray, shape (n,)
+        MaxRSS in MB (the paper's memory response ``m``).
+    bounds : ndarray, shape (2, 5)
+        Feature [min; max] used for unit-cube scaling; defaults to the
+        column-wise bounds of ``X``.
+    """
+
+    X: np.ndarray
+    wall: np.ndarray
+    cost: np.ndarray
+    mem: np.ndarray
+    bounds: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        X = np.asarray(self.X, dtype=np.float64)
+        object.__setattr__(self, "X", X)
+        for name in ("wall", "cost", "mem"):
+            v = np.asarray(getattr(self, name), dtype=np.float64)
+            if v.shape != (X.shape[0],):
+                raise ValueError(f"{name} must have shape ({X.shape[0]},)")
+            object.__setattr__(self, name, v)
+        if X.ndim != 2 or X.shape[1] != len(FEATURE_NAMES):
+            raise ValueError(f"X must be (n, {len(FEATURE_NAMES)})")
+        if np.any(self.cost <= 0) or np.any(self.mem <= 0) or np.any(self.wall <= 0):
+            raise ValueError("responses must be positive (log10 transform)")
+        if self.bounds is None:
+            b = np.vstack([X.min(axis=0), X.max(axis=0)])
+            object.__setattr__(self, "bounds", b)
+        else:
+            b = np.asarray(self.bounds, dtype=np.float64)
+            if b.shape != (2, len(FEATURE_NAMES)):
+                raise ValueError("bounds must be (2, 5)")
+            object.__setattr__(self, "bounds", b)
+        if np.any(self.bounds[1] <= self.bounds[0]):
+            raise ValueError("bounds must have max > min per feature")
+
+    # ------------------------------------------------------------------ basics
+
+    def __len__(self) -> int:
+        return self.X.shape[0]
+
+    @classmethod
+    def from_records(
+        cls, records: list[JobRecord], bounds: np.ndarray | None = None
+    ) -> "Dataset":
+        """Build a dataset from accounting records (all must have MaxRSS)."""
+        if not records:
+            raise ValueError("no records")
+        bad = [r for r in records if not r.rss_reported or r.failed]
+        if bad:
+            raise ValueError(
+                f"{len(bad)} records are failed or lost MaxRSS; filter first "
+                "(repro.machine.accounting.filter_usable)"
+            )
+        X = np.array([r.features for r in records], dtype=np.float64)
+        wall = np.array([r.wall_seconds for r in records])
+        cost = np.array([r.cost_node_hours for r in records])
+        mem = np.array([r.max_rss_MB for r in records])
+        return cls(X=X, wall=wall, cost=cost, mem=mem, bounds=bounds)
+
+    def subset(self, idx) -> "Dataset":
+        """Row subset (keeps the parent's scaling bounds)."""
+        idx = np.asarray(idx)
+        return Dataset(
+            X=self.X[idx],
+            wall=self.wall[idx],
+            cost=self.cost[idx],
+            mem=self.mem[idx],
+            bounds=self.bounds.copy(),
+        )
+
+    # ----------------------------------------------------------- transforms
+
+    def scaled_features(self) -> np.ndarray:
+        """Features mapped to the unit cube ``[0, 1]^5`` via ``bounds``."""
+        lo, hi = self.bounds[0], self.bounds[1]
+        return (self.X - lo) / (hi - lo)
+
+    def log_cost(self) -> np.ndarray:
+        """``log10`` of the cost response (the modeling target)."""
+        return np.log10(self.cost)
+
+    def log_mem(self) -> np.ndarray:
+        """``log10`` of the memory response (the modeling target)."""
+        return np.log10(self.mem)
+
+    # ----------------------------------------------------------- diagnostics
+
+    def cost_dynamic_range(self) -> float:
+        """max(cost) / min(cost); the paper reports 5.4e3 for its 600 jobs."""
+        return float(self.cost.max() / self.cost.min())
+
+    def num_unique_configs(self) -> int:
+        """Distinct feature combinations present (paper: 525 of 600)."""
+        return int(np.unique(self.X, axis=0).shape[0])
+
+    def memory_limit(self, log_fraction: float = 0.95, unit_bytes: float = 1e6) -> float:
+        """The paper's memory-limit rule, in MB.
+
+        ``L_mem`` is set at ``log_fraction`` (95%) of the largest
+        log-transformed memory usage *measured in bytes*:
+        ``10 ** (0.95 * log10(max_mem_bytes))``.  For the paper's max of
+        32.56 MB this equals ``max ** 0.95`` = 42% of the raw maximum —
+        exactly the equivalence stated in Sec. V-B.
+        """
+        if not 0 < log_fraction <= 1:
+            raise ValueError("log_fraction must be in (0, 1]")
+        max_bytes = float(self.mem.max()) * unit_bytes
+        return float(10.0 ** (log_fraction * np.log10(max_bytes)) / unit_bytes)

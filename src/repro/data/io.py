@@ -1,0 +1,67 @@
+"""Dataset persistence: NPZ (exact) and CSV (interoperable) round-trips."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import FEATURE_NAMES, Dataset
+
+_CSV_COLUMNS = list(FEATURE_NAMES) + ["wall_seconds", "cost_node_hours", "max_rss_MB"]
+
+
+def save_npz(ds: Dataset, path: str | Path) -> None:
+    """Save a dataset to a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        Path(path),
+        X=ds.X,
+        wall=ds.wall,
+        cost=ds.cost,
+        mem=ds.mem,
+        bounds=ds.bounds,
+    )
+
+
+def load_npz(path: str | Path) -> Dataset:
+    """Load a dataset saved by :func:`save_npz`."""
+    with np.load(Path(path)) as z:
+        return Dataset(
+            X=z["X"], wall=z["wall"], cost=z["cost"], mem=z["mem"], bounds=z["bounds"]
+        )
+
+
+def save_csv(ds: Dataset, path: str | Path) -> None:
+    """Save a dataset as CSV with one row per job.
+
+    Scaling ``bounds`` are not stored in CSV; :func:`load_csv` recomputes
+    them from the data unless given explicitly.
+    """
+    with open(Path(path), "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_CSV_COLUMNS)
+        for i in range(len(ds)):
+            row = list(ds.X[i]) + [ds.wall[i], ds.cost[i], ds.mem[i]]
+            writer.writerow(f"{v:.10g}" for v in row)
+
+
+def load_csv(path: str | Path, bounds: np.ndarray | None = None) -> Dataset:
+    """Load a dataset saved by :func:`save_csv`."""
+    with open(Path(path), newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        if header != _CSV_COLUMNS:
+            raise ValueError(f"unexpected CSV header {header}")
+        rows = [[float(v) for v in row] for row in reader if row]
+    if not rows:
+        raise ValueError("empty CSV")
+    arr = np.asarray(rows, dtype=np.float64)
+    nf = len(FEATURE_NAMES)
+    return Dataset(
+        X=arr[:, :nf],
+        wall=arr[:, nf],
+        cost=arr[:, nf + 1],
+        mem=arr[:, nf + 2],
+        bounds=bounds,
+    )

@@ -1,0 +1,102 @@
+"""The 5-dimensional sampled input space of the paper (Table I).
+
+Features, in column order:
+
+====== ======================== =========================================
+name   meaning                  sampled values
+====== ======================== =========================================
+p      number of nodes          4, 8, 16, 32
+mx     box (patch) size         8, 16, 32
+maxlevel max refinement level   3, 4, 5, 6
+r0     bubble size              0.2, 0.25, 0.3, 0.4, 0.5
+rhoin  bubble density           0.02, 0.05, 0.08, 0.1, 0.15, 0.2, 0.3, 0.5
+====== ======================== =========================================
+
+The product is 4 * 3 * 4 * 5 * 8 = 1920 combinations — the paper's "total
+1920 possible combinations of all sampled values of 5 features".  The
+marginal min/median/max of each feature match Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from repro.machine.runner import JobConfig
+
+
+@dataclass(frozen=True)
+class ParameterSpace:
+    """A gridded input space over :class:`~repro.machine.runner.JobConfig`.
+
+    Attributes
+    ----------
+    p_values, mx_values, maxlevel_values : tuple of int
+    r0_values, rhoin_values : tuple of float
+    """
+
+    p_values: tuple[int, ...] = (4, 8, 16, 32)
+    mx_values: tuple[int, ...] = (8, 16, 32)
+    maxlevel_values: tuple[int, ...] = (3, 4, 5, 6)
+    r0_values: tuple[float, ...] = (0.2, 0.25, 0.3, 0.4, 0.5)
+    rhoin_values: tuple[float, ...] = (0.02, 0.05, 0.08, 0.1, 0.15, 0.2, 0.3, 0.5)
+
+    def __post_init__(self) -> None:
+        for name in ("p_values", "mx_values", "maxlevel_values", "r0_values", "rhoin_values"):
+            vals = getattr(self, name)
+            if len(vals) == 0:
+                raise ValueError(f"{name} must be non-empty")
+            if tuple(sorted(set(vals))) != tuple(vals):
+                raise ValueError(f"{name} must be strictly increasing and unique")
+
+    @property
+    def num_combinations(self) -> int:
+        return (
+            len(self.p_values)
+            * len(self.mx_values)
+            * len(self.maxlevel_values)
+            * len(self.r0_values)
+            * len(self.rhoin_values)
+        )
+
+    def grid(self) -> list[JobConfig]:
+        """All combinations, in deterministic lexicographic order."""
+        return [
+            JobConfig(p=p, mx=mx, maxlevel=ml, r0=r0, rhoin=rh)
+            for p, mx, ml, r0, rh in product(
+                self.p_values,
+                self.mx_values,
+                self.maxlevel_values,
+                self.r0_values,
+                self.rhoin_values,
+            )
+        ]
+
+    def bounds(self) -> np.ndarray:
+        """(2, 5) array of [min; max] per feature, for unit-cube scaling."""
+        cols = (
+            self.p_values,
+            self.mx_values,
+            self.maxlevel_values,
+            self.r0_values,
+            self.rhoin_values,
+        )
+        lo = [float(min(c)) for c in cols]
+        hi = [float(max(c)) for c in cols]
+        return np.array([lo, hi], dtype=np.float64)
+
+    def contains(self, config: JobConfig) -> bool:
+        """Whether ``config`` lies exactly on the sampled grid."""
+        return (
+            config.p in self.p_values
+            and config.mx in self.mx_values
+            and config.maxlevel in self.maxlevel_values
+            and any(np.isclose(config.r0, v) for v in self.r0_values)
+            and any(np.isclose(config.rhoin, v) for v in self.rhoin_values)
+        )
+
+
+#: The exact space used throughout the paper's evaluation.
+TABLE1_SPACE = ParameterSpace()

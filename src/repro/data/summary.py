@@ -1,0 +1,101 @@
+"""Table I statistics: min / median / mean / max per feature and response."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import FEATURE_NAMES, Dataset
+
+#: Human-readable labels used in Table I, keyed by column name.
+TABLE1_LABELS = {
+    "p": "Feature: p, # of nodes",
+    "mx": "Feature: mx, box size",
+    "maxlevel": "Feature: maxlevel, max refinement level",
+    "r0": "Feature: r0, bubble size",
+    "rhoin": "Feature: rhoin, bubble density",
+    "wall_seconds": "Response: wall clock time, seconds",
+    "cost_node_hours": "Response: cost, node-hours",
+    "max_rss_MB": "Response: memory, MB",
+}
+
+#: The values the paper reports in Table I, for side-by-side comparison.
+TABLE1_PAPER = {
+    "p": (4, 8, 12.770, 32),
+    "mx": (8, 16, 20.670, 32),
+    "maxlevel": (3, 5, 4.720, 6),
+    "r0": (0.200, 0.300, 0.340, 0.500),
+    "rhoin": (0.020, 0.100, 0.160, 0.500),
+    "wall_seconds": (1.970, 96.890, 240.250, 4262.730),
+    "cost_node_hours": (0.002, 0.249, 0.810, 11.853),
+    "max_rss_MB": (0.020, 8.000, 7.540, 32.560),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnSummary:
+    """min/median/mean/max of one table column."""
+
+    name: str
+    minimum: float
+    median: float
+    mean: float
+    maximum: float
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        return (self.minimum, self.median, self.mean, self.maximum)
+
+
+def _summ(name: str, v: np.ndarray) -> ColumnSummary:
+    return ColumnSummary(
+        name=name,
+        minimum=float(v.min()),
+        median=float(np.median(v)),
+        mean=float(v.mean()),
+        maximum=float(v.max()),
+    )
+
+
+def summarize_dataset(ds: Dataset) -> dict[str, ColumnSummary]:
+    """Per-column summaries in Table I row order."""
+    out: dict[str, ColumnSummary] = {}
+    for j, name in enumerate(FEATURE_NAMES):
+        out[name] = _summ(name, ds.X[:, j])
+    out["wall_seconds"] = _summ("wall_seconds", ds.wall)
+    out["cost_node_hours"] = _summ("cost_node_hours", ds.cost)
+    out["max_rss_MB"] = _summ("max_rss_MB", ds.mem)
+    return out
+
+
+def table1_rows(ds: Dataset) -> list[tuple[str, float, float, float, float]]:
+    """Rows of Table I: (label, min, median, mean, max)."""
+    return [
+        (TABLE1_LABELS[name], *s.as_tuple()) for name, s in summarize_dataset(ds).items()
+    ]
+
+
+def render_table1(ds: Dataset, compare_paper: bool = True) -> str:
+    """Text rendering of Table I; optionally side by side with the paper."""
+    lines = []
+    header = f"{'column':<42} {'min':>10} {'median':>10} {'mean':>10} {'max':>10}"
+    if compare_paper:
+        header += "   | paper (min / median / mean / max)"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, s in summarize_dataset(ds).items():
+        row = (
+            f"{TABLE1_LABELS[name]:<42} {s.minimum:>10.3f} {s.median:>10.3f} "
+            f"{s.mean:>10.3f} {s.maximum:>10.3f}"
+        )
+        if compare_paper:
+            pm = TABLE1_PAPER[name]
+            row += f"   | {pm[0]:g} / {pm[1]:g} / {pm[2]:g} / {pm[3]:g}"
+        lines.append(row)
+    lines.append(
+        f"{'(n jobs, unique configs, cost ratio)':<42} "
+        f"{len(ds):>10d} {ds.num_unique_configs():>10d} {ds.cost_dynamic_range():>10.0f}"
+    )
+    if compare_paper:
+        lines[-1] += "   | 600 / 525 / 5.4e3"
+    return "\n".join(lines)

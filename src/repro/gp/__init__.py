@@ -1,0 +1,49 @@
+"""Gaussian Process Regression from scratch (Rasmussen & Williams).
+
+Implements the modeling layer of the paper's Sec. III: kernels (the RBF of
+Eq. (7), plus the Matérn family and anisotropic variants flagged as future
+work), the log marginal likelihood of Eq. (8) with analytic gradients, and
+hyperparameter fitting by multi-restart L-BFGS-B maximization of the LML
+(Eq. (9)).  The API mirrors scikit-learn 0.18's GaussianProcessRegressor,
+which the paper used, including the kernel-composition operators.
+
+Public API
+----------
+- Kernels: :class:`RBF`, :class:`Matern`, :class:`ConstantKernel`,
+  :class:`WhiteKernel`, :class:`Sum`, :class:`Product` (also via ``+``/``*``).
+- :class:`GPRegressor` — fit / predict with mean and standard deviation.
+- :func:`default_kernel` — the paper's model: amplitude * RBF + noise.
+"""
+
+from repro.gp.kernels import (
+    Kernel,
+    RBF,
+    Matern,
+    ConstantKernel,
+    WhiteKernel,
+    Sum,
+    Product,
+    default_kernel,
+)
+from repro.gp.gpr import GPRegressor
+from repro.gp.local import LocalGPRegressor, kmeans
+from repro.gp.sparse import SparseGPRegressor
+from repro.gp.spectral import SpectralGPRegressor
+from repro.gp.treed import TreedGPRegressor
+
+__all__ = [
+    "LocalGPRegressor",
+    "SparseGPRegressor",
+    "SpectralGPRegressor",
+    "TreedGPRegressor",
+    "kmeans",
+    "Kernel",
+    "RBF",
+    "Matern",
+    "ConstantKernel",
+    "WhiteKernel",
+    "Sum",
+    "Product",
+    "default_kernel",
+    "GPRegressor",
+]

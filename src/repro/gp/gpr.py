@@ -1,0 +1,277 @@
+"""Gaussian Process regressor: exact inference with LML-fitted kernels.
+
+Implements Eqs. (2)–(9) of the paper via Algorithm 2.1 of Rasmussen &
+Williams: a Cholesky factorization of the training covariance gives the
+predictive mean and variance, and the log marginal likelihood (with its
+analytic gradient in log-hyperparameter space) is maximized by L-BFGS-B
+with optional random restarts.
+
+The AL loop refits the model after every acquired sample; following the
+paper ("use old model's parameters as a starting point in hyperparameter
+fitting"), :meth:`GPRegressor.fit` warm-starts from the current kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cho_solve, cholesky, solve_triangular
+from scipy.optimize import minimize
+
+from repro.gp.kernels import Kernel, default_kernel
+
+#: Jitter ladder tried when the covariance is numerically indefinite.
+_JITTERS = (0.0, 1e-10, 1e-8, 1e-6, 1e-4)
+
+
+class GPRegressor:
+    """Exact GP regression with marginal-likelihood hyperparameter fitting.
+
+    Parameters
+    ----------
+    kernel : Kernel, optional
+        Prior covariance; defaults to :func:`repro.gp.kernels.default_kernel`.
+    normalize_y : bool
+        Center the targets before fitting (restored on prediction).  The
+        paper's log10 responses have non-zero means, so this is on by
+        default.
+    n_restarts : int
+        Extra random restarts of the LML optimization on the *first* fit.
+        Subsequent fits warm-start from the incumbent hyperparameters and
+        use a single optimization run unless ``restart_every_fit`` is set.
+    restart_every_fit : bool
+        Re-randomize on every fit (slower, used in validation tests).
+    rng : numpy.random.Generator, optional
+        Source for restart draws; required when ``n_restarts > 0``.
+
+    Attributes
+    ----------
+    kernel_ : Kernel
+        Fitted kernel (after :meth:`fit`).
+    X_train_, y_train_ : ndarray
+        Stored training data.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel | None = None,
+        normalize_y: bool = True,
+        n_restarts: int = 2,
+        restart_every_fit: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.kernel = kernel if kernel is not None else default_kernel()
+        self.normalize_y = normalize_y
+        self.n_restarts = int(n_restarts)
+        self.restart_every_fit = restart_every_fit
+        self.rng = rng
+        if self.n_restarts > 0 and rng is None:
+            raise ValueError("n_restarts > 0 requires an rng")
+        self.kernel_: Kernel | None = None
+        self.X_train_: np.ndarray | None = None
+        self.y_train_: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._L: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._fit_count = 0
+
+    # ------------------------------------------------------------------ LML
+
+    def log_marginal_likelihood(
+        self, theta: np.ndarray, eval_gradient: bool = False
+    ) -> float | tuple[float, np.ndarray]:
+        """Eq. (8) (and its theta-gradient) at the stored training data."""
+        if self.X_train_ is None:
+            raise RuntimeError("call fit() first (or use _lml_for_data)")
+        return self._lml(theta, self.X_train_, self._centered_y(), eval_gradient)
+
+    def _centered_y(self) -> np.ndarray:
+        assert self.y_train_ is not None
+        return self.y_train_ - self._y_mean
+
+    def _lml(
+        self,
+        theta: np.ndarray,
+        X: np.ndarray,
+        y: np.ndarray,
+        eval_gradient: bool,
+    ):
+        kernel = self.kernel.with_theta(theta)
+        if eval_gradient:
+            K, K_grad = kernel(X, eval_gradient=True)
+        else:
+            K = kernel(X)
+        L = self._chol(K)
+        if L is None:
+            if eval_gradient:
+                return -np.inf, np.zeros_like(theta)
+            return -np.inf
+        alpha = cho_solve((L, True), y, check_finite=False)
+        n = y.shape[0]
+        lml = (
+            -0.5 * float(y @ alpha)
+            - float(np.log(np.diag(L)).sum())
+            - 0.5 * n * np.log(2.0 * np.pi)
+        )
+        if not eval_gradient:
+            return lml
+        # d lml / d theta_j = 0.5 tr((alpha alpha^T - K^-1) dK/dtheta_j)
+        Kinv = cho_solve((L, True), np.eye(n), check_finite=False)
+        inner = np.outer(alpha, alpha) - Kinv
+        grad = 0.5 * np.einsum("ij,ijk->k", inner, K_grad)
+        return lml, grad
+
+    @staticmethod
+    def _chol(K: np.ndarray) -> np.ndarray | None:
+        """Cholesky with a jitter ladder; None if hopeless."""
+        n = K.shape[0]
+        for jitter in _JITTERS:
+            try:
+                return cholesky(
+                    K + jitter * np.eye(n), lower=True, check_finite=False
+                )
+            except np.linalg.LinAlgError:
+                continue
+            except Exception:
+                continue
+        return None
+
+    # ------------------------------------------------------------------ fit
+
+    def fit(self, X, y) -> "GPRegressor":
+        """Fit hyperparameters by LML maximization and precompute factors."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError("X must be (n, d) aligned with y (n,)")
+        if X.shape[0] < 1:
+            raise ValueError("need at least one training sample")
+        self.X_train_ = X
+        self.y_train_ = y
+        self._y_mean = float(y.mean()) if self.normalize_y else 0.0
+        yc = self._centered_y()
+
+        start = self.kernel_ if self.kernel_ is not None else self.kernel
+        bounds = start.bounds
+
+        if start.n_theta == 0 or X.shape[0] == 1:
+            # Nothing to optimize (or degenerate data): keep the prior.
+            self.kernel_ = start
+        else:
+            best_theta, best_lml = self._optimize(start.theta, X, yc, bounds)
+            restarts = (
+                self.n_restarts
+                if (self._fit_count == 0 or self.restart_every_fit)
+                else 0
+            )
+            for _ in range(restarts):
+                assert self.rng is not None
+                theta0 = self.rng.uniform(bounds[:, 0], bounds[:, 1])
+                theta, lml = self._optimize(theta0, X, yc, bounds)
+                if lml > best_lml:
+                    best_theta, best_lml = theta, lml
+            self.kernel_ = start.with_theta(best_theta)
+
+        K = self.kernel_(X)
+        L = self._chol(K)
+        if L is None:
+            raise np.linalg.LinAlgError("covariance not positive definite")
+        self._L = L
+        self._alpha = cho_solve((L, True), yc, check_finite=False)
+        self._fit_count += 1
+        return self
+
+    def refactor(self, X, y) -> "GPRegressor":
+        """Replace the training data *without* re-optimizing hyperparameters.
+
+        Re-factorizes the covariance at the incumbent ``kernel_`` for the
+        new data.  Used by the AL loop when hyperparameter refits are
+        thinned out (``hyper_refit_interval > 1``).  Requires a prior
+        :meth:`fit`.
+        """
+        if self.kernel_ is None:
+            raise RuntimeError("refactor() requires a prior fit()")
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError("X must be (n, d) aligned with y (n,)")
+        self.X_train_ = X
+        self.y_train_ = y
+        self._y_mean = float(y.mean()) if self.normalize_y else 0.0
+        K = self.kernel_(X)
+        L = self._chol(K)
+        if L is None:
+            raise np.linalg.LinAlgError("covariance not positive definite")
+        self._L = L
+        self._alpha = cho_solve((L, True), self._centered_y(), check_finite=False)
+        self._fit_count += 1
+        return self
+
+    def _optimize(self, theta0, X, yc, bounds) -> tuple[np.ndarray, float]:
+        def objective(theta):
+            lml, grad = self._lml(theta, X, yc, eval_gradient=True)
+            return -lml, -grad
+
+        theta0 = np.clip(theta0, bounds[:, 0], bounds[:, 1])
+        res = minimize(
+            objective,
+            theta0,
+            method="L-BFGS-B",
+            jac=True,
+            bounds=bounds,
+        )
+        return res.x, -float(res.fun)
+
+    # ---------------------------------------------------------------- predict
+
+    def predict(self, X, return_std: bool = False):
+        """Predictive mean (and std) of Eq. (2)–(3) at query points ``X``.
+
+        Before :meth:`fit`, returns the prior (zero mean, prior std).
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[:, None]
+        if self.X_train_ is None or self._L is None:
+            prior = self.kernel_ if self.kernel_ is not None else self.kernel
+            mean = np.zeros(X.shape[0])
+            if not return_std:
+                return mean
+            return mean, np.sqrt(np.maximum(prior.diag(X), 0.0))
+        kernel = self.kernel_
+        assert kernel is not None and self._alpha is not None
+        Ks = kernel(X, self.X_train_)  # (m, n), no noise (cross-covariance)
+        mean = Ks @ self._alpha + self._y_mean
+        if not return_std:
+            return mean
+        V = solve_triangular(self._L, Ks.T, lower=True, check_finite=False)
+        var = kernel.diag(X) - np.einsum("ij,ij->j", V, V)
+        return mean, np.sqrt(np.maximum(var, 0.0))
+
+    # ------------------------------------------------------------- utilities
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._L is not None
+
+    def sample_y(self, X, rng: np.random.Generator, n_samples: int = 1) -> np.ndarray:
+        """Draw functions from the posterior (or prior) at ``X``.
+
+        Returns an array of shape (n_samples, len(X)).
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[:, None]
+        kernel = self.kernel_ if self.kernel_ is not None else self.kernel
+        if self.X_train_ is None or self._L is None:
+            mean = np.zeros(X.shape[0])
+            cov = kernel(X)
+        else:
+            Ks = kernel(X, self.X_train_)
+            mean = Ks @ self._alpha + self._y_mean
+            V = solve_triangular(self._L, Ks.T, lower=True, check_finite=False)
+            cov = kernel(X) - V.T @ V
+        L = self._chol(cov)
+        if L is None:
+            raise np.linalg.LinAlgError("posterior covariance not PSD")
+        z = rng.standard_normal((n_samples, X.shape[0]))
+        return mean[None, :] + z @ L.T

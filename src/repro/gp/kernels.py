@@ -1,0 +1,383 @@
+"""Covariance functions with analytic gradients in log-parameter space.
+
+Every kernel exposes its tunable hyperparameters as ``theta``, the vector
+of *natural logarithms* of the positive parameters — the standard trick
+that turns positivity constraints into an unconstrained (box-bounded)
+optimization and makes LML gradients well-scaled.
+
+Conventions (matching scikit-learn, which the paper used):
+
+- ``k(X)`` (one argument) is the training covariance **including** any
+  white-noise diagonal; ``k(X, Y)`` (two arguments) is the cross-covariance
+  and excludes noise.
+- ``k(X, eval_gradient=True)`` also returns ``dK`` of shape
+  ``(n, n, n_theta)`` with derivatives **with respect to theta** (log
+  parameters), i.e. ``dK/dtheta_j = dK/dp_j * p_j``.
+- ``kernel_a + kernel_b`` and ``kernel_a * kernel_b`` build :class:`Sum`
+  and :class:`Product` nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+def _as2d(X) -> np.ndarray:
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim == 1:
+        X = X[:, None]
+    if X.ndim != 2:
+        raise ValueError("inputs must be 2-D (n_samples, n_features)")
+    return X
+
+
+def _sqdist(X: np.ndarray, Y: np.ndarray, length_scale: np.ndarray) -> np.ndarray:
+    """Pairwise squared distances of scaled inputs, shape (n, m).
+
+    Vectorized via the ||a||^2 + ||b||^2 - 2 a.b expansion; clipped at zero
+    to kill the tiny negatives floating-point cancellation produces.
+    """
+    Xs = X / length_scale
+    Ys = Y / length_scale
+    d = (
+        np.sum(Xs**2, axis=1)[:, None]
+        + np.sum(Ys**2, axis=1)[None, :]
+        - 2.0 * (Xs @ Ys.T)
+    )
+    return np.maximum(d, 0.0)
+
+
+class Kernel(ABC):
+    """Base covariance function."""
+
+    # -- hyperparameter vector ------------------------------------------------
+
+    @property
+    @abstractmethod
+    def theta(self) -> np.ndarray:
+        """Log-parameters as a flat float array (may be empty)."""
+
+    @abstractmethod
+    def with_theta(self, theta: np.ndarray) -> "Kernel":
+        """A copy of this kernel with the given log-parameters."""
+
+    @property
+    @abstractmethod
+    def bounds(self) -> np.ndarray:
+        """(n_theta, 2) log-space box bounds for the optimizer."""
+
+    @property
+    def n_theta(self) -> int:
+        return self.theta.shape[0]
+
+    # -- evaluation ------------------------------------------------------------
+
+    @abstractmethod
+    def __call__(
+        self, X, Y=None, eval_gradient: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Covariance matrix (and optionally its theta-gradient)."""
+
+    @abstractmethod
+    def diag(self, X) -> np.ndarray:
+        """Diagonal of ``self(X)`` without building the full matrix."""
+
+    # -- composition ----------------------------------------------------------
+
+    def __add__(self, other: "Kernel") -> "Sum":
+        return Sum(self, other)
+
+    def __mul__(self, other: "Kernel") -> "Product":
+        return Product(self, other)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        params = ", ".join(f"{v:.4g}" for v in np.exp(self.theta))
+        return f"{type(self).__name__}({params})"
+
+
+class ConstantKernel(Kernel):
+    """Constant covariance ``sigma_f^2`` — the amplitude of Eq. (7).
+
+    Usually composed as ``ConstantKernel(a) * RBF(l)``.
+    """
+
+    def __init__(self, constant: float = 1.0, bounds: tuple[float, float] = (1e-3, 1e3)):
+        if constant <= 0:
+            raise ValueError("constant must be positive")
+        self.constant = float(constant)
+        self._bounds = (float(bounds[0]), float(bounds[1]))
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.array([math.log(self.constant)])
+
+    def with_theta(self, theta: np.ndarray) -> "ConstantKernel":
+        return ConstantKernel(float(np.exp(theta[0])), self._bounds)
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return np.log(np.array([self._bounds]))
+
+    def __call__(self, X, Y=None, eval_gradient: bool = False):
+        X = _as2d(X)
+        m = X.shape[0] if Y is None else _as2d(Y).shape[0]
+        K = np.full((X.shape[0], m), self.constant)
+        if not eval_gradient:
+            return K
+        if Y is not None:
+            raise ValueError("gradients only defined for K(X, X)")
+        return K, K[:, :, None].copy()  # dK/dlog(c) = c = K
+
+    def diag(self, X) -> np.ndarray:
+        return np.full(_as2d(X).shape[0], self.constant)
+
+
+class WhiteKernel(Kernel):
+    """Observation noise ``sigma_n^2`` on the training diagonal (Eq. (1))."""
+
+    def __init__(self, noise_level: float = 1e-2, bounds: tuple[float, float] = (1e-8, 1e1)):
+        if noise_level <= 0:
+            raise ValueError("noise_level must be positive")
+        self.noise_level = float(noise_level)
+        self._bounds = (float(bounds[0]), float(bounds[1]))
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.array([math.log(self.noise_level)])
+
+    def with_theta(self, theta: np.ndarray) -> "WhiteKernel":
+        return WhiteKernel(float(np.exp(theta[0])), self._bounds)
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return np.log(np.array([self._bounds]))
+
+    def __call__(self, X, Y=None, eval_gradient: bool = False):
+        X = _as2d(X)
+        n = X.shape[0]
+        if Y is None:
+            K = self.noise_level * np.eye(n)
+            if eval_gradient:
+                return K, K[:, :, None].copy()
+            return K
+        if eval_gradient:
+            raise ValueError("gradients only defined for K(X, X)")
+        return np.zeros((n, _as2d(Y).shape[0]))
+
+    def diag(self, X) -> np.ndarray:
+        return np.full(_as2d(X).shape[0], self.noise_level)
+
+
+class RBF(Kernel):
+    """Squared-exponential kernel, Eq. (7): ``exp(-d^2 / (2 l^2))``.
+
+    ``length_scale`` may be a scalar (isotropic, the paper's choice) or a
+    vector of per-dimension scales (anisotropic / ARD, the paper's
+    future-work extension).
+    """
+
+    def __init__(self, length_scale=1.0, bounds: tuple[float, float] = (1e-2, 1e2)):
+        ls = np.atleast_1d(np.asarray(length_scale, dtype=np.float64))
+        if np.any(ls <= 0):
+            raise ValueError("length_scale must be positive")
+        self.length_scale = ls
+        self._bounds = (float(bounds[0]), float(bounds[1]))
+
+    @property
+    def anisotropic(self) -> bool:
+        return self.length_scale.shape[0] > 1
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.log(self.length_scale)
+
+    def with_theta(self, theta: np.ndarray) -> "RBF":
+        return RBF(np.exp(theta), self._bounds)
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return np.log(np.tile(self._bounds, (self.length_scale.shape[0], 1)))
+
+    def _ls(self, X: np.ndarray) -> np.ndarray:
+        if self.anisotropic and self.length_scale.shape[0] != X.shape[1]:
+            raise ValueError("anisotropic length_scale does not match n_features")
+        return self.length_scale
+
+    def __call__(self, X, Y=None, eval_gradient: bool = False):
+        X = _as2d(X)
+        ls = self._ls(X)
+        Ym = X if Y is None else _as2d(Y)
+        d2 = _sqdist(X, Ym, ls)
+        if Y is None:
+            # Kill the ~1e-16 cancellation residue of the expansion: exact
+            # zeros on the diagonal keep sqrt-based gradients clean.
+            np.fill_diagonal(d2, 0.0)
+        K = np.exp(-0.5 * d2)
+        if not eval_gradient:
+            return K
+        if Y is not None:
+            raise ValueError("gradients only defined for K(X, X)")
+        if not self.anisotropic:
+            # dK/dlog(l) = K * d^2 / l^2 ... with d2 already scaled: K * d2
+            return K, (K * d2)[:, :, None]
+        # Per-dimension: dK/dlog(l_k) = K * (x_k - y_k)^2 / l_k^2
+        grads = np.empty(K.shape + (ls.shape[0],))
+        for k in range(ls.shape[0]):
+            diff = (X[:, k][:, None] - X[:, k][None, :]) / ls[k]
+            grads[:, :, k] = K * diff**2
+        return K, grads
+
+    def diag(self, X) -> np.ndarray:
+        return np.ones(_as2d(X).shape[0])
+
+
+class Matern(Kernel):
+    """Matérn kernel with smoothness ``nu`` in {0.5, 1.5, 2.5}.
+
+    The family the paper's related work ([6], [8]) argues for; with
+    ``nu -> inf`` it converges to the RBF.  Only the three closed-form
+    smoothness values are supported (as in scikit-learn's fast paths).
+    """
+
+    def __init__(
+        self,
+        length_scale: float = 1.0,
+        nu: float = 1.5,
+        bounds: tuple[float, float] = (1e-2, 1e2),
+    ):
+        if length_scale <= 0:
+            raise ValueError("length_scale must be positive")
+        if nu not in (0.5, 1.5, 2.5):
+            raise ValueError("nu must be one of 0.5, 1.5, 2.5")
+        self.length_scale = float(length_scale)
+        self.nu = float(nu)
+        self._bounds = (float(bounds[0]), float(bounds[1]))
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.array([math.log(self.length_scale)])
+
+    def with_theta(self, theta: np.ndarray) -> "Matern":
+        return Matern(float(np.exp(theta[0])), self.nu, self._bounds)
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return np.log(np.array([self._bounds]))
+
+    def __call__(self, X, Y=None, eval_gradient: bool = False):
+        X = _as2d(X)
+        Ym = X if Y is None else _as2d(Y)
+        ls = np.array([self.length_scale])
+        d2 = _sqdist(X, Ym, ls)
+        if Y is None:
+            np.fill_diagonal(d2, 0.0)
+        r = np.sqrt(d2)  # scaled distance d/l
+        if self.nu == 0.5:
+            K = np.exp(-r)
+            dK_dlog = K * r
+        elif self.nu == 1.5:
+            s = math.sqrt(3.0) * r
+            K = (1.0 + s) * np.exp(-s)
+            dK_dlog = s * s * np.exp(-s)
+        else:  # nu == 2.5
+            s = math.sqrt(5.0) * r
+            K = (1.0 + s + s * s / 3.0) * np.exp(-s)
+            dK_dlog = (s * s * (1.0 + s) / 3.0) * np.exp(-s)
+        if not eval_gradient:
+            return K
+        if Y is not None:
+            raise ValueError("gradients only defined for K(X, X)")
+        return K, dK_dlog[:, :, None]
+
+    def diag(self, X) -> np.ndarray:
+        return np.ones(_as2d(X).shape[0])
+
+
+class _Composite(Kernel):
+    """Shared plumbing for binary kernel compositions."""
+
+    def __init__(self, k1: Kernel, k2: Kernel):
+        self.k1 = k1
+        self.k2 = k2
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.concatenate([self.k1.theta, self.k2.theta])
+
+    def with_theta(self, theta: np.ndarray) -> "_Composite":
+        n1 = self.k1.n_theta
+        return type(self)(self.k1.with_theta(theta[:n1]), self.k2.with_theta(theta[n1:]))
+
+    @property
+    def bounds(self) -> np.ndarray:
+        b1, b2 = self.k1.bounds, self.k2.bounds
+        if b1.size == 0:
+            return b2
+        if b2.size == 0:
+            return b1
+        return np.vstack([b1, b2])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        op = "+" if isinstance(self, Sum) else "*"
+        return f"({self.k1!r} {op} {self.k2!r})"
+
+
+class Sum(_Composite):
+    """``k1 + k2``."""
+
+    def __call__(self, X, Y=None, eval_gradient: bool = False):
+        if not eval_gradient:
+            return self.k1(X, Y) + self.k2(X, Y)
+        K1, G1 = self.k1(X, Y, eval_gradient=True)
+        K2, G2 = self.k2(X, Y, eval_gradient=True)
+        return K1 + K2, np.concatenate([G1, G2], axis=2)
+
+    def diag(self, X) -> np.ndarray:
+        return self.k1.diag(X) + self.k2.diag(X)
+
+
+class Product(_Composite):
+    """``k1 * k2`` with the product-rule gradient."""
+
+    def __call__(self, X, Y=None, eval_gradient: bool = False):
+        if not eval_gradient:
+            return self.k1(X, Y) * self.k2(X, Y)
+        K1, G1 = self.k1(X, Y, eval_gradient=True)
+        K2, G2 = self.k2(X, Y, eval_gradient=True)
+        K = K1 * K2
+        G = np.concatenate([G1 * K2[:, :, None], G2 * K1[:, :, None]], axis=2)
+        return K, G
+
+    def diag(self, X) -> np.ndarray:
+        return self.k1.diag(X) * self.k2.diag(X)
+
+
+def default_kernel(
+    length_scale: float = 1.0,
+    amplitude: float = 1.0,
+    noise_level: float = 1e-2,
+    anisotropic_dims: int | None = None,
+    matern_nu: float | None = None,
+) -> Kernel:
+    """The paper's surrogate-model kernel: ``sigma_f^2 * RBF(l) + sigma_n^2``.
+
+    Parameters
+    ----------
+    anisotropic_dims : int, optional
+        If given, use a per-dimension (ARD) length scale of this many dims.
+    matern_nu : float, optional
+        If given, substitute a Matérn kernel of that smoothness for the RBF
+        (the paper's future-work variant).
+    """
+    if matern_nu is not None:
+        if anisotropic_dims is not None:
+            raise ValueError("anisotropic Matérn is not implemented")
+        stationary: Kernel = Matern(length_scale, nu=matern_nu)
+    elif anisotropic_dims is not None:
+        stationary = RBF(np.full(anisotropic_dims, float(length_scale)))
+    else:
+        stationary = RBF(length_scale)
+    return ConstantKernel(amplitude) * stationary + WhiteKernel(noise_level)

@@ -1,0 +1,184 @@
+"""Sparse GP approximation with inducing points (DTC / projected process).
+
+Sec. II-B of the paper singles out Sparse Pseudo-input GPs and Sparse
+Spectrum GPs as optimizations that "drastically reduce computational
+complexity of the modeling" and notes they are "compatible with the cost-
+and memory-aware AL described here" — enabling AL over *massive*
+experimental datasets.  This module provides that capability with the
+Deterministic Training Conditional (DTC) approximation:
+
+- ``m`` inducing inputs are placed at k-means centroids of the data;
+- hyperparameters are fit exactly on a subset of the data
+  (subset-of-data), then frozen for the sparse predictor;
+- training cost drops from ``O(n^3)`` to ``O(n m^2)`` and prediction to
+  ``O(m^2)`` per point.
+
+The predictive equations (Quinonero-Candela & Rasmussen, 2005):
+
+    A      = sigma_n^2 K_mm + K_mn K_nm
+    mu(*)  = K_*m A^{-1} K_mn y
+    var(*) = k_** - Q_** + sigma_n^2 K_*m A^{-1} K_m*
+
+with ``Q_** = K_*m K_mm^{-1} K_m*``.
+
+The class mirrors :class:`~repro.gp.gpr.GPRegressor`'s surface so the AL
+loop accepts it through ``model_factory``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cho_solve, cholesky, solve_triangular
+
+from repro.gp.gpr import GPRegressor
+from repro.gp.kernels import Kernel, default_kernel
+from repro.gp.local import kmeans
+
+_JITTER = 1e-8
+
+
+class SparseGPRegressor:
+    """DTC sparse GP with k-means inducing points.
+
+    Parameters
+    ----------
+    n_inducing : int
+        Number of inducing inputs ``m`` (clamped to the training size).
+    kernel : Kernel, optional
+        Prior covariance *including* a noise (White) component; defaults
+        to the paper's amplitude * RBF + noise.
+    rng : numpy.random.Generator
+        Drives inducing-point clustering and the hyperparameter subset.
+    sod_factor : int
+        The hyperparameter fit uses ``min(n, sod_factor * m)`` random
+        training points in an exact GP.
+    normalize_y : bool
+        Center targets before fitting (restored at prediction).
+    """
+
+    def __init__(
+        self,
+        n_inducing: int = 50,
+        kernel: Kernel | None = None,
+        rng: np.random.Generator | None = None,
+        sod_factor: int = 3,
+        normalize_y: bool = True,
+    ) -> None:
+        if n_inducing < 1:
+            raise ValueError("n_inducing must be >= 1")
+        if sod_factor < 1:
+            raise ValueError("sod_factor must be >= 1")
+        if rng is None:
+            raise ValueError("SparseGPRegressor requires an rng")
+        self.n_inducing = int(n_inducing)
+        self.kernel = kernel if kernel is not None else default_kernel()
+        self.rng = rng
+        self.sod_factor = int(sod_factor)
+        self.normalize_y = normalize_y
+
+        self.kernel_: Kernel | None = None
+        self.inducing_: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._noise = 1e-2
+        self._L_A: np.ndarray | None = None  # chol of A
+        self._L_mm: np.ndarray | None = None  # chol of K_mm
+        self._beta: np.ndarray | None = None  # A^{-1} K_mn y
+
+    # ------------------------------------------------------------------ fit
+
+    def _estimate_noise(self, Z: np.ndarray) -> float:
+        """Noise variance = (diag incl. noise) - (noise-free diag)."""
+        assert self.kernel_ is not None
+        z0 = Z[:1]
+        with_noise = float(self.kernel_.diag(z0)[0])
+        without = float(self.kernel_(z0, z0)[0, 0])
+        return max(with_noise - without, 1e-10)
+
+    def fit(self, X, y) -> "SparseGPRegressor":
+        """Fit hyperparameters on a subset, then build the DTC factors."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError("X must be (n, d) aligned with y (n,)")
+        n = X.shape[0]
+        # 1. Subset-of-data hyperparameter fit (exact GP on a sample).
+        m = min(self.n_inducing, n)
+        n_sod = min(n, self.sod_factor * m)
+        sod = self.rng.choice(n, size=n_sod, replace=False)
+        exact = GPRegressor(
+            kernel=self.kernel.with_theta(
+                self.kernel_.theta if self.kernel_ is not None else self.kernel.theta
+            ),
+            rng=self.rng,
+            n_restarts=1 if self.kernel_ is None else 0,
+        )
+        exact.fit(X[sod], y[sod])
+        self.kernel_ = exact.kernel_
+        # 2. Inducing points at k-means centroids.
+        k = min(m, n)
+        self.inducing_, _ = kmeans(X, k, self.rng)
+        self._factorize(X, y)
+        return self
+
+    def refactor(self, X, y) -> "SparseGPRegressor":
+        """New data, frozen hyperparameters; inducing points re-clustered."""
+        if self.kernel_ is None:
+            raise RuntimeError("refactor() requires a prior fit()")
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        k = min(self.n_inducing, X.shape[0])
+        self.inducing_, _ = kmeans(X, k, self.rng)
+        self._factorize(X, y)
+        return self
+
+    def _factorize(self, X: np.ndarray, y: np.ndarray) -> None:
+        assert self.kernel_ is not None and self.inducing_ is not None
+        Z = self.inducing_
+        self._y_mean = float(y.mean()) if self.normalize_y else 0.0
+        yc = y - self._y_mean
+        self._noise = self._estimate_noise(Z)
+
+        Kmm = self.kernel_(Z, Z) + _JITTER * np.eye(Z.shape[0])
+        Kmn = self.kernel_(Z, X)  # cross-covariance: noise-free
+        A = self._noise * Kmm + Kmn @ Kmn.T
+        self._L_mm = cholesky(Kmm, lower=True, check_finite=False)
+        self._L_A = cholesky(
+            A + _JITTER * np.eye(A.shape[0]), lower=True, check_finite=False
+        )
+        self._beta = cho_solve((self._L_A, True), Kmn @ yc, check_finite=False)
+
+    # ---------------------------------------------------------------- predict
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._beta is not None
+
+    def predict(self, X, return_std: bool = False):
+        """DTC predictive mean (and std) at query points."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[:, None]
+        if self._beta is None:
+            kernel = self.kernel_ if self.kernel_ is not None else self.kernel
+            mean = np.zeros(X.shape[0])
+            if not return_std:
+                return mean
+            return mean, np.sqrt(np.maximum(kernel.diag(X), 0.0))
+        assert self.kernel_ is not None and self.inducing_ is not None
+        Ksm = self.kernel_(X, self.inducing_)
+        mean = Ksm @ self._beta + self._y_mean
+        if not return_std:
+            return mean
+        # Noise-free prior diag: kernel.diag includes the white term.
+        k_diag = self.kernel_.diag(X) - self._noise
+        v_mm = solve_triangular(self._L_mm, Ksm.T, lower=True, check_finite=False)
+        q_diag = np.einsum("ij,ij->j", v_mm, v_mm)
+        v_a = solve_triangular(self._L_A, Ksm.T, lower=True, check_finite=False)
+        corr = self._noise * np.einsum("ij,ij->j", v_a, v_a)
+        var = k_diag - q_diag + corr
+        return mean, np.sqrt(np.maximum(var, 0.0))
+
+    @property
+    def num_inducing(self) -> int:
+        """Inducing points currently in use."""
+        return 0 if self.inducing_ is None else int(self.inducing_.shape[0])

@@ -1,0 +1,178 @@
+"""Sparse Spectrum GP: trigonometric random features for the RBF kernel.
+
+The second scalable approximation Sec. II-B cites (Lazaro-Gredilla et al.,
+2010) "exploit[s] sparsity in ... the kernel's spectral space": by
+Bochner's theorem the RBF kernel is the Fourier transform of a Gaussian
+spectral density, so sampling ``m`` frequencies ``w_r ~ N(0, 1/l^2 I)``
+yields the feature map
+
+    phi(x) = sqrt(sigma_f^2 / m) * [cos(w_r.x), sin(w_r.x)]_{r=1..m}
+
+whose linear Bayesian regression has ``E[phi(x).phi(y)] = k_RBF(x, y)``.
+Training is ``O(n m^2)`` and prediction ``O(m)`` / ``O(m^2)`` for the
+mean / variance — independent of ``n``.
+
+Hyperparameters ``(l, sigma_f^2, sigma_n^2)`` are fit exactly on a data
+subset (as in :mod:`repro.gp.sparse`), then the frequencies are drawn from
+the fitted spectral density.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cho_solve, cholesky, solve_triangular
+
+from repro.gp.gpr import GPRegressor
+from repro.gp.kernels import (
+    ConstantKernel,
+    Kernel,
+    Product,
+    RBF,
+    Sum,
+    WhiteKernel,
+    default_kernel,
+)
+
+_JITTER = 1e-10
+
+
+def _extract_rbf_params(kernel: Kernel) -> tuple[float, float, float]:
+    """(length_scale, amplitude, noise) from an amplitude*RBF+noise kernel."""
+    if not isinstance(kernel, Sum):
+        raise ValueError("spectral GP expects kernel of form Constant*RBF + White")
+    prod, white = kernel.k1, kernel.k2
+    if isinstance(prod, WhiteKernel):
+        prod, white = white, prod
+    if not isinstance(white, WhiteKernel) or not isinstance(prod, Product):
+        raise ValueError("spectral GP expects kernel of form Constant*RBF + White")
+    const, rbf = prod.k1, prod.k2
+    if isinstance(const, RBF):
+        const, rbf = rbf, const
+    if not isinstance(const, ConstantKernel) or not isinstance(rbf, RBF):
+        raise ValueError("spectral GP expects kernel of form Constant*RBF + White")
+    if rbf.anisotropic:
+        raise ValueError("spectral GP supports isotropic RBF only")
+    return float(rbf.length_scale[0]), float(const.constant), float(white.noise_level)
+
+
+class SpectralGPRegressor:
+    """Sparse-spectrum (random Fourier feature) GP regression.
+
+    Parameters
+    ----------
+    n_frequencies : int
+        Spectral points ``m``; the feature dimension is ``2 m``.
+    kernel : Kernel, optional
+        Must have the ``Constant * RBF + White`` structure of
+        :func:`repro.gp.kernels.default_kernel`.
+    rng : numpy.random.Generator
+        Draws the spectral frequencies and the hyperparameter subset.
+    sod_factor : int
+        Hyperparameter fit uses ``min(n, sod_factor * m)`` points exactly.
+    normalize_y : bool
+        Center targets before fitting.
+    """
+
+    def __init__(
+        self,
+        n_frequencies: int = 64,
+        kernel: Kernel | None = None,
+        rng: np.random.Generator | None = None,
+        sod_factor: int = 3,
+        normalize_y: bool = True,
+    ) -> None:
+        if n_frequencies < 1:
+            raise ValueError("n_frequencies must be >= 1")
+        if rng is None:
+            raise ValueError("SpectralGPRegressor requires an rng")
+        self.n_frequencies = int(n_frequencies)
+        self.kernel = kernel if kernel is not None else default_kernel()
+        _extract_rbf_params(self.kernel)  # validate structure early
+        self.rng = rng
+        self.sod_factor = int(sod_factor)
+        self.normalize_y = normalize_y
+
+        self.kernel_: Kernel | None = None
+        self._W: np.ndarray | None = None  # (m, d) frequencies
+        self._amp2 = 1.0
+        self._noise = 1e-2
+        self._y_mean = 0.0
+        self._L: np.ndarray | None = None  # chol of (Phi^T Phi + noise I)
+        self._w_mean: np.ndarray | None = None  # posterior weight mean
+
+    # --------------------------------------------------------------- features
+
+    def _features(self, X: np.ndarray) -> np.ndarray:
+        """phi(X) of shape (n, 2m), scaled so phi.phi^T approximates k."""
+        assert self._W is not None
+        proj = X @ self._W.T  # (n, m)
+        scale = np.sqrt(self._amp2 / self.n_frequencies)
+        return scale * np.hstack([np.cos(proj), np.sin(proj)])
+
+    # ------------------------------------------------------------------- fit
+
+    def fit(self, X, y) -> "SpectralGPRegressor":
+        """Subset hyperparameter fit, frequency draw, then linear solve."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError("X must be (n, d) aligned with y (n,)")
+        n, d = X.shape
+        n_sod = min(n, self.sod_factor * self.n_frequencies)
+        sod = self.rng.choice(n, size=n_sod, replace=False)
+        exact = GPRegressor(
+            kernel=self.kernel.with_theta(
+                self.kernel_.theta if self.kernel_ is not None else self.kernel.theta
+            ),
+            rng=self.rng,
+            n_restarts=1 if self.kernel_ is None else 0,
+        )
+        exact.fit(X[sod], y[sod])
+        self.kernel_ = exact.kernel_
+        ls, self._amp2, self._noise = _extract_rbf_params(self.kernel_)
+        # Frequencies from the RBF spectral density N(0, l^{-2} I).
+        self._W = self.rng.normal(0.0, 1.0 / ls, size=(self.n_frequencies, d))
+        self._solve(X, y)
+        return self
+
+    def refactor(self, X, y) -> "SpectralGPRegressor":
+        """New data, frozen hyperparameters and frequencies."""
+        if self._W is None:
+            raise RuntimeError("refactor() requires a prior fit()")
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        self._solve(X, y)
+        return self
+
+    def _solve(self, X: np.ndarray, y: np.ndarray) -> None:
+        self._y_mean = float(y.mean()) if self.normalize_y else 0.0
+        yc = y - self._y_mean
+        Phi = self._features(X)  # (n, 2m)
+        A = Phi.T @ Phi + self._noise * np.eye(Phi.shape[1])
+        self._L = cholesky(A + _JITTER * np.eye(A.shape[0]), lower=True, check_finite=False)
+        self._w_mean = cho_solve((self._L, True), Phi.T @ yc, check_finite=False)
+
+    # ---------------------------------------------------------------- predict
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._w_mean is not None
+
+    def predict(self, X, return_std: bool = False):
+        """Posterior mean (and std) of the trigonometric linear model."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[:, None]
+        if self._w_mean is None:
+            kernel = self.kernel_ if self.kernel_ is not None else self.kernel
+            mean = np.zeros(X.shape[0])
+            if not return_std:
+                return mean
+            return mean, np.sqrt(np.maximum(kernel.diag(X), 0.0))
+        Phi = self._features(X)
+        mean = Phi @ self._w_mean + self._y_mean
+        if not return_std:
+            return mean
+        v = solve_triangular(self._L, Phi.T, lower=True, check_finite=False)
+        var = self._noise * np.einsum("ij,ij->j", v, v)
+        return mean, np.sqrt(np.maximum(var, 0.0))

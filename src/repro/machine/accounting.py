@@ -1,0 +1,87 @@
+"""SLURM-like job accounting records.
+
+The paper's dataset is the output of ``sacct``: per-job elapsed time, node
+count, and MaxRSS.  This module reproduces that record format — including
+the reporting bug the authors hit, where MaxRSS came back as zero for some
+of the *least expensive* jobs (their longest zero-MaxRSS job ran 139 s),
+forcing them to drop 1K-612 jobs from the original collection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class JobRecord:
+    """One accounting row, as the analysis pipeline consumes it.
+
+    Attributes
+    ----------
+    job_id : int
+        Scheduler job id.
+    features : tuple of float
+        The 5 input features ``(p, mx, maxlevel, r0, rhoin)``.
+    wall_seconds : float
+        Elapsed time.
+    nodes : int
+        Nodes allocated.
+    max_rss_MB : float
+        Peak per-task resident set; 0.0 when the reporting bug struck.
+    failed : bool
+        Whether the job crashed (e.g. exceeded a memory limit).
+    """
+
+    job_id: int
+    features: tuple[float, ...]
+    wall_seconds: float
+    nodes: int
+    max_rss_MB: float
+    failed: bool = False
+
+    @property
+    def cost_node_hours(self) -> float:
+        """The paper's cost response: wall-clock time x nodes."""
+        return self.wall_seconds * self.nodes / 3600.0
+
+    @property
+    def rss_reported(self) -> bool:
+        """False when MaxRSS was lost to the accounting bug."""
+        return self.max_rss_MB > 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class SlurmAccounting:
+    """Post-processing of raw job measurements into accounting rows.
+
+    Attributes
+    ----------
+    rss_bug_wall_threshold_s : float
+        Jobs shorter than this are *eligible* for the MaxRSS=0 bug — the
+        paper observed the bug only among its least expensive jobs (longest
+        affected: 139 s).
+    rss_bug_probability : float
+        Probability an eligible job's MaxRSS is reported as zero.
+    """
+
+    rss_bug_wall_threshold_s: float = 139.0
+    rss_bug_probability: float = 0.55
+
+    def finalize(self, record: JobRecord, rng: np.random.Generator) -> JobRecord:
+        """Apply reporting artifacts to a truthful measurement."""
+        if (
+            record.wall_seconds < self.rss_bug_wall_threshold_s
+            and rng.random() < self.rss_bug_probability
+        ):
+            return replace(record, max_rss_MB=0.0)
+        return record
+
+
+def filter_usable(records: list[JobRecord]) -> list[JobRecord]:
+    """Drop rows unusable for memory modeling, as the authors did.
+
+    Removes failed jobs and rows that lost MaxRSS to the reporting bug.
+    """
+    return [r for r in records if not r.failed and r.rss_reported]

@@ -1,0 +1,70 @@
+"""Per-process peak memory (MaxRSS) model.
+
+SLURM's MaxRSS field reports the largest resident set among a job's tasks.
+For a patch-based AMR code that is the most-loaded rank's footprint: its
+patches (with ghost layers), the sweep workspace, ghost-exchange buffers,
+and the distributed mesh metadata, on top of a small fixed baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.machine.perf_model import WorkEstimate
+from repro.machine.spec import MachineSpec
+
+#: Conserved fields per cell.
+NUM_FIELDS = 4
+#: Bytes per double.
+DOUBLE = 8
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryModel:
+    """Maps a :class:`WorkEstimate` and node count to MaxRSS in MB.
+
+    Attributes
+    ----------
+    spec : MachineSpec
+    base_rss_MB : float
+        Fixed per-process baseline (runtime, MPI bookkeeping).  The paper's
+        smallest reported MaxRSS is ~16 KB, so the baseline is tiny.
+    workspace_factor : float
+        Sweep/reconstruction temporaries relative to resident patch state.
+    metadata_bytes_per_patch : float
+        Distributed-mesh metadata (quadrant records, neighbor tables)
+        per *global* patch, replicated O(1) per task by p4est's ghost layer.
+    tasks_per_node : int
+        Accounting tasks per node.  The paper's MaxRSS magnitudes (median
+        8 MB on 64 GB nodes) match one accounting task per node aggregating
+        that node's share of the hierarchy, so 1 is the default.
+    """
+
+    spec: MachineSpec
+    base_rss_MB: float = 0.016
+    workspace_factor: float = 1.0
+    metadata_bytes_per_patch: float = 256.0
+    tasks_per_node: int = 1
+
+    def patch_bytes(self, mx: int, ng: int) -> int:
+        """Resident bytes of one ghosted patch."""
+        n = mx + 2 * ng
+        return NUM_FIELDS * n * n * DOUBLE
+
+    def max_rss_MB(self, work: WorkEstimate, nodes: int) -> float:
+        """Peak resident set (MB) of the most-loaded task."""
+        tasks = nodes * self.tasks_per_node
+        per_task = ceil(work.total_patches / tasks)
+        state = per_task * self.patch_bytes(work.mx, work.ng)
+        workspace = self.workspace_factor * state
+        metadata = work.total_patches * self.metadata_bytes_per_patch / tasks
+        ghost_buffers = per_task * 4 * NUM_FIELDS * work.ng * work.mx * DOUBLE
+        total = state + workspace + metadata + ghost_buffers
+        return float(self.base_rss_MB + total / 1e6)
+
+    def fits_node(self, work: WorkEstimate, nodes: int) -> bool:
+        """Whether the per-node footprint stays under the node's DRAM."""
+        rss = self.max_rss_MB(work, nodes)
+        per_node = rss * self.tasks_per_node
+        return per_node <= self.spec.mem_per_node_GB * 1024.0

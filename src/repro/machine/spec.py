@@ -1,0 +1,78 @@
+"""Machine hardware specification.
+
+The defaults model NERSC Edison, the Cray XC30 used in the paper:
+two-socket 12-core Intel Ivy Bridge nodes at 2.4 GHz, connected by the
+Aries network in a dragonfly topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class MachineSpec:
+    """Hardware parameters of a simulated cluster.
+
+    Attributes
+    ----------
+    name : str
+        Human-readable machine name.
+    cores_per_node : int
+        MPI ranks placed per node (one rank per core, the paper's layout).
+    cpu_ghz : float
+        Nominal clock; enters the per-cell work cost.
+    cell_flops : float
+        Floating-point operations to advance one cell one step (HLLC MUSCL
+        sweep pair costs a few hundred flops per cell).
+    flops_per_cycle : float
+        Sustained flops per cycle per core for this stencil-ish workload.
+    network_latency_s : float
+        One-way small-message latency (Aries: ~1.3 microseconds).
+    network_bandwidth_Bps : float
+        Effective point-to-point bandwidth per rank.
+    mem_per_node_GB : float
+        Node DRAM; jobs whose per-node footprint exceeds it would be killed.
+    """
+
+    name: str = "edison"
+    cores_per_node: int = 24
+    cpu_ghz: float = 2.4
+    cell_flops: float = 640.0
+    flops_per_cycle: float = 1.1
+    network_latency_s: float = 1.3e-6
+    network_bandwidth_Bps: float = 8.0e9
+    mem_per_node_GB: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.cores_per_node < 1:
+            raise ValueError("cores_per_node must be positive")
+        for fieldname in (
+            "cpu_ghz",
+            "cell_flops",
+            "flops_per_cycle",
+            "network_latency_s",
+            "network_bandwidth_Bps",
+            "mem_per_node_GB",
+        ):
+            if getattr(self, fieldname) <= 0:
+                raise ValueError(f"{fieldname} must be positive")
+
+    @property
+    def core_flops_per_s(self) -> float:
+        """Sustained per-core throughput in flops/s."""
+        return self.cpu_ghz * 1e9 * self.flops_per_cycle
+
+    def ranks(self, nodes: int) -> int:
+        """Total MPI ranks for a job on ``nodes`` nodes."""
+        if nodes < 1:
+            raise ValueError("nodes must be positive")
+        return nodes * self.cores_per_node
+
+    def seconds_per_cell(self) -> float:
+        """Single-core time to advance one cell one step."""
+        return self.cell_flops / self.core_flops_per_s
+
+
+#: The machine the paper collected its dataset on.
+EDISON = MachineSpec()

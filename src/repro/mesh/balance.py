@@ -1,0 +1,88 @@
+"""2:1 balance enforcement across a forest.
+
+Block-structured AMR requires that face-adjacent leaves differ by at most
+one refinement level ("2:1 balance"): ghost-cell interpolation stencils and
+flux corrections are only defined for that case.  p4est enforces the
+constraint by *ripple refinement* — refining any leaf more than one level
+coarser than a face neighbor, repeating until a fixed point.
+
+The implementation here works on a :class:`~repro.mesh.forest.Forest` and
+handles cross-tree adjacency through the brick topology.
+"""
+
+from __future__ import annotations
+
+from repro.mesh.forest import Forest
+from repro.mesh.quadrant import Quadrant, is_ancestor
+
+
+def _neighbor_leaf_levels(forest: Forest, tree: int, q: Quadrant, face: int):
+    """Levels of all leaves touching ``q`` across ``face``.
+
+    Yields nothing at physical boundaries.
+    """
+    hit = forest.face_neighbor(tree, q, face)
+    if hit is None:
+        return
+    ntree, nq = hit
+    neigh_tree = forest.trees[ntree]
+    # The abstract same-level neighbor nq either is a leaf, is covered by a
+    # coarser leaf (an ancestor), or is refined into finer leaves.
+    if nq in neigh_tree:
+        yield nq.level
+        return
+    # Coarser: walk up until we find a leaf ancestor.
+    anc = nq
+    while anc.level > 0:
+        anc = Quadrant(anc.level - 1, anc.x >> 1, anc.y >> 1)
+        if anc in neigh_tree:
+            yield anc.level
+            return
+    # Finer: scan leaves descending from nq (Morton-contiguous block).
+    for leaf in neigh_tree.leaves:
+        if is_ancestor(nq, leaf):
+            yield leaf.level
+
+
+def balance_deficits(forest: Forest) -> list[tuple[int, Quadrant, int]]:
+    """All 2:1 violations: ``(tree, leaf, worst_neighbor_level)`` triples.
+
+    A leaf is in deficit when some face-adjacent leaf is more than one level
+    finer than it.
+    """
+    out: list[tuple[int, Quadrant, int]] = []
+    for t, q in forest.iter_leaves():
+        worst = q.level
+        for face in range(4):
+            for lv in _neighbor_leaf_levels(forest, t, q, face):
+                worst = max(worst, lv)
+        if worst > q.level + 1:
+            out.append((t, q, worst))
+    return out
+
+
+def is_balanced(forest: Forest) -> bool:
+    """True iff no face-adjacent pair of leaves differs by more than 1 level."""
+    return not balance_deficits(forest)
+
+
+def balance_forest(forest: Forest, max_rounds: int = 64) -> int:
+    """Ripple-refine ``forest`` until it is 2:1 balanced (in place).
+
+    Returns the total number of refinements performed.  ``max_rounds``
+    bounds the fixed-point iteration; each round can only deepen leaves, and
+    the maximum level present never increases, so convergence is guaranteed
+    well within the default bound.
+    """
+    total = 0
+    for _ in range(max_rounds):
+        deficits = balance_deficits(forest)
+        if not deficits:
+            return total
+        for t, q, _worst in deficits:
+            # The leaf may already have been refined by an earlier deficit in
+            # this round (e.g. it appeared twice via two faces).
+            if q in forest.trees[t]:
+                forest.trees[t].refine(q)
+                total += 1
+    raise RuntimeError("2:1 balance did not converge")  # pragma: no cover

@@ -1,0 +1,169 @@
+"""Morton (Z-order) space-filling curve for 2-D quadrant coordinates.
+
+p4est orders the leaves of each refinement tree along a Morton curve: the
+curve index of a quadrant is obtained by interleaving the bits of its
+integer coordinates.  The curve gives a total order on leaves that keeps
+spatially-close quadrants close in memory, which is what makes curve-based
+partitioning (see :mod:`repro.mesh.partition`) produce compact subdomains.
+
+All functions are vectorized over NumPy integer arrays and accept Python
+ints as a degenerate case.  Coordinates use the p4est convention: a quadrant
+at refinement ``level`` has coordinates that are multiples of
+``2**(MAX_LEVEL - level)`` on the implicit ``2**MAX_LEVEL`` lattice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Number of coordinate bits supported by the interleaving routines.
+COORD_BITS = 30
+
+# Magic-number bit masks for the classic parallel-prefix interleave.  Each
+# step spreads the bits of a 30-bit integer so that a zero bit sits between
+# every pair of payload bits.
+_MASKS_SPREAD = (
+    (0x00000000FFFFFFFF, 32),
+    (0x0000FFFF0000FFFF, 16),
+    (0x00FF00FF00FF00FF, 8),
+    (0x0F0F0F0F0F0F0F0F, 4),
+    (0x3333333333333333, 2),
+    (0x5555555555555555, 1),
+)
+
+
+def _spread_bits(v: np.ndarray) -> np.ndarray:
+    """Insert a zero bit between each bit of ``v`` (uint64, vectorized)."""
+    v = v.astype(np.uint64)
+    for mask, shift in _MASKS_SPREAD:
+        v = (v | (v << np.uint64(shift))) & np.uint64(mask)
+    return v
+
+
+def _compact_bits(v: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_spread_bits`: gather every other bit of ``v``."""
+    v = v.astype(np.uint64) & np.uint64(0x5555555555555555)
+    for mask, shift in reversed(_MASKS_SPREAD[1:]):
+        v = (v | (v >> np.uint64(shift))) & np.uint64(_prev_mask(mask, shift))
+    # Final gather down to 32 contiguous bits.
+    v = (v | (v >> np.uint64(32))) & np.uint64(0x00000000FFFFFFFF)
+    return v
+
+
+def _prev_mask(mask: int, shift: int) -> int:
+    """Mask used at the step *before* (mask, shift) in the spread sequence."""
+    idx = [m for m, _ in _MASKS_SPREAD].index(mask)
+    return _MASKS_SPREAD[idx - 1][0]
+
+
+def interleave2(x, y):
+    """Interleave the bits of ``x`` and ``y`` into a single Morton index.
+
+    Bit ``i`` of ``x`` lands at bit ``2*i`` of the result and bit ``i`` of
+    ``y`` at bit ``2*i + 1``, matching p4est's (x fastest) convention.
+
+    Parameters
+    ----------
+    x, y : int or ndarray of int
+        Non-negative coordinates below ``2**COORD_BITS``.
+
+    Returns
+    -------
+    int or ndarray of uint64
+    """
+    scalar = np.isscalar(x) and np.isscalar(y)
+    xa = np.asarray(x, dtype=np.uint64)
+    ya = np.asarray(y, dtype=np.uint64)
+    if np.any(xa >> np.uint64(COORD_BITS)) or np.any(ya >> np.uint64(COORD_BITS)):
+        raise ValueError(f"coordinates must be < 2**{COORD_BITS}")
+    out = _spread_bits(xa) | (_spread_bits(ya) << np.uint64(1))
+    return int(out) if scalar else out
+
+
+def deinterleave2(code):
+    """Split a Morton index back into its two coordinates.
+
+    Inverse of :func:`interleave2`.
+
+    Returns
+    -------
+    (x, y) : pair of int or ndarray of uint64
+    """
+    scalar = np.isscalar(code)
+    c = np.asarray(code, dtype=np.uint64)
+    x = _compact_bits(c)
+    y = _compact_bits(c >> np.uint64(1))
+    if scalar:
+        return int(x), int(y)
+    return x, y
+
+
+def morton_encode(level, x, y, max_level: int):
+    """Morton key for quadrants given at their own-level coordinates.
+
+    The key is computed on the finest (``max_level``) lattice so that keys of
+    quadrants at different levels are comparable: a parent's key equals the
+    key of its first (lower-left) descendant.  Ties between a parent and its
+    first child are broken by level in :func:`morton_key`.
+
+    Parameters
+    ----------
+    level : int or ndarray
+        Refinement level(s), ``0 <= level <= max_level``.
+    x, y : int or ndarray
+        Coordinates on the ``2**level`` lattice (i.e. ``0 <= x < 2**level``).
+    max_level : int
+        Finest level of the lattice the keys are comparable on.
+
+    Returns
+    -------
+    int or ndarray of uint64
+    """
+    scalar = np.isscalar(level) and np.isscalar(x) and np.isscalar(y)
+    lv = np.asarray(level, dtype=np.int64)
+    xa = np.asarray(x, dtype=np.uint64)
+    ya = np.asarray(y, dtype=np.uint64)
+    if np.any(lv < 0) or np.any(lv > max_level):
+        raise ValueError("level out of range")
+    if np.any(xa >= (np.uint64(1) << lv.astype(np.uint64))) or np.any(
+        ya >= (np.uint64(1) << lv.astype(np.uint64))
+    ):
+        raise ValueError("coordinates out of range for level")
+    shift = (np.int64(max_level) - lv).astype(np.uint64)
+    out = interleave2(xa << shift, ya << shift)
+    return int(out) if scalar else np.asarray(out, dtype=np.uint64)
+
+
+def morton_decode(code, level, max_level: int):
+    """Recover own-level coordinates from a Morton key.
+
+    Inverse of :func:`morton_encode` for a known ``level``.
+    """
+    scalar = np.isscalar(code)
+    x, y = deinterleave2(code)
+    shift = np.uint64(max_level) - np.asarray(level, dtype=np.uint64)
+    x = np.asarray(x, dtype=np.uint64) >> shift
+    y = np.asarray(y, dtype=np.uint64) >> shift
+    if scalar:
+        return int(x), int(y)
+    return x, y
+
+
+def morton_key(level, x, y, max_level: int):
+    """Total-order key: Morton index on the finest lattice, then level.
+
+    The pair ``(morton_encode(...), level)`` sorts a mixed-level set of
+    quadrants into the p4est leaf order: descendants follow their ancestor,
+    and an ancestor precedes all of its descendants.
+
+    Returns
+    -------
+    ndarray of uint64
+        A single composite key ``code * (max_level + 1) + level`` usable with
+        ``np.argsort``; scalar int when all inputs are scalars.
+    """
+    scalar = np.isscalar(level) and np.isscalar(x) and np.isscalar(y)
+    code = morton_encode(level, x, y, max_level)
+    lv = np.asarray(level, dtype=np.uint64)
+    key = np.asarray(code, dtype=np.uint64) * np.uint64(max_level + 1) + lv
+    return int(key) if scalar else key

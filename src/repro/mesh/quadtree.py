@@ -1,0 +1,200 @@
+"""A single adaptive quadtree storing its leaves in Morton order.
+
+The tree is *linear*: only leaves are stored, as a sorted list of
+:class:`~repro.mesh.quadrant.Quadrant`.  Refinement replaces a leaf by its
+four children; coarsening replaces a complete sibling family by its parent.
+Both operations preserve the Morton order without re-sorting, because a
+quadrant's children are contiguous in the curve.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Iterable, Sequence
+
+from repro.mesh.morton import morton_key
+from repro.mesh.quadrant import (
+    MAX_LEVEL,
+    Quadrant,
+    is_ancestor,
+    quadrant_children,
+    quadrant_parent,
+    root_quadrant,
+)
+
+
+def _key(q: Quadrant) -> int:
+    return morton_key(q.level, q.x, q.y, MAX_LEVEL)
+
+
+class Quadtree:
+    """Linear quadtree over the unit square.
+
+    Parameters
+    ----------
+    leaves : iterable of Quadrant, optional
+        Initial leaves; must tile the unit square exactly.  Defaults to the
+        single root quadrant.
+
+    Notes
+    -----
+    The leaf list is kept sorted by Morton key at all times, which makes
+    point location and ancestry queries ``O(log n)``.
+    """
+
+    def __init__(self, leaves: Iterable[Quadrant] | None = None) -> None:
+        if leaves is None:
+            self._leaves: list[Quadrant] = [root_quadrant()]
+        else:
+            self._leaves = sorted(leaves, key=_key)
+            self._check_tiling()
+        self._keys = [_key(q) for q in self._leaves]
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def uniform(cls, level: int) -> "Quadtree":
+        """A tree uniformly refined to ``level`` (``4**level`` leaves)."""
+        n = 1 << level
+        leaves = [Quadrant(level, x, y) for y in range(n) for x in range(n)]
+        return cls(leaves)
+
+    def _check_tiling(self) -> None:
+        total = sum(4.0 ** (-q.level) for q in self._leaves)
+        if abs(total - 1.0) > 1e-12:
+            raise ValueError(f"leaves do not tile the unit square (area={total})")
+        for a, b in zip(self._leaves, self._leaves[1:]):
+            if a == b or is_ancestor(a, b) or is_ancestor(b, a):
+                raise ValueError(f"overlapping leaves {a} and {b}")
+
+    # -- basic queries ---------------------------------------------------------
+
+    @property
+    def leaves(self) -> Sequence[Quadrant]:
+        """Leaves in Morton order (read-only view)."""
+        return tuple(self._leaves)
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def __contains__(self, q: Quadrant) -> bool:
+        i = bisect_left(self._keys, _key(q))
+        return i < len(self._keys) and self._leaves[i] == q
+
+    @property
+    def max_level(self) -> int:
+        """Deepest refinement level present among the leaves."""
+        return max(q.level for q in self._leaves)
+
+    @property
+    def min_level(self) -> int:
+        """Shallowest refinement level present among the leaves."""
+        return min(q.level for q in self._leaves)
+
+    def index_of(self, q: Quadrant) -> int:
+        """Position of leaf ``q`` in Morton order; raises if absent."""
+        i = bisect_left(self._keys, _key(q))
+        if i >= len(self._keys) or self._leaves[i] != q:
+            raise KeyError(f"{q} is not a leaf")
+        return i
+
+    def locate(self, x: float, y: float) -> Quadrant:
+        """The leaf containing the point ``(x, y)`` of the unit square.
+
+        Points on internal edges resolve to the leaf whose half-open box
+        ``[x0, x0+h) x [y0, y0+h)`` contains them; the far boundary of the
+        unit square maps to the last cell in each direction.
+        """
+        if not (0.0 <= x <= 1.0 and 0.0 <= y <= 1.0):
+            raise ValueError(f"point ({x}, {y}) outside unit square")
+        # Walk down from the root guided by the point.
+        q = root_quadrant()
+        while q not in self:
+            h = q.size / 2.0
+            ox, oy = q.origin
+            cx = 1 if (x >= ox + h and q.x * 2 + 1 < (1 << (q.level + 1))) else 0
+            cy = 1 if (y >= oy + h) else 0
+            # Clamp the far boundary into the last child.
+            if x >= ox + q.size:
+                cx = 1
+            if y >= oy + q.size:
+                cy = 1
+            q = quadrant_children(q)[(cy << 1) | cx]
+            if q.level > MAX_LEVEL:  # pragma: no cover - defensive
+                raise RuntimeError("descended past MAX_LEVEL without a leaf")
+        return q
+
+    # -- mutation ----------------------------------------------------------------
+
+    def refine(self, q: Quadrant) -> tuple[Quadrant, ...]:
+        """Replace leaf ``q`` by its four children; returns the children."""
+        i = self.index_of(q)
+        children = quadrant_children(q)
+        self._leaves[i : i + 1] = list(children)
+        self._keys[i : i + 1] = [_key(c) for c in children]
+        return children
+
+    def coarsen(self, q: Quadrant) -> Quadrant:
+        """Replace the complete sibling family of ``q`` by its parent.
+
+        All four siblings must currently be leaves.  Returns the parent.
+        """
+        parent = quadrant_parent(q)
+        family = quadrant_children(parent)
+        try:
+            i = self.index_of(family[0])
+        except KeyError:
+            raise ValueError(f"siblings of {q} are not all leaves") from None
+        if tuple(self._leaves[i : i + 4]) != family:
+            raise ValueError(f"siblings of {q} are not all leaves")
+        self._leaves[i : i + 4] = [parent]
+        self._keys[i : i + 4] = [_key(parent)]
+        return parent
+
+    def refine_where(
+        self, predicate: Callable[[Quadrant], bool], max_level: int
+    ) -> int:
+        """Refine every leaf for which ``predicate`` holds, up to ``max_level``.
+
+        A single pass: newly created children are *not* re-examined.  Returns
+        the number of leaves refined.
+        """
+        count = 0
+        for q in [q for q in self._leaves if q.level < max_level and predicate(q)]:
+            self.refine(q)
+            count += 1
+        return count
+
+    def coarsen_where(
+        self, predicate: Callable[[Quadrant], bool], min_level: int = 0
+    ) -> int:
+        """Coarsen every complete family whose members all satisfy ``predicate``.
+
+        Returns the number of families coarsened.
+        """
+        count = 0
+        i = 0
+        while i + 3 < len(self._leaves):
+            q = self._leaves[i]
+            if q.level > min_level and q.child_id == 0:
+                family = quadrant_children(quadrant_parent(q))
+                window = tuple(self._leaves[i : i + 4])
+                if window == family and all(predicate(s) for s in window):
+                    self.coarsen(q)
+                    count += 1
+                    continue  # re-check at same index (parent may coarsen again)
+            i += 1
+        return count
+
+    # -- aggregate statistics ------------------------------------------------------
+
+    def level_histogram(self) -> dict[int, int]:
+        """Mapping level -> number of leaves at that level."""
+        hist: dict[int, int] = {}
+        for q in self._leaves:
+            hist[q.level] = hist.get(q.level, 0) + 1
+        return hist
+
+    def covered_area(self) -> float:
+        """Total area of all leaves (always 1.0 for a valid tree)."""
+        return sum(4.0 ** (-q.level) for q in self._leaves)

@@ -1,0 +1,104 @@
+"""Finite-volume solver for the 2-D compressible Euler equations.
+
+This is the Clawpack-style numerical core that ForestClaw wraps: a
+high-resolution Godunov method with MUSCL reconstruction, slope limiters,
+and approximate Riemann solvers, applied with dimensional splitting on
+logically Cartesian patches.  The shock–bubble interaction problem from the
+paper's Fig. 1 is provided as an initial condition.
+
+Conserved state layout: arrays of shape ``(4, nx, ny)`` holding
+``(rho, rho*u, rho*v, E)``.
+
+Public API
+----------
+- :mod:`state` — conserved/primitive conversions, gamma-law EOS.
+- :mod:`riemann` — Rusanov, HLL, and HLLC approximate Riemann solvers.
+- :mod:`limiters` — minmod, MC, superbee, van Leer slope limiters.
+- :mod:`reconstruction` — MUSCL interface reconstruction.
+- :mod:`fv` — dimensionally-split patch update.
+- :mod:`timestep` — CFL-limited step control.
+- :mod:`boundary` — ghost-cell fills for uniform patches.
+- :mod:`initial_conditions` — shock–bubble and standard test states.
+"""
+
+from repro.solver.state import (
+    GAMMA_AIR,
+    EulerState,
+    conserved_from_primitive,
+    primitive_from_conserved,
+    pressure,
+    sound_speed,
+    max_wave_speed,
+    total_mass,
+    total_energy,
+    check_physical,
+)
+from repro.solver.riemann import (
+    rusanov_flux,
+    hll_flux,
+    hllc_flux,
+    physical_flux_x,
+    RIEMANN_SOLVERS,
+)
+from repro.solver.limiters import (
+    minmod,
+    superbee,
+    mc_limiter,
+    van_leer,
+    LIMITERS,
+)
+from repro.solver.reconstruction import muscl_interface_states, limited_slopes
+from repro.solver.fv import sweep_x, sweep_y, advance_patch
+from repro.solver.timestep import cfl_dt
+from repro.solver.boundary import fill_ghosts, BoundaryCondition
+from repro.solver.initial_conditions import (
+    ShockBubbleProblem,
+    shock_bubble_state,
+    sod_state,
+    uniform_state,
+)
+from repro.solver.exact_riemann import (
+    RiemannSolution,
+    solve_riemann,
+    sample_solution,
+    sod_exact,
+)
+
+__all__ = [
+    "GAMMA_AIR",
+    "EulerState",
+    "conserved_from_primitive",
+    "primitive_from_conserved",
+    "pressure",
+    "sound_speed",
+    "max_wave_speed",
+    "total_mass",
+    "total_energy",
+    "check_physical",
+    "rusanov_flux",
+    "hll_flux",
+    "hllc_flux",
+    "physical_flux_x",
+    "RIEMANN_SOLVERS",
+    "minmod",
+    "superbee",
+    "mc_limiter",
+    "van_leer",
+    "LIMITERS",
+    "muscl_interface_states",
+    "limited_slopes",
+    "sweep_x",
+    "sweep_y",
+    "advance_patch",
+    "cfl_dt",
+    "fill_ghosts",
+    "BoundaryCondition",
+    "ShockBubbleProblem",
+    "shock_bubble_state",
+    "sod_state",
+    "uniform_state",
+    "RiemannSolution",
+    "solve_riemann",
+    "sample_solution",
+    "sod_exact",
+]

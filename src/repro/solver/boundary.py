@@ -1,0 +1,105 @@
+"""Ghost-cell boundary conditions for uniform ghosted patches.
+
+Three physical conditions cover the shock–bubble setup: ``outflow``
+(zero-order extrapolation), ``reflect`` (solid wall: mirror cells, negate
+the normal momentum), and ``periodic``.  Conditions are specified per side
+in the order (left, right, bottom, top), matching the face convention of
+:mod:`repro.mesh`.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.solver.state import IMX, IMY
+
+
+class BoundaryCondition(str, Enum):
+    """Physical boundary condition applied at one side of the domain."""
+
+    OUTFLOW = "outflow"
+    REFLECT = "reflect"
+    PERIODIC = "periodic"
+
+
+def _as_bc(bc) -> BoundaryCondition:
+    return bc if isinstance(bc, BoundaryCondition) else BoundaryCondition(bc)
+
+
+def fill_ghosts(
+    q: np.ndarray,
+    ng: int,
+    bcs: tuple = ("outflow", "outflow", "outflow", "outflow"),
+) -> None:
+    """Fill all ghost layers of ``q`` in place.
+
+    Parameters
+    ----------
+    q : ndarray, shape (4, nx + 2*ng, ny + 2*ng)
+    ng : int
+        Ghost width.
+    bcs : 4-tuple of BoundaryCondition or str
+        Conditions for the (left, right, bottom, top) sides.  Periodic
+        conditions must be specified on both opposing sides.
+    """
+    left, right, bottom, top = (_as_bc(b) for b in bcs)
+    if (left == BoundaryCondition.PERIODIC) != (right == BoundaryCondition.PERIODIC):
+        raise ValueError("periodic BC must pair left with right")
+    if (bottom == BoundaryCondition.PERIODIC) != (top == BoundaryCondition.PERIODIC):
+        raise ValueError("periodic BC must pair bottom with top")
+
+    # --- x direction -----------------------------------------------------
+    if left == BoundaryCondition.PERIODIC:
+        q[:, :ng, :] = q[:, -2 * ng : -ng, :]
+        q[:, -ng:, :] = q[:, ng : 2 * ng, :]
+    else:
+        _fill_side_x(q, ng, left, low=True)
+        _fill_side_x(q, ng, right, low=False)
+
+    # --- y direction -----------------------------------------------------
+    if bottom == BoundaryCondition.PERIODIC:
+        q[:, :, :ng] = q[:, :, -2 * ng : -ng]
+        q[:, :, -ng:] = q[:, :, ng : 2 * ng]
+    else:
+        _fill_side_y(q, ng, bottom, low=True)
+        _fill_side_y(q, ng, top, low=False)
+
+
+def _fill_side_x(q: np.ndarray, ng: int, bc: BoundaryCondition, low: bool) -> None:
+    if bc == BoundaryCondition.OUTFLOW:
+        if low:
+            q[:, :ng, :] = q[:, ng : ng + 1, :]
+        else:
+            q[:, -ng:, :] = q[:, -ng - 1 : -ng, :]
+    elif bc == BoundaryCondition.REFLECT:
+        if low:
+            mirror = q[:, ng : 2 * ng, :][:, ::-1, :]
+            q[:, :ng, :] = mirror
+            q[IMX, :ng, :] *= -1.0
+        else:
+            mirror = q[:, -2 * ng : -ng, :][:, ::-1, :]
+            q[:, -ng:, :] = mirror
+            q[IMX, -ng:, :] *= -1.0
+    else:  # pragma: no cover - periodic handled by caller
+        raise AssertionError
+
+
+def _fill_side_y(q: np.ndarray, ng: int, bc: BoundaryCondition, low: bool) -> None:
+    if bc == BoundaryCondition.OUTFLOW:
+        if low:
+            q[:, :, :ng] = q[:, :, ng : ng + 1]
+        else:
+            q[:, :, -ng:] = q[:, :, -ng - 1 : -ng]
+    elif bc == BoundaryCondition.REFLECT:
+        if low:
+            mirror = q[:, :, ng : 2 * ng][:, :, ::-1]
+            q[:, :, :ng] = mirror
+            q[IMY, :, :ng] *= -1.0
+        else:
+            mirror = q[:, :, -2 * ng : -ng][:, :, ::-1]
+            q[:, :, -ng:] = mirror
+            q[IMY, :, -ng:] *= -1.0
+    else:  # pragma: no cover
+        raise AssertionError

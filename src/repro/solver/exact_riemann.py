@@ -1,0 +1,215 @@
+"""Exact Riemann solver for the 1-D Euler equations (Toro, Ch. 4).
+
+Validation ground truth for the approximate solvers and for shock-tube
+tests: given left/right primitive states, a Newton iteration on the
+pressure in the star region resolves the exact wave pattern, and the
+solution can be sampled at any similarity coordinate ``x/t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solver.state import GAMMA_AIR
+
+
+@dataclass(frozen=True, slots=True)
+class RiemannSolution:
+    """Star-region state and wave structure of an exact Riemann solution.
+
+    Attributes
+    ----------
+    p_star, u_star : float
+        Pressure and velocity between the two nonlinear waves.
+    rho_star_l, rho_star_r : float
+        Densities adjacent to the contact on either side.
+    left_is_shock, right_is_shock : bool
+        Character of the two nonlinear waves.
+    """
+
+    p_star: float
+    u_star: float
+    rho_star_l: float
+    rho_star_r: float
+    left_is_shock: bool
+    right_is_shock: bool
+
+
+def _f_K(p: float, rho_k: float, p_k: float, gamma: float) -> tuple[float, float]:
+    """Toro's f_K(p) and its derivative for one side (shock or rarefaction)."""
+    if p > p_k:  # shock
+        A = 2.0 / ((gamma + 1.0) * rho_k)
+        B = (gamma - 1.0) / (gamma + 1.0) * p_k
+        sq = np.sqrt(A / (p + B))
+        f = (p - p_k) * sq
+        df = sq * (1.0 - 0.5 * (p - p_k) / (p + B))
+    else:  # rarefaction
+        c_k = np.sqrt(gamma * p_k / rho_k)
+        pr = p / p_k
+        f = 2.0 * c_k / (gamma - 1.0) * (pr ** ((gamma - 1.0) / (2.0 * gamma)) - 1.0)
+        df = 1.0 / (rho_k * c_k) * pr ** (-(gamma + 1.0) / (2.0 * gamma))
+    return float(f), float(df)
+
+
+def solve_riemann(
+    rho_l: float,
+    u_l: float,
+    p_l: float,
+    rho_r: float,
+    u_r: float,
+    p_r: float,
+    gamma: float = GAMMA_AIR,
+    tol: float = 1e-12,
+    max_iter: int = 100,
+) -> RiemannSolution:
+    """Exact star-region solution of the 1-D Euler Riemann problem.
+
+    Raises
+    ------
+    ValueError
+        For non-physical inputs or vacuum-generating data (the two
+        rarefactions separate and no star state exists).
+    """
+    for name, v in (("rho_l", rho_l), ("p_l", p_l), ("rho_r", rho_r), ("p_r", p_r)):
+        if v <= 0:
+            raise ValueError(f"{name} must be positive")
+    c_l = np.sqrt(gamma * p_l / rho_l)
+    c_r = np.sqrt(gamma * p_r / rho_r)
+    # Vacuum check (Toro eq. 4.40).
+    if 2.0 * (c_l + c_r) / (gamma - 1.0) <= u_r - u_l:
+        raise ValueError("initial data generates vacuum; no star state")
+
+    du = u_r - u_l
+    # Initial guess: two-rarefaction approximation, floored.
+    p_pv = 0.5 * (p_l + p_r) - 0.125 * du * (rho_l + rho_r) * (c_l + c_r)
+    p = max(tol, p_pv)
+    for _ in range(max_iter):
+        f_l, df_l = _f_K(p, rho_l, p_l, gamma)
+        f_r, df_r = _f_K(p, rho_r, p_r, gamma)
+        g = f_l + f_r + du
+        dp = g / (df_l + df_r)
+        p_new = p - dp
+        if p_new <= 0:
+            p_new = tol
+        if abs(p_new - p) < tol * max(1.0, p):
+            p = p_new
+            break
+        p = p_new
+    f_l, _ = _f_K(p, rho_l, p_l, gamma)
+    f_r, _ = _f_K(p, rho_r, p_r, gamma)
+    u_star = 0.5 * (u_l + u_r) + 0.5 * (f_r - f_l)
+
+    gm = (gamma - 1.0) / (gamma + 1.0)
+    if p > p_l:  # left shock: RH density jump
+        rho_sl = rho_l * ((p / p_l + gm) / (gm * p / p_l + 1.0))
+        left_shock = True
+    else:  # left rarefaction: isentropic
+        rho_sl = rho_l * (p / p_l) ** (1.0 / gamma)
+        left_shock = False
+    if p > p_r:
+        rho_sr = rho_r * ((p / p_r + gm) / (gm * p / p_r + 1.0))
+        right_shock = True
+    else:
+        rho_sr = rho_r * (p / p_r) ** (1.0 / gamma)
+        right_shock = False
+    return RiemannSolution(
+        p_star=float(p),
+        u_star=float(u_star),
+        rho_star_l=float(rho_sl),
+        rho_star_r=float(rho_sr),
+        left_is_shock=left_shock,
+        right_is_shock=right_shock,
+    )
+
+
+def sample_solution(
+    sol: RiemannSolution,
+    rho_l: float,
+    u_l: float,
+    p_l: float,
+    rho_r: float,
+    u_r: float,
+    p_r: float,
+    xi,
+    gamma: float = GAMMA_AIR,
+) -> np.ndarray:
+    """Primitive state ``(rho, u, p)`` at similarity coordinates ``xi = x/t``.
+
+    Vectorized over ``xi``; returns an array of shape ``(3,) + xi.shape``.
+    """
+    xi = np.asarray(xi, dtype=np.float64)
+    c_l = np.sqrt(gamma * p_l / rho_l)
+    c_r = np.sqrt(gamma * p_r / rho_r)
+    out = np.empty((3,) + xi.shape)
+
+    # --- left of the contact ------------------------------------------------
+    if sol.left_is_shock:
+        # Shock speed from RH (Toro eq. 4.52).
+        s_l = u_l - c_l * np.sqrt(
+            (gamma + 1.0) / (2.0 * gamma) * sol.p_star / p_l
+            + (gamma - 1.0) / (2.0 * gamma)
+        )
+        left_region = np.where(
+            xi < s_l,
+            0,  # undisturbed left
+            1,  # left star
+        )
+    else:
+        c_star_l = c_l * (sol.p_star / p_l) ** ((gamma - 1.0) / (2.0 * gamma))
+        head = u_l - c_l
+        tail = sol.u_star - c_star_l
+        left_region = np.where(xi < head, 0, np.where(xi < tail, 2, 1))
+
+    # --- right of the contact -----------------------------------------------
+    if sol.right_is_shock:
+        s_r = u_r + c_r * np.sqrt(
+            (gamma + 1.0) / (2.0 * gamma) * sol.p_star / p_r
+            + (gamma - 1.0) / (2.0 * gamma)
+        )
+        right_region = np.where(xi > s_r, 5, 4)
+    else:
+        c_star_r = c_r * (sol.p_star / p_r) ** ((gamma - 1.0) / (2.0 * gamma))
+        head = u_r + c_r
+        tail = sol.u_star + c_star_r
+        right_region = np.where(xi > head, 5, np.where(xi > tail, 3, 4))
+
+    region = np.where(xi < sol.u_star, left_region, right_region)
+
+    # Region constants.
+    gm1, gp1 = gamma - 1.0, gamma + 1.0
+    # 0: left state, 1: left star, 4: right star, 5: right state.
+    for r, (rho, u, p) in {
+        0: (rho_l, u_l, p_l),
+        1: (sol.rho_star_l, sol.u_star, sol.p_star),
+        4: (sol.rho_star_r, sol.u_star, sol.p_star),
+        5: (rho_r, u_r, p_r),
+    }.items():
+        mask = region == r
+        out[0][mask] = rho
+        out[1][mask] = u
+        out[2][mask] = p
+    # 2: inside the left rarefaction fan.
+    mask = region == 2
+    if mask.any():
+        u_fan = 2.0 / gp1 * (c_l + gm1 / 2.0 * u_l + xi[mask])
+        c_fan = 2.0 / gp1 * (c_l + gm1 / 2.0 * (u_l - xi[mask]))
+        out[0][mask] = rho_l * (c_fan / c_l) ** (2.0 / gm1)
+        out[1][mask] = u_fan
+        out[2][mask] = p_l * (c_fan / c_l) ** (2.0 * gamma / gm1)
+    # 3: inside the right rarefaction fan.
+    mask = region == 3
+    if mask.any():
+        u_fan = 2.0 / gp1 * (-c_r + gm1 / 2.0 * u_r + xi[mask])
+        c_fan = 2.0 / gp1 * (c_r - gm1 / 2.0 * (u_r - xi[mask]))
+        out[0][mask] = rho_r * (c_fan / c_r) ** (2.0 / gm1)
+        out[1][mask] = u_fan
+        out[2][mask] = p_r * (c_fan / c_r) ** (2.0 * gamma / gm1)
+    return out
+
+
+def sod_exact(xi, gamma: float = GAMMA_AIR) -> np.ndarray:
+    """Exact Sod-tube solution at similarity coordinates (convenience)."""
+    sol = solve_riemann(1.0, 0.0, 1.0, 0.125, 0.0, 0.1, gamma)
+    return sample_solution(sol, 1.0, 0.0, 1.0, 0.125, 0.0, 0.1, xi, gamma)

@@ -1,0 +1,160 @@
+"""Initial conditions: the shock–bubble interaction and standard tests.
+
+The shock–bubble problem (paper Fig. 1) places a circular bubble of light
+or heavy gas in quiescent ambient air and drives a planar shock into it.
+Two of the paper's five input-space features parameterize it directly:
+
+- ``r0`` — bubble radius ("bubble size", Table I range 0.2–0.5),
+- ``rhoin`` — density inside the bubble (Table I range 0.02–0.5).
+
+The pre-shock/post-shock states satisfy the Rankine–Hugoniot conditions
+for a given shock Mach number, so the shock propagates cleanly from the
+initial data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solver.state import GAMMA_AIR, EulerState, conserved_from_primitive
+
+
+def uniform_state(state: EulerState, nx: int, ny: int, gamma: float = GAMMA_AIR) -> np.ndarray:
+    """A ``(4, nx, ny)`` patch filled with a single uniform state."""
+    prim = np.empty((4, nx, ny), dtype=np.float64)
+    prim[0] = state.rho
+    prim[1] = state.u
+    prim[2] = state.v
+    prim[3] = state.p
+    return conserved_from_primitive(prim, gamma)
+
+
+def sod_state(x: np.ndarray, y: np.ndarray, gamma: float = GAMMA_AIR) -> np.ndarray:
+    """Sod shock tube in x: the canonical validation problem.
+
+    Parameters
+    ----------
+    x, y : ndarray
+        Cell-center coordinate arrays of identical shape ``(nx, ny)``.
+
+    Returns
+    -------
+    ndarray, shape (4, nx, ny)
+    """
+    left = x < 0.5
+    prim = np.empty((4,) + x.shape, dtype=np.float64)
+    prim[0] = np.where(left, 1.0, 0.125)
+    prim[1] = 0.0
+    prim[2] = 0.0
+    prim[3] = np.where(left, 1.0, 0.1)
+    return conserved_from_primitive(prim, gamma)
+
+
+def postshock_state(
+    mach: float, rho0: float = 1.0, p0: float = 1.0, gamma: float = GAMMA_AIR
+) -> EulerState:
+    """Post-shock state behind a right-moving shock of Mach ``mach``.
+
+    Computed from the Rankine–Hugoniot jump conditions for a shock moving
+    into quiescent gas ``(rho0, 0, 0, p0)``.
+    """
+    if mach <= 1.0:
+        raise ValueError("shock Mach number must exceed 1")
+    g = gamma
+    m2 = mach * mach
+    p1 = p0 * (2.0 * g * m2 - (g - 1.0)) / (g + 1.0)
+    rho1 = rho0 * ((g + 1.0) * m2) / ((g - 1.0) * m2 + 2.0)
+    c0 = np.sqrt(g * p0 / rho0)
+    u1 = (2.0 * (m2 - 1.0)) / ((g + 1.0) * mach) * c0
+    return EulerState(rho=float(rho1), u=float(u1), v=0.0, p=float(p1))
+
+
+@dataclass(frozen=True, slots=True)
+class ShockBubbleProblem:
+    """Configuration of the 2-D shock–bubble interaction.
+
+    The domain is ``[0, width] x [0, height]`` in brick coordinates.  The
+    shock starts at ``x = shock_x`` moving in +x; the bubble is centered at
+    ``(bubble_x, height/2)``.
+
+    Attributes
+    ----------
+    r0 : float
+        Bubble radius (Table I "bubble size").
+    rhoin : float
+        Density inside the bubble (Table I "bubble density").
+    mach : float
+        Incident shock Mach number.
+    """
+
+    r0: float = 0.3
+    rhoin: float = 0.1
+    mach: float = 2.0
+    width: float = 2.0
+    height: float = 1.0
+    shock_x: float = 0.2
+    bubble_x: float = 0.75
+    rho_ambient: float = 1.0
+    p_ambient: float = 1.0
+    gamma: float = GAMMA_AIR
+
+    def __post_init__(self) -> None:
+        if self.r0 <= 0:
+            raise ValueError("bubble radius must be positive")
+        if self.rhoin <= 0:
+            raise ValueError("bubble density must be positive")
+        if not self.shock_x < self.bubble_x - self.r0:
+            raise ValueError("shock must start upstream of the bubble")
+
+    @property
+    def bubble_center(self) -> tuple[float, float]:
+        return (self.bubble_x, self.height / 2.0)
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Conserved initial state at cell centers ``(x, y)``.
+
+        Parameters
+        ----------
+        x, y : ndarray
+            Coordinate arrays of identical shape.
+
+        Returns
+        -------
+        ndarray, shape (4,) + x.shape
+        """
+        ps = postshock_state(self.mach, self.rho_ambient, self.p_ambient, self.gamma)
+        cx, cy = self.bubble_center
+        in_bubble = (x - cx) ** 2 + (y - cy) ** 2 < self.r0**2
+        behind_shock = x < self.shock_x
+
+        prim = np.empty((4,) + np.shape(x), dtype=np.float64)
+        prim[0] = np.where(
+            behind_shock, ps.rho, np.where(in_bubble, self.rhoin, self.rho_ambient)
+        )
+        prim[1] = np.where(behind_shock, ps.u, 0.0)
+        prim[2] = 0.0
+        prim[3] = np.where(behind_shock, ps.p, self.p_ambient)
+        return conserved_from_primitive(prim, self.gamma)
+
+    def interface_distance(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Signed distance to the bubble boundary (negative inside).
+
+        Used by refinement tagging to seed resolution at the material
+        interface before the solution develops gradients.
+        """
+        cx, cy = self.bubble_center
+        return np.sqrt((x - cx) ** 2 + (y - cy) ** 2) - self.r0
+
+
+def shock_bubble_state(
+    problem: ShockBubbleProblem, nx: int, ny: int
+) -> np.ndarray:
+    """Sample ``problem`` on a uniform ``nx x ny`` grid of its domain."""
+    dx = problem.width / nx
+    dy = problem.height / ny
+    xc = (np.arange(nx) + 0.5) * dx
+    yc = (np.arange(ny) + 0.5) * dy
+    x, y = np.meshgrid(xc, yc, indexing="ij")
+    return problem.evaluate(x, y)

@@ -1,0 +1,51 @@
+"""Slope limiters for MUSCL reconstruction.
+
+Each limiter takes the backward and forward one-sided differences
+``a = q_i - q_{i-1}`` and ``b = q_{i+1} - q_i`` and returns a limited slope
+per cell.  All are vectorized, symmetric (``phi(a, b) == phi(b, a)``), and
+TVD: the returned slope is zero at extrema (``a * b <= 0``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def minmod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Most dissipative TVD limiter: smallest-magnitude one-sided slope."""
+    return np.where(a * b <= 0.0, 0.0, np.where(np.abs(a) < np.abs(b), a, b))
+
+
+def superbee(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Roe's superbee: the least dissipative second-order TVD limiter."""
+    s1 = minmod(2.0 * a, b)
+    s2 = minmod(a, 2.0 * b)
+    mag = np.maximum(np.abs(s1), np.abs(s2))
+    return np.where(a * b <= 0.0, 0.0, np.sign(a) * mag)
+
+
+def mc_limiter(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Monotonized central-difference limiter (van Leer's MC)."""
+    central = 0.5 * (a + b)
+    bound = 2.0 * np.minimum(np.abs(a), np.abs(b))
+    mag = np.minimum(np.abs(central), bound)
+    return np.where(a * b <= 0.0, 0.0, np.sign(central) * mag)
+
+
+def van_leer(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Van Leer's harmonic-mean limiter, smooth away from extrema."""
+    prod = a * b
+    denom = a + b
+    safe = np.where(denom == 0.0, 1.0, denom)
+    return np.where(prod <= 0.0, 0.0, 2.0 * prod / safe)
+
+
+#: Registry keyed by the names used in solver configurations.
+LIMITERS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "minmod": minmod,
+    "superbee": superbee,
+    "mc": mc_limiter,
+    "vanleer": van_leer,
+}

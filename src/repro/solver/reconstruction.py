@@ -1,0 +1,86 @@
+"""MUSCL interface reconstruction.
+
+Second-order accuracy is obtained by reconstructing piecewise-linear
+primitive states in each cell with a limited slope and evaluating them at
+cell faces.  Reconstruction is performed along the *last* axis, so x- and
+y-sweeps both reduce to the same routine after a transpose.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.solver.limiters import LIMITERS
+from repro.solver.state import (
+    GAMMA_AIR,
+    conserved_from_primitive,
+    primitive_from_conserved,
+)
+
+
+def limited_slopes(
+    w: np.ndarray, limiter: Callable[[np.ndarray, np.ndarray], np.ndarray]
+) -> np.ndarray:
+    """Per-cell limited slopes of ``w`` along its last axis.
+
+    Boundary cells (first and last along the axis) get zero slope; the
+    callers always keep at least two ghost layers, so those cells never
+    touch an interior interface.
+    """
+    slopes = np.zeros_like(w)
+    a = w[..., 1:-1] - w[..., :-2]  # backward difference
+    b = w[..., 2:] - w[..., 1:-1]  # forward difference
+    slopes[..., 1:-1] = limiter(a, b)
+    return slopes
+
+
+def muscl_interface_states(
+    q: np.ndarray,
+    limiter: str | Callable = "mc",
+    gamma: float = GAMMA_AIR,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Left/right conserved states at interior interfaces along the last axis.
+
+    Reconstruction is done in primitive variables (the standard Clawpack /
+    MUSCL-Hancock practice: limiting primitives avoids spurious pressure
+    oscillations at contacts).
+
+    Parameters
+    ----------
+    q : ndarray, shape (4, ..., n)
+        Conserved states of a 1-D pencil (trailing axis is the sweep
+        direction), including ghost cells.
+    limiter : str or callable
+        Limiter name from :data:`repro.solver.limiters.LIMITERS` or a
+        callable ``phi(a, b)``.  Use ``"none"`` for first-order (Godunov).
+
+    Returns
+    -------
+    (ql, qr) : ndarrays, shape (4, ..., n-1)
+        States immediately left and right of each interior interface
+        ``i+1/2`` for ``i = 0 .. n-2``.
+    """
+    if isinstance(limiter, str):
+        if limiter == "none":
+            ql = q[..., :-1]
+            qr = q[..., 1:]
+            return ql.copy(), qr.copy()
+        try:
+            limiter_fn = LIMITERS[limiter]
+        except KeyError:
+            raise ValueError(
+                f"unknown limiter {limiter!r}; choose from {sorted(LIMITERS)} or 'none'"
+            ) from None
+    else:
+        limiter_fn = limiter
+
+    w = primitive_from_conserved(q, gamma)
+    dw = limited_slopes(w, limiter_fn)
+    wl = w[..., :-1] + 0.5 * dw[..., :-1]  # right face of left cell
+    wr = w[..., 1:] - 0.5 * dw[..., 1:]  # left face of right cell
+    return (
+        conserved_from_primitive(wl, gamma),
+        conserved_from_primitive(wr, gamma),
+    )

@@ -1,0 +1,131 @@
+"""Euler equation state vectors and the gamma-law equation of state.
+
+Conserved variables ``q = (rho, rho*u, rho*v, E)`` are stored along axis 0
+of ``(4, ...)`` arrays; all conversions are vectorized over the trailing
+axes so the same routines serve 1-D interface slices and full 2-D patches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Ratio of specific heats for a diatomic ideal gas (air).
+GAMMA_AIR = 1.4
+
+#: Indices into the conserved state vector.
+IRHO, IMX, IMY, IENE = 0, 1, 2, 3
+
+#: Floor applied to density and pressure to keep states physical.
+DENSITY_FLOOR = 1e-12
+PRESSURE_FLOOR = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class EulerState:
+    """A primitive-variable description of a uniform gas state.
+
+    Attributes
+    ----------
+    rho : float
+        Density.
+    u, v : float
+        Velocity components.
+    p : float
+        Pressure.
+    """
+
+    rho: float
+    u: float
+    v: float
+    p: float
+
+    def conserved(self, gamma: float = GAMMA_AIR) -> np.ndarray:
+        """The ``(4,)`` conserved vector for this state."""
+        prim = np.array([self.rho, self.u, self.v, self.p], dtype=np.float64)
+        return conserved_from_primitive(prim.reshape(4, 1), gamma)[:, 0]
+
+
+def conserved_from_primitive(prim: np.ndarray, gamma: float = GAMMA_AIR) -> np.ndarray:
+    """Convert primitive ``(rho, u, v, p)`` arrays to conserved variables.
+
+    Parameters
+    ----------
+    prim : ndarray, shape (4, ...)
+    gamma : float
+
+    Returns
+    -------
+    ndarray, shape (4, ...)
+    """
+    rho, u, v, p = prim[0], prim[1], prim[2], prim[3]
+    q = np.empty_like(prim)
+    q[IRHO] = rho
+    q[IMX] = rho * u
+    q[IMY] = rho * v
+    q[IENE] = p / (gamma - 1.0) + 0.5 * rho * (u * u + v * v)
+    return q
+
+
+def primitive_from_conserved(q: np.ndarray, gamma: float = GAMMA_AIR) -> np.ndarray:
+    """Convert conserved variables to primitive ``(rho, u, v, p)``.
+
+    Density is floored at ``DENSITY_FLOOR`` before dividing, and pressure at
+    ``PRESSURE_FLOOR``, so the conversion never produces NaNs for states
+    perturbed slightly past vacuum by the scheme.
+    """
+    rho = np.maximum(q[IRHO], DENSITY_FLOOR)
+    u = q[IMX] / rho
+    v = q[IMY] / rho
+    p = (gamma - 1.0) * (q[IENE] - 0.5 * rho * (u * u + v * v))
+    prim = np.empty_like(q)
+    prim[0] = rho
+    prim[1] = u
+    prim[2] = v
+    prim[3] = np.maximum(p, PRESSURE_FLOOR)
+    return prim
+
+
+def pressure(q: np.ndarray, gamma: float = GAMMA_AIR) -> np.ndarray:
+    """Pressure field of a conserved state array."""
+    return primitive_from_conserved(q, gamma)[3]
+
+
+def sound_speed(q: np.ndarray, gamma: float = GAMMA_AIR) -> np.ndarray:
+    """Speed of sound ``sqrt(gamma * p / rho)`` of a conserved state array."""
+    prim = primitive_from_conserved(q, gamma)
+    return np.sqrt(gamma * prim[3] / prim[0])
+
+
+def max_wave_speed(q: np.ndarray, gamma: float = GAMMA_AIR) -> float:
+    """Largest characteristic speed ``max(|u| + c, |v| + c)`` over the array.
+
+    Used by the CFL step control; returns a scalar.
+    """
+    prim = primitive_from_conserved(q, gamma)
+    c = np.sqrt(gamma * prim[3] / prim[0])
+    sx = np.abs(prim[1]) + c
+    sy = np.abs(prim[2]) + c
+    return float(max(sx.max(), sy.max()))
+
+
+def total_mass(q: np.ndarray, cell_area: float = 1.0) -> float:
+    """Domain integral of density (a conserved quantity)."""
+    return float(q[IRHO].sum() * cell_area)
+
+
+def total_energy(q: np.ndarray, cell_area: float = 1.0) -> float:
+    """Domain integral of total energy (a conserved quantity)."""
+    return float(q[IENE].sum() * cell_area)
+
+
+def check_physical(q: np.ndarray, gamma: float = GAMMA_AIR) -> bool:
+    """True iff every cell has positive density and pressure and no NaNs."""
+    if not np.all(np.isfinite(q)):
+        return False
+    rho = q[IRHO]
+    if np.any(rho <= 0.0):
+        return False
+    p = (gamma - 1.0) * (q[IENE] - 0.5 * (q[IMX] ** 2 + q[IMY] ** 2) / rho)
+    return bool(np.all(p > 0.0))

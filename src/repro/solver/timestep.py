@@ -1,0 +1,43 @@
+"""CFL-limited time-step control."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solver.state import GAMMA_AIR, max_wave_speed
+
+
+def cfl_dt(
+    q: np.ndarray,
+    dx: float,
+    dy: float,
+    cfl: float = 0.4,
+    gamma: float = GAMMA_AIR,
+    dt_max: float = np.inf,
+) -> float:
+    """Largest stable time step for state ``q`` under the CFL condition.
+
+    Uses the split-scheme criterion ``dt <= cfl * min(dx, dy) / smax`` where
+    ``smax`` is the largest characteristic speed in either direction.
+
+    Parameters
+    ----------
+    q : ndarray, shape (4, ...)
+        Conserved state (interior cells; including ghosts is harmless but
+        slightly conservative).
+    cfl : float
+        Courant number in (0, 1]; 0.4 is a safe default for Strang-split
+        MUSCL with HLLC.
+    dt_max : float
+        Upper bound, e.g. the remaining time to an output instant.
+
+    Returns
+    -------
+    float
+    """
+    if not 0.0 < cfl <= 1.0:
+        raise ValueError("cfl must be in (0, 1]")
+    smax = max_wave_speed(q, gamma)
+    if smax <= 0.0 or not np.isfinite(smax):
+        return float(dt_max)
+    return float(min(cfl * min(dx, dy) / smax, dt_max))

@@ -1,0 +1,196 @@
+"""Tests for ghost exchange across same-level, coarse-fine, and physical
+boundaries.
+
+Strategy: fill every patch with an analytic function of the physical cell
+center, exchange, then compare ghost values against the function evaluated
+at the *ghost* cell centers.  Same-level copies and fine-to-coarse
+restriction are exact for linear data; coarse-to-fine prolongation is exact
+in the tangential direction and piecewise-constant in the normal one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.amr.ghost import exchange_ghosts, take_strip, write_ghost
+from repro.amr.patch import Patch
+from repro.mesh.balance import is_balanced
+from repro.mesh.forest import BrickTopology, Forest
+from repro.mesh.quadrant import Quadrant
+from repro.solver.state import IMX
+
+MX, NG = 8, 2
+
+
+def build_patches(forest: Forest, fn) -> dict:
+    patches = {}
+    for t, q in forest.iter_leaves():
+        ci, cj = forest.topology.tree_coords(t)
+        p = Patch(t, q, MX, NG, (float(ci), float(cj)))
+        p.fill_from(fn)
+        patches[(t, q)] = p
+    return patches
+
+
+def ghost_centers(p: Patch, face: int):
+    """Physical centers of the edge-ghost cells of ``face``, normalized
+    (normal offset, tangential) like the exchange strips."""
+    ng, mx, dx = p.ng, p.mx, p.dx
+    tang = p.x0 + (np.arange(mx) + 0.5) * dx if face >= 2 else p.y0 + (np.arange(mx) + 0.5) * dx
+    xs = np.empty((ng, mx))
+    ys = np.empty((ng, mx))
+    for k in range(ng):
+        if face == 0:
+            xs[k], ys[k] = p.x0 - (k + 0.5) * dx, tang
+        elif face == 1:
+            xs[k], ys[k] = p.x0 + mx * dx + (k + 0.5) * dx, tang
+        elif face == 2:
+            xs[k], ys[k] = tang, p.y0 - (k + 0.5) * dx
+        else:
+            xs[k], ys[k] = tang, p.y0 + mx * dx + (k + 0.5) * dx
+    return xs, ys
+
+
+def read_ghost(p: Patch, face: int) -> np.ndarray:
+    """Edge ghost strip of ``face`` in normalized (4, ng, mx) orientation."""
+    ng, mx = p.ng, p.mx
+    if face == 0:
+        return p.q[:, :ng, ng : ng + mx][:, ::-1, :]
+    if face == 1:
+        return p.q[:, ng + mx :, ng : ng + mx]
+    if face == 2:
+        return np.swapaxes(p.q[:, ng : ng + mx, :ng][:, :, ::-1], 1, 2)
+    return np.swapaxes(p.q[:, ng : ng + mx, ng + mx :], 1, 2)
+
+
+def linear_state(x, y):
+    """Constant-like conserved state carrying 2x + 3y in every field."""
+    v = 2.0 * x + 3.0 * y + 10.0
+    return np.broadcast_to(v, (4,) + x.shape).copy()
+
+
+class TestStripPrimitives:
+    def test_take_write_roundtrip_all_faces(self):
+        p = Patch(0, Quadrant(0, 0, 0), MX, NG, (0.0, 0.0))
+        rng = np.random.default_rng(0)
+        p.q[...] = rng.normal(size=p.q.shape)
+        for face in range(4):
+            strip = rng.normal(size=(4, NG, MX))
+            write_ghost(p, face, strip)
+            # Writing then reading back must be the identity.
+            assert np.allclose(read_ghost(p, face), strip)
+
+    def test_take_strip_orientation(self):
+        p = Patch(0, Quadrant(0, 0, 0), MX, NG, (0.0, 0.0))
+        p.fill_from(lambda x, y: np.broadcast_to(x, (4,) + x.shape))
+        # Face 1 (+x): offset 0 must be the column closest to x = 1.
+        s = take_strip(p, 1, 2)
+        assert np.all(s[0, 0, :] > s[0, 1, :])
+        # Face 0 (-x): offset 0 closest to x = 0.
+        s = take_strip(p, 0, 2)
+        assert np.all(s[0, 0, :] < s[0, 1, :])
+
+    def test_write_ghost_shape_check(self):
+        p = Patch(0, Quadrant(0, 0, 0), MX, NG, (0.0, 0.0))
+        with pytest.raises(ValueError):
+            write_ghost(p, 0, np.zeros((4, NG, MX + 1)))
+
+
+class TestSameLevelExchange:
+    def test_cross_tree_linear_exact(self):
+        forest = Forest(BrickTopology(2, 1), initial_level=0)
+        patches = build_patches(forest, linear_state)
+        exchange_ghosts(forest, patches)
+        p0 = patches[(0, Quadrant(0, 0, 0))]
+        gx, gy = ghost_centers(p0, 1)  # ghosts inside tree 1
+        expect = 2.0 * gx + 3.0 * gy + 10.0
+        assert np.allclose(read_ghost(p0, 1)[0], expect, rtol=1e-12)
+
+    def test_same_tree_linear_exact(self):
+        forest = Forest(BrickTopology(1, 1), initial_level=1)
+        patches = build_patches(forest, linear_state)
+        exchange_ghosts(forest, patches)
+        for (t, q), p in patches.items():
+            for face in range(4):
+                if forest.face_neighbor(t, q, face) is None:
+                    continue
+                gx, gy = ghost_centers(p, face)
+                expect = 2.0 * gx + 3.0 * gy + 10.0
+                assert np.allclose(read_ghost(p, face)[0], expect, rtol=1e-12)
+
+
+class TestPhysicalBoundaries:
+    def test_outflow_replicates_edge(self):
+        forest = Forest(BrickTopology(1, 1), initial_level=0)
+        patches = build_patches(forest, linear_state)
+        exchange_ghosts(forest, patches, bcs=("outflow",) * 4)
+        p = patches[(0, Quadrant(0, 0, 0))]
+        strip = read_ghost(p, 0)
+        edge = take_strip(p, 0, 1)
+        assert np.allclose(strip, np.repeat(edge, NG, axis=1))
+
+    def test_reflect_negates_normal_momentum(self):
+        forest = Forest(BrickTopology(1, 1), initial_level=0)
+
+        def state(x, y):
+            q = np.ones((4,) + x.shape)
+            q[IMX] = 0.5
+            return q
+
+        patches = build_patches(forest, state)
+        exchange_ghosts(forest, patches, bcs=("reflect", "outflow", "outflow", "outflow"))
+        p = patches[(0, Quadrant(0, 0, 0))]
+        strip = read_ghost(p, 0)
+        assert np.allclose(strip[IMX], -0.5)
+        assert np.allclose(strip[0], 1.0)
+
+
+class TestCoarseFineExchange:
+    @pytest.fixture
+    def refined_forest(self):
+        """Level-1 tree with leaf (1,1,0) refined to level 2 (balanced)."""
+        forest = Forest(BrickTopology(1, 1), initial_level=1)
+        forest.trees[0].refine(Quadrant(1, 1, 0))
+        assert is_balanced(forest)
+        return forest
+
+    def test_constant_exact_everywhere(self, refined_forest):
+        patches = build_patches(refined_forest, lambda x, y: np.full((4,) + x.shape, 3.7))
+        exchange_ghosts(refined_forest, patches)
+        for (t, q), p in patches.items():
+            for face in range(4):
+                if refined_forest.face_neighbor(t, q, face) is None:
+                    continue
+                assert np.allclose(read_ghost(p, face), 3.7, rtol=1e-12)
+
+    def test_fine_ghosts_from_coarse_tangentially_linear(self, refined_forest):
+        """Fine patch touching a coarse one: tangential linear variation is
+        reproduced by the limited prolongation (away from block edges)."""
+        patches = build_patches(
+            refined_forest, lambda x, y: np.broadcast_to(3.0 * y, (4,) + x.shape).copy()
+        )
+        exchange_ghosts(refined_forest, patches)
+        # Fine child (2, 2, 0) at the -x face has the coarse (1, 0, 0) leaf.
+        p = patches[(0, Quadrant(2, 2, 0))]
+        gx, gy = ghost_centers(p, 0)
+        expect = 3.0 * gy
+        got = read_ghost(p, 0)[0]
+        # Interior tangential cells exact; edge cells see the zero-slope
+        # border of the prolongation block.
+        assert np.allclose(got[:, 2:-2], expect[:, 2:-2], rtol=1e-12)
+
+    def test_coarse_ghosts_from_fine_linear_exact(self, refined_forest):
+        """Coarse patch touching two fine ones: restriction of linear data
+        is exact at the coarse ghost centers."""
+        patches = build_patches(refined_forest, linear_state)
+        exchange_ghosts(refined_forest, patches)
+        p = patches[(0, Quadrant(1, 0, 0))]  # coarse leaf left of the fine pair
+        gx, gy = ghost_centers(p, 1)
+        expect = 2.0 * gx + 3.0 * gy + 10.0
+        assert np.allclose(read_ghost(p, 1)[0], expect, rtol=1e-12)
+
+    def test_missing_fine_neighbor_raises(self, refined_forest):
+        patches = build_patches(refined_forest, linear_state)
+        # Drop one fine child to violate the hierarchy invariant.
+        del patches[(0, Quadrant(2, 2, 0))]
+        with pytest.raises(KeyError, match="balanced"):
+            exchange_ghosts(refined_forest, patches)

@@ -1,0 +1,65 @@
+"""Tests for the ghosted AMR patch."""
+
+import numpy as np
+import pytest
+
+from repro.amr.patch import Patch, patch_cell_centers
+from repro.mesh.quadrant import Quadrant
+
+
+class TestPatchGeometry:
+    def test_root_patch_covers_tree(self):
+        p = Patch(0, Quadrant(0, 0, 0), mx=8, ng=2, tree_origin=(0.0, 0.0))
+        assert p.dx == pytest.approx(1.0 / 8)
+        assert (p.x0, p.y0) == (0.0, 0.0)
+        assert p.q.shape == (4, 12, 12)
+
+    def test_child_patch_geometry(self):
+        p = Patch(1, Quadrant(2, 3, 1), mx=8, ng=2, tree_origin=(2.0, 0.0))
+        assert p.dx == pytest.approx(0.25 / 8)
+        assert p.x0 == pytest.approx(2.75)
+        assert p.y0 == pytest.approx(0.25)
+
+    def test_cell_centers_inside_quadrant(self):
+        p = Patch(0, Quadrant(1, 1, 0), mx=4, ng=2, tree_origin=(0.0, 0.0))
+        x, y = p.cell_centers()
+        assert x.shape == (4, 4)
+        assert np.all((x > 0.5) & (x < 1.0))
+        assert np.all((y > 0.0) & (y < 0.5))
+        # Centers of the first cell
+        assert x[0, 0] == pytest.approx(0.5 + 0.125 / 2)
+
+    def test_interior_view_is_writable_window(self):
+        p = Patch(0, Quadrant(0, 0, 0), mx=4, ng=2, tree_origin=(0.0, 0.0))
+        p.interior[...] = 7.0
+        assert np.all(p.q[:, 2:-2, 2:-2] == 7.0)
+        assert np.all(p.q[:, :2, :] == 0.0)
+
+    def test_cell_area(self):
+        p = Patch(0, Quadrant(1, 0, 0), mx=8, ng=2, tree_origin=(0.0, 0.0))
+        assert p.cell_area == pytest.approx((0.5 / 8) ** 2)
+
+    def test_nbytes(self):
+        p = Patch(0, Quadrant(0, 0, 0), mx=8, ng=2, tree_origin=(0.0, 0.0))
+        assert p.nbytes == 4 * 12 * 12 * 8
+
+    def test_fill_from(self):
+        p = Patch(0, Quadrant(0, 0, 0), mx=4, ng=2, tree_origin=(0.0, 0.0))
+        p.fill_from(lambda x, y: np.broadcast_to(x + y, (4,) + x.shape))
+        x, y = p.cell_centers()
+        assert np.allclose(p.interior[0], x + y)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Patch(0, Quadrant(0, 0, 0), mx=2, ng=2, tree_origin=(0.0, 0.0))
+        with pytest.raises(ValueError):
+            Patch(0, Quadrant(0, 0, 0), mx=8, ng=1, tree_origin=(0.0, 0.0))
+
+
+class TestPatchCellCenters:
+    def test_matches_patch(self):
+        quad = Quadrant(1, 1, 1)
+        p = Patch(0, quad, mx=4, ng=2, tree_origin=(1.0, 0.0))
+        x1, y1 = p.cell_centers()
+        x2, y2 = patch_cell_centers(quad, 4, tree_origin=(1.0, 0.0))
+        assert np.allclose(x1, x2) and np.allclose(y1, y2)

@@ -1,0 +1,62 @@
+"""Tests for AMR run statistics."""
+
+import pytest
+
+from repro.amr.stats import RunStats, StepRecord
+
+
+def rec(t, patches=4, cells=256, nbytes=1000, regridded=False):
+    return StepRecord(
+        t=t,
+        dt=0.01,
+        num_patches=patches,
+        cells_advanced=cells,
+        bytes_allocated=nbytes,
+        regridded=regridded,
+    )
+
+
+class TestRunStats:
+    def test_empty(self):
+        s = RunStats()
+        assert s.num_steps == 0
+        assert s.total_cells_advanced == 0
+        assert s.peak_bytes == 0
+        assert s.final_time == 0.0
+
+    def test_accumulation(self):
+        s = RunStats()
+        s.record_step(rec(0.01, cells=100, nbytes=500))
+        s.record_step(rec(0.02, cells=200, nbytes=900))
+        s.record_step(rec(0.03, cells=150, nbytes=700))
+        assert s.num_steps == 3
+        assert s.total_cells_advanced == 450
+        assert s.peak_bytes == 900
+        assert s.final_time == pytest.approx(0.03)
+
+    def test_peak_patches(self):
+        s = RunStats()
+        s.record_step(rec(0.01, patches=2))
+        s.record_step(rec(0.02, patches=9))
+        s.record_step(rec(0.03, patches=5))
+        assert s.peak_patches == 9
+
+    def test_summary_keys_and_values(self):
+        s = RunStats()
+        s.record_step(rec(0.01))
+        s.num_regrids = 2
+        s.num_refinements = 7
+        d = s.summary()
+        assert d["num_steps"] == 1.0
+        assert d["num_regrids"] == 2.0
+        assert d["num_refinements"] == 7.0
+        assert set(d) == {
+            "num_steps",
+            "total_cells_advanced",
+            "peak_bytes",
+            "peak_patches",
+            "num_regrids",
+            "num_refinements",
+            "num_coarsenings",
+            "final_time",
+        }

@@ -1,0 +1,65 @@
+"""Tests for refinement tagging."""
+
+import numpy as np
+import pytest
+
+from repro.amr.tagging import gradient_indicator, tag_for_refinement
+
+
+def patch_with_step(value: float, mx: int = 8) -> np.ndarray:
+    q = np.ones((4, mx, mx))
+    q[0, mx // 2 :, :] += value
+    return q
+
+
+class TestGradientIndicator:
+    def test_uniform_is_zero(self):
+        assert gradient_indicator(np.ones((4, 8, 8))) == 0.0
+
+    def test_step_magnitude(self):
+        assert gradient_indicator(patch_with_step(0.3)) == pytest.approx(0.3)
+
+    def test_detects_y_gradient(self):
+        q = np.ones((4, 8, 8))
+        q[0, :, 4:] += 0.7
+        assert gradient_indicator(q) == pytest.approx(0.7)
+
+    def test_scale_invariant_across_levels(self):
+        """Undivided differences give the same indicator regardless of dx."""
+        q = patch_with_step(0.5, mx=8)
+        q2 = patch_with_step(0.5, mx=16)
+        assert gradient_indicator(q) == pytest.approx(gradient_indicator(q2))
+
+    def test_other_field(self):
+        q = np.ones((4, 8, 8))
+        q[3, 4:, :] += 2.0
+        assert gradient_indicator(q, field=3) == pytest.approx(2.0)
+        assert gradient_indicator(q, field=0) == 0.0
+
+
+class TestTagForRefinement:
+    def test_refine_above_threshold(self):
+        assert tag_for_refinement(patch_with_step(0.3), refine_threshold=0.1) == 1
+
+    def test_coarsen_below_threshold(self):
+        assert tag_for_refinement(patch_with_step(0.01), refine_threshold=0.1) == -1
+
+    def test_keep_in_between(self):
+        assert tag_for_refinement(patch_with_step(0.05), refine_threshold=0.1) == 0
+
+    def test_default_coarsen_is_quarter(self):
+        # threshold 0.1 -> coarsen below 0.025
+        assert tag_for_refinement(patch_with_step(0.03), refine_threshold=0.1) == 0
+        assert tag_for_refinement(patch_with_step(0.02), refine_threshold=0.1) == -1
+
+    def test_explicit_coarsen_threshold(self):
+        tag = tag_for_refinement(
+            patch_with_step(0.05), refine_threshold=0.1, coarsen_threshold=0.06
+        )
+        assert tag == -1
+
+    def test_rejects_inverted_thresholds(self):
+        with pytest.raises(ValueError):
+            tag_for_refinement(
+                patch_with_step(0.1), refine_threshold=0.1, coarsen_threshold=0.2
+            )

@@ -1,0 +1,114 @@
+"""Tests for conservative prolongation and restriction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.amr.transfer import (
+    prolong_child,
+    prolong_patch,
+    restrict_area_average,
+    restrict_patch,
+)
+
+coarse_arrays = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.just(4), st.sampled_from([4, 6, 8]), st.sampled_from([4, 6, 8])),
+    elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+)
+
+
+class TestRestriction:
+    def test_block_average(self):
+        fine = np.arange(16.0).reshape(1, 4, 4)
+        coarse = restrict_area_average(fine)
+        assert coarse.shape == (1, 2, 2)
+        assert coarse[0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+        assert coarse[0, 1, 1] == pytest.approx((10 + 11 + 14 + 15) / 4)
+
+    def test_rejects_odd(self):
+        with pytest.raises(ValueError):
+            restrict_area_average(np.ones((1, 3, 4)))
+
+    @given(coarse_arrays)
+    @settings(max_examples=50)
+    def test_conserves_integral(self, fine):
+        coarse = restrict_area_average(fine)
+        # Total integral: each coarse cell has 4x the area of a fine cell.
+        assert np.allclose(coarse.sum() * 4.0, fine.sum(), rtol=1e-12, atol=1e-9)
+
+    def test_restrict_patch_shape(self):
+        out = restrict_patch(np.ones((4, 8, 8)))
+        assert out.shape == (4, 4, 4)
+
+
+class TestProlongation:
+    def test_shape_doubles(self):
+        fine = prolong_patch(np.ones((4, 3, 5)))
+        assert fine.shape == (4, 6, 10)
+
+    def test_constant_exact(self):
+        coarse = np.full((4, 4, 4), 2.5)
+        assert np.allclose(prolong_patch(coarse), 2.5)
+
+    @given(coarse_arrays)
+    @settings(max_examples=50)
+    def test_conservative(self, coarse):
+        """The 4 sub-cell values of every coarse cell average back to it."""
+        fine = prolong_patch(coarse)
+        back = restrict_area_average(fine)
+        assert np.allclose(back, coarse, rtol=1e-12, atol=1e-9)
+
+    def test_linear_data_reproduced_interior(self):
+        """Prolongation is exact on linear data away from the borders."""
+        nx = 6
+        x = np.arange(nx, dtype=np.float64)
+        coarse = np.broadcast_to(x[None, :, None], (4, nx, nx)).copy()
+        fine = prolong_patch(coarse)
+        # Fine cell centers along x: coarse i -> i - 0.25, i + 0.25
+        expect_lo = x - 0.25
+        expect_hi = x + 0.25
+        # Interior coarse cells 1..nx-2 have exact minmod slopes = 1.
+        for i in range(1, nx - 1):
+            assert np.allclose(fine[:, 2 * i, :], expect_lo[i])
+            assert np.allclose(fine[:, 2 * i + 1, :], expect_hi[i])
+
+    def test_no_new_extrema_from_limiting(self):
+        """Minmod-limited prolongation cannot overshoot the local range."""
+        rng = np.random.default_rng(0)
+        coarse = rng.uniform(-1, 1, (4, 6, 6))
+        fine = prolong_patch(coarse)
+        assert fine.max() <= coarse.max() + 0.5 * np.abs(np.diff(coarse, axis=1)).max()
+        assert fine.min() >= coarse.min() - 0.5 * np.abs(np.diff(coarse, axis=1)).max()
+
+
+class TestProlongChild:
+    def test_child_quadrant_selection(self):
+        mx = 4
+        coarse = np.zeros((4, mx, mx))
+        # Tag each quadrant of the parent with the Morton child id.
+        coarse[:, : mx // 2, : mx // 2] = 0.0
+        coarse[:, mx // 2 :, : mx // 2] = 1.0
+        coarse[:, : mx // 2, mx // 2 :] = 2.0
+        coarse[:, mx // 2 :, mx // 2 :] = 3.0
+        for cid in range(4):
+            fine = prolong_child(coarse, cid)
+            assert fine.shape == (4, mx, mx)
+            # Center cells of the child carry the tag value exactly.
+            assert fine[0, mx // 2, mx // 2] == pytest.approx(float(cid))
+
+    def test_child_conserves(self):
+        rng = np.random.default_rng(1)
+        coarse = rng.normal(size=(4, 8, 8))
+        for cid in range(4):
+            fine = prolong_child(coarse, cid)
+            cx = (cid & 1) * 4
+            cy = ((cid >> 1) & 1) * 4
+            sub = coarse[:, cx : cx + 4, cy : cy + 4]
+            assert np.allclose(restrict_area_average(fine), sub, rtol=1e-12)
+
+    def test_rejects_odd_patch(self):
+        with pytest.raises(ValueError):
+            prolong_child(np.ones((4, 5, 5)), 0)

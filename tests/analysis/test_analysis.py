@@ -1,0 +1,169 @@
+"""Tests for trajectory aggregation, violins, trade-offs, and tables."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.aggregate import (
+    aggregate_policy_curves,
+    median_curve,
+    quantile_band,
+    stack_metric,
+)
+from repro.analysis.distributions import cost_distribution_table, violin_stats
+from repro.analysis.tables import format_series, format_table
+from repro.analysis.tradeoff import interpolate_rmse_at_cost, tradeoff_curve
+from repro.core.trajectory import IterationRecord, StopReason, Trajectory
+
+
+def make_trajectory(costs, rmses, mems=None, policy="p") -> Trajectory:
+    mems = np.ones(len(costs)) if mems is None else mems
+    cc = np.cumsum(costs)
+    records = tuple(
+        IterationRecord(
+            iteration=i,
+            dataset_index=i,
+            cost=float(costs[i]),
+            mem=float(mems[i]),
+            rmse_cost=float(rmses[i]),
+            rmse_mem=float(rmses[i]) * 2,
+            cumulative_cost=float(cc[i]),
+            cumulative_regret=0.0,
+        )
+        for i in range(len(costs))
+    )
+    return Trajectory(
+        policy_name=policy,
+        n_init=10,
+        records=records,
+        stop_reason=StopReason.EXHAUSTED,
+        initial_rmse_cost=float(rmses[0]) * 1.5,
+        initial_rmse_mem=float(rmses[0]) * 3.0,
+    )
+
+
+@pytest.fixture
+def trajs():
+    return [
+        make_trajectory([1.0, 2.0, 3.0], [0.9, 0.6, 0.4]),
+        make_trajectory([2.0, 1.0], [1.1, 0.8]),
+        make_trajectory([1.5, 1.5, 1.5, 1.5], [0.8, 0.7, 0.6, 0.5]),
+    ]
+
+
+class TestViolinStats:
+    def test_quartiles(self):
+        costs = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        s = violin_stats("x", costs)
+        assert s.median == 3.0
+        assert s.q1 == 2.0 and s.q3 == 4.0
+        assert s.iqr == 2.0
+        assert s.n == 5
+
+    def test_density_profile(self):
+        rng = np.random.default_rng(0)
+        costs = 10.0 ** rng.normal(0, 0.5, 500)
+        s = violin_stats("x", costs)
+        assert s.density.max() == pytest.approx(1.0)
+        assert s.grid.shape == s.density.shape
+        # Peak density near the median for a lognormal sample.
+        peak_cost = s.grid[np.argmax(s.density)]
+        assert 0.3 < peak_cost < 3.0
+
+    def test_single_value(self):
+        s = violin_stats("x", np.array([2.0, 2.0]))
+        assert s.minimum == s.maximum == 2.0
+
+    def test_rejects_empty_or_nonpositive(self):
+        with pytest.raises(ValueError):
+            violin_stats("x", np.array([]))
+        with pytest.raises(ValueError):
+            violin_stats("x", np.array([1.0, -1.0]))
+
+    def test_table_rendering(self):
+        s = [violin_stats("alg_a", np.array([1.0, 2.0, 3.0]))]
+        text = cost_distribution_table(s)
+        assert "alg_a" in text and "median" in text
+
+
+class TestAggregation:
+    def test_stack_pads_with_nan(self, trajs):
+        m = stack_metric(trajs, "rmse_cost")
+        assert m.shape == (3, 4)
+        assert np.isnan(m[1, 2]) and np.isnan(m[0, 3])
+
+    def test_median_curve(self, trajs):
+        med = median_curve(trajs, "rmse_cost")
+        assert med[0] == pytest.approx(np.median([0.9, 1.1, 0.8]))
+        # Last point only from the longest trajectory.
+        assert med[3] == pytest.approx(0.5)
+
+    def test_quantile_band_ordering(self, trajs):
+        lo, hi = quantile_band(trajs, "cumulative_cost")
+        assert np.all(lo <= hi)
+
+    def test_unknown_metric(self, trajs):
+        with pytest.raises(ValueError):
+            stack_metric(trajs, "bogus")
+
+    def test_aggregate_policy_curves(self, trajs):
+        curves = aggregate_policy_curves({"a": trajs, "b": trajs[:1]}, "rmse_cost")
+        assert set(curves) == {"a", "b"}
+        assert curves["a"].n_trajectories == 3
+        med, lo, hi = curves["a"].at(0)
+        assert lo <= med <= hi
+        assert np.isnan(curves["b"].at(99)[0])
+
+
+class TestTradeoff:
+    def test_step_interpolation(self):
+        t = make_trajectory([1.0, 1.0, 1.0], [0.9, 0.5, 0.3])
+        grid = np.array([0.5, 1.0, 1.5, 2.5, 3.0, 10.0])
+        out = interpolate_rmse_at_cost(t, grid)
+        assert out[0] == 0.9  # before first completed iteration
+        assert out[1] == 0.9  # at cc=1.0 -> after iteration 0
+        assert out[2] == 0.9
+        assert out[3] == 0.5  # between cc=2 and 3
+        assert out[4] == 0.3
+        assert np.isnan(out[5])  # beyond total spend
+
+    def test_tradeoff_curve_medians(self, trajs):
+        curve = tradeoff_curve("x", trajs, cost_grid=np.array([1.9, 3.1]))
+        assert curve.rmse_median.shape == (2,)
+        assert np.all(curve.rmse_lower <= curve.rmse_upper)
+
+    def test_default_grid_spans_spend(self, trajs):
+        curve = tradeoff_curve("x", trajs)
+        assert curve.cost_grid[0] <= 2.0
+        assert curve.cost_grid[-1] == pytest.approx(6.0, rel=1e-6)
+
+    def test_which_mem(self):
+        t = make_trajectory([1.0, 1.0], [0.4, 0.2])
+        out = interpolate_rmse_at_cost(t, np.array([1.0]), which="mem")
+        assert out[0] == pytest.approx(0.8)  # rmse_mem = 2 * rmse_cost
+
+    def test_validation(self, trajs):
+        with pytest.raises(ValueError):
+            interpolate_rmse_at_cost(trajs[0], np.array([1.0]), which="nope")
+        with pytest.raises(ValueError):
+            tradeoff_curve("x", [])
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 2.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "---" in lines[1]
+
+    def test_format_series_downsamples(self):
+        x = np.arange(100.0)
+        y = x**2
+        text = format_series("curve", x, y, max_points=5)
+        assert text.count("(") <= 5
+
+    def test_format_series_empty(self):
+        assert "empty" in format_series("c", np.array([]), np.array([]))
+
+    def test_format_series_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("c", np.arange(3.0), np.arange(4.0))

@@ -1,0 +1,75 @@
+"""Tests for ASCII chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import line_plot, sparkline
+
+
+class TestLinePlot:
+    def test_renders_single_series(self):
+        x = np.linspace(0, 10, 30)
+        out = line_plot({"a": (x, x**2)}, width=40, height=10)
+        assert "o" in out
+        assert "o=a" in out
+        assert len(out.splitlines()) == 10 + 3  # grid + axis + labels + legend
+
+    def test_multiple_series_distinct_glyphs(self):
+        x = np.linspace(0, 1, 20)
+        out = line_plot({"up": (x, x), "down": (x, 1 - x)})
+        assert "o=up" in out and "x=down" in out
+
+    def test_log_axes_drop_nonpositive(self):
+        x = np.array([0.0, 0.1, 1.0, 10.0])
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        out = line_plot({"s": (x, y)}, logx=True)
+        assert "1e" in out  # log tick labels
+
+    def test_nan_points_dropped(self):
+        x = np.array([0.0, 1.0, 2.0])
+        y = np.array([1.0, np.nan, 3.0])
+        out = line_plot({"s": (x, y)}, height=8)
+        grid = "\n".join(out.splitlines()[:8])  # exclude axis/legend lines
+        assert grid.count("o") == 2
+
+    def test_monotone_series_shape(self):
+        """An increasing series must place its last glyph above its first."""
+        x = np.linspace(0, 1, 50)
+        out = line_plot({"s": (x, x)}, width=30, height=8)
+        rows = out.splitlines()[:8]
+        first_row_with_glyph = next(i for i, r in enumerate(rows) if "o" in r)
+        last_row_with_glyph = max(i for i, r in enumerate(rows) if "o" in r)
+        # Row 0 is the top: the maximum (end of series) is near the top.
+        assert first_row_with_glyph == 0
+        assert last_row_with_glyph == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+        with pytest.raises(ValueError):
+            line_plot({"s": (np.arange(3.0), np.arange(4.0))})
+        with pytest.raises(ValueError):
+            line_plot({"s": (np.arange(10.0), np.arange(10.0))}, width=4)
+        with pytest.raises(ValueError):
+            line_plot({"s": (np.array([-1.0]), np.array([1.0]))}, logx=True)
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        s = sparkline(np.arange(8.0), width=8)
+        assert s == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series(self):
+        s = sparkline(np.ones(5))
+        assert len(s) == 5
+
+    def test_downsamples_to_width(self):
+        s = sparkline(np.arange(1000.0), width=20)
+        assert len(s) == 20
+
+    def test_empty(self):
+        assert sparkline(np.array([])) == ""
+
+    def test_nan_becomes_space(self):
+        s = sparkline(np.array([1.0, np.nan, 2.0]))
+        assert " " in s

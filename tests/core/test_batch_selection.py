@@ -1,0 +1,125 @@
+"""Tests for batch (parallel-selection) Active Learning."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch_selection import BatchActiveLearner
+from repro.core.partitions import random_partition
+from repro.core.policies import MaxSigma, RGMA, RandGoodness
+from repro.core.trajectory import StopReason
+
+
+def make_batch_learner(dataset, policy, batch_size, strategy, seed=0, max_iterations=16):
+    rng = np.random.default_rng(seed)
+    part = random_partition(rng, len(dataset), n_init=15, n_test=30)
+    return BatchActiveLearner(
+        dataset,
+        part,
+        policy=policy,
+        rng=rng,
+        max_iterations=max_iterations,
+        hyper_refit_interval=2,
+        batch_size=batch_size,
+        batch_strategy=strategy,
+    )
+
+
+class TestValidation:
+    def test_rejects_bad_batch_size(self, small_dataset):
+        with pytest.raises(ValueError):
+            make_batch_learner(small_dataset, MaxSigma(), 0, "independent")
+
+    def test_rejects_unknown_strategy(self, small_dataset):
+        with pytest.raises(ValueError):
+            make_batch_learner(small_dataset, MaxSigma(), 4, "psychic")
+
+
+@pytest.mark.parametrize("strategy", ["independent", "believer"])
+class TestBatchMechanics:
+    def test_selects_max_iterations_samples(self, small_dataset, strategy):
+        traj = make_batch_learner(
+            small_dataset, RandGoodness(), 4, strategy, max_iterations=12
+        ).run()
+        assert len(traj) == 12
+        assert traj.stop_reason == StopReason.MAX_ITERATIONS
+
+    def test_no_duplicate_selections(self, small_dataset, strategy):
+        traj = make_batch_learner(
+            small_dataset, RandGoodness(), 4, strategy, max_iterations=16
+        ).run()
+        sel = traj.selected_indices
+        assert np.unique(sel).size == sel.size
+
+    def test_rmse_constant_within_round(self, small_dataset, strategy):
+        """The model retrains once per round: the recorded RMSE must be
+        identical across the samples of one batch."""
+        traj = make_batch_learner(
+            small_dataset, MaxSigma(), 4, strategy, max_iterations=8
+        ).run()
+        rmse = traj.rmse_cost
+        assert rmse[0] == rmse[1] == rmse[2] == rmse[3]
+        assert rmse[4] == rmse[5] == rmse[6] == rmse[7]
+
+    def test_policy_name_tagged(self, small_dataset, strategy):
+        traj = make_batch_learner(small_dataset, MaxSigma(), 3, strategy).run()
+        assert traj.policy_name == "max_sigma_batch3"
+
+    def test_batch_size_one_reduces_to_sequential_count(self, small_dataset, strategy):
+        traj = make_batch_learner(
+            small_dataset, RandGoodness(), 1, strategy, max_iterations=5
+        ).run()
+        assert len(traj) == 5
+
+
+class TestInBatchDiversity:
+    def test_independent_maxsigma_takes_top_k(self, small_dataset):
+        """For a deterministic policy the independent strategy is top-k of
+        the acquisition: the picks must be k distinct candidates."""
+        learner = make_batch_learner(small_dataset, MaxSigma(), 5, "independent")
+        learner._fit_models(optimize=True)
+        picks = learner._select_batch()
+        assert len(set(picks)) == 5
+
+    def test_believer_diversifies_maxsigma(self, small_dataset):
+        """The believer's collapsed variance must steer later in-batch picks
+        away from the first pick's neighborhood (at minimum: distinct)."""
+        learner = make_batch_learner(small_dataset, MaxSigma(), 5, "believer")
+        learner._fit_models(optimize=True)
+        picks = learner._select_batch()
+        assert len(set(picks)) == 5
+
+    def test_believer_restores_true_model(self, small_dataset):
+        """Pseudo-observations must not leak into the post-round model."""
+        learner = make_batch_learner(small_dataset, MaxSigma(), 4, "believer")
+        learner._fit_models(optimize=True)
+        n_train_before = learner.gpr_cost.X_train_.shape[0]
+        learner._select_batch()
+        assert learner.gpr_cost.X_train_.shape[0] == n_train_before
+
+
+class TestBatchRGMA:
+    def test_rgma_batch_respects_limit(self, small_dataset):
+        lmem = small_dataset.memory_limit()
+        traj = make_batch_learner(
+            small_dataset, RGMA(memory_limit_MB=lmem), 4, "independent", max_iterations=24
+        ).run()
+        assert np.sum(traj.mems >= lmem) <= 2
+
+    def test_rgma_batch_early_termination(self, small_dataset):
+        tiny = float(small_dataset.mem.min()) * 0.5
+        traj = make_batch_learner(
+            small_dataset, RGMA(memory_limit_MB=tiny), 4, "independent", max_iterations=40
+        ).run()
+        assert traj.stop_reason == StopReason.MEMORY_CONSTRAINED
+
+
+class TestBatchVsSequentialTradeoff:
+    def test_fewer_rounds_than_samples(self, small_dataset):
+        learner = make_batch_learner(small_dataset, RandGoodness(), 8, "independent")
+        assert learner.num_rounds_estimate < learner.partition.n_active
+
+    def test_batch_model_still_learns(self, small_dataset):
+        traj = make_batch_learner(
+            small_dataset, MaxSigma(), 4, "independent", max_iterations=24, seed=3
+        ).run()
+        assert traj.final_rmse_cost < traj.initial_rmse_cost * 1.5

@@ -1,0 +1,118 @@
+"""Tests for the batch trajectory runner and stopping heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchConfig, BatchResult, run_batch
+from repro.core.policies import MinPred, RandUniform
+from repro.core.stopping import (
+    NoEarlyStopping,
+    StabilizingPredictions,
+    UncertaintyReduction,
+)
+
+
+class TestBatchConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchConfig(n_trajectories=0)
+        with pytest.raises(ValueError):
+            BatchConfig(processes=0)
+
+
+class TestRunBatch:
+    @pytest.fixture(scope="class")
+    def batch(self, small_dataset):
+        cfg = BatchConfig(
+            n_trajectories=3, n_init=15, n_test=30, max_iterations=6, base_seed=11
+        )
+        return run_batch(
+            small_dataset,
+            {"uniform": RandUniform, "cheap": MinPred},
+            cfg,
+        )
+
+    def test_shape(self, batch):
+        assert batch.policies() == ["cheap", "uniform"]
+        assert len(batch["uniform"]) == 3
+        assert len(batch["cheap"]) == 3
+
+    def test_policy_names_recorded(self, batch):
+        assert all(t.policy_name == "rand_uniform" for t in batch["uniform"])
+        assert all(t.policy_name == "min_pred" for t in batch["cheap"])
+
+    def test_paired_partitions(self, batch):
+        """Trajectory i of both policies shares one partition: the initial
+        (pre-AL) RMSE depends only on the partition, so it must be equal."""
+        for tu, tc in zip(batch["uniform"], batch["cheap"]):
+            assert tu.initial_rmse_cost == pytest.approx(tc.initial_rmse_cost)
+
+    def test_serial_deterministic(self, small_dataset):
+        cfg = BatchConfig(n_trajectories=2, n_init=15, n_test=30, max_iterations=4, base_seed=3)
+        a = run_batch(small_dataset, {"u": RandUniform}, cfg)
+        b = run_batch(small_dataset, {"u": RandUniform}, cfg)
+        for ta, tb in zip(a["u"], b["u"]):
+            assert np.array_equal(ta.selected_indices, tb.selected_indices)
+
+    def test_parallel_matches_serial(self, small_dataset):
+        cfg_kw = dict(n_trajectories=2, n_init=15, n_test=30, max_iterations=4, base_seed=5)
+        serial = run_batch(small_dataset, {"u": RandUniform}, BatchConfig(**cfg_kw))
+        parallel = run_batch(
+            small_dataset, {"u": RandUniform}, BatchConfig(processes=2, **cfg_kw)
+        )
+        for ts, tp in zip(serial["u"], parallel["u"]):
+            assert np.array_equal(ts.selected_indices, tp.selected_indices)
+            assert np.allclose(ts.rmse_cost, tp.rmse_cost)
+
+    def test_getitem_unknown(self, batch):
+        with pytest.raises(KeyError):
+            batch["nope"]
+
+
+class TestStoppingRules:
+    def test_no_early_stopping_never_fires(self):
+        rule = NoEarlyStopping()
+        for _ in range(100):
+            assert not rule.update(np.zeros(5), np.zeros(5))
+
+    def test_stabilizing_predictions_fires_on_constant_stream(self):
+        rule = StabilizingPredictions(tolerance=1e-3, patience=3)
+        mu = np.linspace(0, 1, 50)
+        fired = [rule.update(mu, mu) for _ in range(6)]
+        assert fired[-1]
+        assert not fired[0]
+
+    def test_stabilizing_predictions_resets(self):
+        rule = StabilizingPredictions(tolerance=1e-3, patience=2)
+        mu = np.linspace(0, 1, 50)
+        for _ in range(4):
+            rule.update(mu, mu)
+        rule.reset()
+        assert not rule.update(mu, mu)
+
+    def test_stabilizing_sees_churn(self):
+        rule = StabilizingPredictions(tolerance=1e-6, patience=2)
+        rng = np.random.default_rng(0)
+        fired = [rule.update(rng.normal(size=50), None) for _ in range(10)]
+        assert not any(fired)
+
+    def test_uncertainty_reduction_fires_when_pool_confident(self):
+        rule = UncertaintyReduction(sigma_floor=0.1, patience=2)
+        assert not rule.update(np.zeros(5), np.full(5, 0.05))
+        assert rule.update(np.zeros(5), np.full(5, 0.05))
+
+    def test_uncertainty_reduction_needs_consecutive(self):
+        rule = UncertaintyReduction(sigma_floor=0.1, patience=2)
+        rule.update(np.zeros(5), np.full(5, 0.05))
+        rule.update(np.zeros(5), np.full(5, 0.5))  # breaks the streak
+        assert not rule.update(np.zeros(5), np.full(5, 0.05))
+
+    def test_uncertainty_reduction_empty_pool_stops(self):
+        rule = UncertaintyReduction()
+        assert rule.update(np.zeros(0), np.zeros(0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StabilizingPredictions(tolerance=0.0)
+        with pytest.raises(ValueError):
+            UncertaintyReduction(patience=0)

@@ -1,0 +1,121 @@
+"""Tests for the evaluation metrics of Sec. V-B."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.metrics import (
+    cost_weighted_rmse_weights,
+    cumulative_cost,
+    cumulative_regret,
+    individual_regrets,
+    rmse_nonlog,
+)
+
+
+class TestRmseNonlog:
+    def test_perfect_predictions(self):
+        y = np.array([0.5, 2.0, 100.0])
+        assert rmse_nonlog(np.log10(y), y) == 0.0
+
+    def test_known_value(self):
+        # Predict 10 where truth is 20, and 1 where truth is 1.
+        mu_log = np.log10([10.0, 1.0])
+        y = np.array([20.0, 1.0])
+        assert rmse_nonlog(mu_log, y) == pytest.approx(np.sqrt(100.0 / 2))
+
+    def test_exponentiation_always_positive_error_defined(self):
+        """Even wildly negative log predictions give finite RMSE (the
+        motivation for the log transform in Sec. IV-A)."""
+        mu_log = np.array([-50.0])
+        assert np.isfinite(rmse_nonlog(mu_log, np.array([1.0])))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse_nonlog(np.zeros(3), np.ones(4))
+
+    def test_weighted_uniform_equals_unweighted(self):
+        mu_log = np.log10([1.0, 2.0, 3.0])
+        y = np.array([2.0, 2.0, 2.0])
+        w = np.ones(3)
+        assert rmse_nonlog(mu_log, y, weights=w) == pytest.approx(rmse_nonlog(mu_log, y))
+
+    def test_weighting_shifts_priority(self):
+        """Up-weighting the badly-predicted expensive sample raises RMSE."""
+        mu_log = np.log10([1.0, 10.0])
+        y = np.array([1.0, 20.0])  # second sample mispredicted
+        w_cheap = np.array([10.0, 1.0])
+        w_costly = np.array([1.0, 10.0])
+        assert rmse_nonlog(mu_log, y, w_costly) > rmse_nonlog(mu_log, y, w_cheap)
+
+    def test_weight_validation(self):
+        mu_log, y = np.zeros(2), np.ones(2)
+        with pytest.raises(ValueError):
+            rmse_nonlog(mu_log, y, weights=np.array([-1.0, 1.0]))
+        with pytest.raises(ValueError):
+            rmse_nonlog(mu_log, y, weights=np.zeros(2))
+
+    @given(
+        arrays(np.float64, st.integers(2, 20), elements=st.floats(-2, 2)),
+    )
+    @settings(max_examples=50)
+    def test_nonnegative(self, mu_log):
+        y = np.ones(mu_log.size)
+        assert rmse_nonlog(mu_log, y) >= 0.0
+
+
+class TestRegret:
+    def test_individual_regret_definition(self):
+        costs = np.array([1.0, 2.0, 3.0])
+        mems = np.array([5.0, 15.0, 10.0])
+        ir = individual_regrets(costs, mems, memory_limit_MB=10.0)
+        # m >= L counts: 15 >= 10 and 10 >= 10.
+        assert ir.tolist() == [0.0, 2.0, 3.0]
+
+    def test_cumulative_regret_running_sum(self):
+        costs = np.array([1.0, 2.0, 3.0])
+        mems = np.array([15.0, 5.0, 15.0])
+        cr = cumulative_regret(costs, mems, 10.0)
+        assert cr.tolist() == [1.0, 1.0, 4.0]
+
+    def test_no_violations_zero_regret(self):
+        cr = cumulative_regret(np.ones(5), np.ones(5), 10.0)
+        assert np.all(cr == 0.0)
+
+    def test_monotone_nondecreasing(self):
+        rng = np.random.default_rng(0)
+        costs = rng.uniform(0.1, 5.0, 50)
+        mems = rng.uniform(0.0, 20.0, 50)
+        cr = cumulative_regret(costs, mems, 10.0)
+        assert np.all(np.diff(cr) >= 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            individual_regrets(np.ones(3), np.ones(2), 10.0)
+        with pytest.raises(ValueError):
+            individual_regrets(np.ones(3), np.ones(3), 0.0)
+
+
+class TestCumulativeCost:
+    def test_running_sum(self):
+        assert cumulative_cost([1.0, 2.0, 3.0]).tolist() == [1.0, 3.0, 6.0]
+
+    def test_regret_bounded_by_cost(self):
+        rng = np.random.default_rng(1)
+        costs = rng.uniform(0.1, 5.0, 30)
+        mems = rng.uniform(0.0, 20.0, 30)
+        cc = cumulative_cost(costs)
+        cr = cumulative_regret(costs, mems, 8.0)
+        assert np.all(cr <= cc + 1e-12)
+
+
+class TestCostWeights:
+    def test_passthrough(self):
+        w = cost_weighted_rmse_weights(np.array([1.0, 2.0]))
+        assert w.tolist() == [1.0, 2.0]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            cost_weighted_rmse_weights(np.array([-1.0]))

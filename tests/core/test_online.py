@@ -1,0 +1,113 @@
+"""Tests for the online (decide-run-learn) Active Learning mode."""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineActiveLearner
+from repro.core.policies import MinPred, RGMA, RandGoodness
+from repro.core.trajectory import StopReason
+from repro.data.space import ParameterSpace
+from repro.machine.runner import JobRunner
+
+#: A reduced grid keeps online tests fast (3*2*2*2*2 = 48 combos).
+SMALL_SPACE = ParameterSpace(
+    p_values=(4, 8, 16),
+    mx_values=(8, 16),
+    maxlevel_values=(3, 4),
+    r0_values=(0.2, 0.4),
+    rhoin_values=(0.05, 0.3),
+)
+
+
+def make_online(policy, seed=0, **kw):
+    rng = np.random.default_rng(seed)
+    defaults = dict(
+        runner=JobRunner(),
+        policy=policy,
+        rng=rng,
+        space=SMALL_SPACE,
+        n_init=4,
+        n_eval=20,
+        max_runs=10,
+        hyper_refit_interval=2,
+    )
+    defaults.update(kw)
+    return OnlineActiveLearner(**defaults)
+
+
+class TestOnlineMechanics:
+    def test_budget_respected(self):
+        result = make_online(RandGoodness()).run()
+        assert len(result.trajectory) == 10
+        assert len(result.executed) == 4 + 10  # init + AL runs
+
+    def test_no_repeats_by_default(self):
+        result = make_online(RandGoodness(), max_runs=20).run()
+        feats = [c.as_features() for c in result.executed]
+        assert len(set(feats)) == len(feats)
+
+    def test_exhausts_grid(self):
+        result = make_online(RandGoodness(), max_runs=100).run()
+        assert result.trajectory.stop_reason == StopReason.EXHAUSTED
+        assert len(result.executed) == 48
+
+    def test_repeats_allowed_when_enabled(self):
+        result = make_online(MinPred(), max_runs=60, allow_repeats=True).run()
+        feats = [c.as_features() for c in result.executed]
+        assert len(set(feats)) < len(feats)  # MinPred re-runs the cheapest
+
+    def test_total_node_hours_accumulates(self):
+        result = make_online(RandGoodness()).run()
+        assert result.total_node_hours > 0
+        assert result.total_node_hours >= result.trajectory.total_cost
+
+    def test_model_learns_ground_truth(self):
+        result = make_online(RandGoodness(), max_runs=30, seed=3).run()
+        t = result.trajectory
+        assert t.final_rmse_cost < t.initial_rmse_cost
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_online(RandGoodness(), n_init=0)
+
+
+class TestOnlineMemoryFailures:
+    def test_oom_selections_fail_and_accumulate_regret(self):
+        """With a harsh execution limit, memory-blind selections crash and
+        the regret bookkeeping records their wasted cost."""
+        result = make_online(
+            RandGoodness(), max_runs=25, memory_limit_MB=0.3, seed=5
+        ).run()
+        if result.failed_configs:
+            assert result.trajectory.total_regret > 0
+            # Crashed jobs never contribute memory observations.
+            learner_regret = result.trajectory.total_regret
+            crashed_cost = sum(
+                r.cost for r in result.trajectory.records if np.isinf(r.mem)
+            )
+            assert learner_regret == pytest.approx(crashed_cost)
+
+    def test_rgma_uses_policy_limit_for_execution(self):
+        policy = RGMA(memory_limit_MB=5.0)
+        learner = make_online(policy)
+        assert learner.memory_limit_MB == 5.0
+
+    def test_rgma_fails_less_than_blind(self):
+        limit = 1.0
+        blind = make_online(
+            RandGoodness(), max_runs=25, memory_limit_MB=limit, seed=8
+        ).run()
+        aware = make_online(
+            RGMA(memory_limit_MB=limit), max_runs=25, memory_limit_MB=limit, seed=8
+        ).run()
+        assert len(aware.failed_configs) <= len(blind.failed_configs)
+
+
+class TestOnlineDeterminism:
+    def test_same_seed_same_run(self):
+        r1 = make_online(RandGoodness(), seed=11).run()
+        r2 = make_online(RandGoodness(), seed=11).run()
+        assert [c.as_features() for c in r1.executed] == [
+            c.as_features() for c in r2.executed
+        ]
+        assert np.allclose(r1.trajectory.rmse_cost, r2.trajectory.rmse_cost)

@@ -1,0 +1,65 @@
+"""Tests for Initial/Active/Test partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.core.partitions import Partition, random_partition
+
+
+class TestPartition:
+    def test_valid(self):
+        p = Partition(
+            init_idx=np.array([0, 1]),
+            active_idx=np.array([2, 3, 4]),
+            test_idx=np.array([5]),
+        )
+        assert p.n_init == 2 and p.n_active == 3 and p.n_test == 1
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            Partition(
+                init_idx=np.array([0, 1]),
+                active_idx=np.array([1, 2]),
+                test_idx=np.array([3]),
+            )
+
+    def test_rejects_empty_parts(self):
+        with pytest.raises(ValueError):
+            Partition(np.array([], dtype=int), np.array([1]), np.array([2]))
+        with pytest.raises(ValueError):
+            Partition(np.array([0]), np.array([], dtype=int), np.array([2]))
+        with pytest.raises(ValueError):
+            Partition(np.array([0]), np.array([1]), np.array([], dtype=int))
+
+
+class TestRandomPartition:
+    def test_paper_sizes(self, rng):
+        p = random_partition(rng, 600, n_init=50, n_test=200)
+        assert p.n_test == 200
+        assert p.n_init == 50
+        assert p.n_active == 350
+        allidx = np.concatenate([p.init_idx, p.active_idx, p.test_idx])
+        assert np.array_equal(np.sort(allidx), np.arange(600))
+
+    def test_minimal_init(self, rng):
+        p = random_partition(rng, 600, n_init=1, n_test=200)
+        assert p.n_init == 1 and p.n_active == 399
+
+    def test_explicit_active_size(self, rng):
+        p = random_partition(rng, 600, n_init=50, n_test=200, n_active=100)
+        assert p.n_active == 100
+
+    def test_too_large_request_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_partition(rng, 100, n_init=50, n_test=60)
+
+    def test_deterministic_given_seed(self):
+        p1 = random_partition(np.random.default_rng(5), 100, n_init=10, n_test=20)
+        p2 = random_partition(np.random.default_rng(5), 100, n_init=10, n_test=20)
+        assert np.array_equal(p1.init_idx, p2.init_idx)
+        assert np.array_equal(p1.active_idx, p2.active_idx)
+
+    def test_different_seeds_differ(self):
+        p1 = random_partition(np.random.default_rng(5), 100, n_init=10, n_test=20)
+        p2 = random_partition(np.random.default_rng(6), 100, n_init=10, n_test=20)
+        assert not np.array_equal(p1.test_idx, p2.test_idx)

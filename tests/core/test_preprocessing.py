@@ -1,0 +1,71 @@
+"""Tests for response/feature pre-processing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.preprocessing import FeatureScaler, log10_response, unlog10_response
+
+positive_vectors = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=30),
+    elements=st.floats(min_value=1e-6, max_value=1e6),
+)
+
+
+class TestLogTransforms:
+    @given(positive_vectors)
+    @settings(max_examples=100)
+    def test_roundtrip(self, y):
+        assert np.allclose(unlog10_response(log10_response(y)), y, rtol=1e-12)
+
+    def test_known_values(self):
+        assert log10_response([1.0, 10.0, 100.0]).tolist() == [0.0, 1.0, 2.0]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log10_response([1.0, 0.0])
+        with pytest.raises(ValueError):
+            log10_response([-1.0])
+
+    def test_unlog_always_positive(self):
+        assert np.all(unlog10_response([-100.0, 0.0, 5.0]) > 0)
+
+
+class TestFeatureScaler:
+    @pytest.fixture
+    def scaler(self):
+        return FeatureScaler(np.array([[0.0, 10.0], [1.0, 20.0]]))
+
+    def test_transform_corners(self, scaler):
+        U = scaler.transform(np.array([[0.0, 10.0], [1.0, 20.0]]))
+        assert np.allclose(U, [[0.0, 0.0], [1.0, 1.0]])
+
+    def test_midpoint(self, scaler):
+        assert np.allclose(scaler.transform([[0.5, 15.0]]), [[0.5, 0.5]])
+
+    def test_roundtrip(self, scaler):
+        X = np.array([[0.3, 17.0], [0.9, 11.0]])
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_out_of_bounds_maps_outside_cube(self, scaler):
+        U = scaler.transform([[2.0, 5.0]])
+        assert U[0, 0] > 1.0 and U[0, 1] < 0.0
+
+    def test_n_features(self, scaler):
+        assert scaler.n_features == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FeatureScaler(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            FeatureScaler(np.array([[1.0], [1.0]]))  # max == min
+
+    def test_table1_style_bounds(self):
+        """The scaling the AL loop actually uses: Table I grid bounds."""
+        bounds = np.array([[4, 8, 3, 0.2, 0.02], [32, 32, 6, 0.5, 0.5]], dtype=float)
+        s = FeatureScaler(bounds)
+        U = s.transform([[4, 8, 3, 0.2, 0.02], [32, 32, 6, 0.5, 0.5]])
+        assert np.allclose(U[0], 0.0) and np.allclose(U[1], 1.0)

@@ -1,0 +1,99 @@
+"""Tests for campaign generation (the paper's 600-job selection)."""
+
+import numpy as np
+import pytest
+
+from repro.data.campaign import CampaignConfig, run_campaign
+from repro.data.space import TABLE1_SPACE
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(np.random.default_rng(42))
+
+
+class TestCampaignLayout:
+    def test_600_jobs(self, campaign):
+        assert len(campaign.records) == 600
+        assert len(campaign.dataset) == 600
+
+    def test_525_unique(self, campaign):
+        assert campaign.dataset.num_unique_configs() == 525
+
+    def test_repeat_structure(self, campaign):
+        """75 repeat rows: some configs measured twice, some three times."""
+        X = campaign.dataset.X
+        _, counts = np.unique(X, axis=0, return_counts=True)
+        assert counts.sum() == 600
+        assert np.all(counts <= 3)
+        assert np.sum(counts >= 2) > 0
+        assert np.sum(counts == 3) > 0
+
+    def test_all_on_grid(self, campaign):
+        grid_feats = {g.as_features() for g in TABLE1_SPACE.grid()}
+        for rec in campaign.records:
+            assert rec.features in grid_feats
+
+    def test_bounds_are_design_bounds(self, campaign):
+        assert np.allclose(campaign.dataset.bounds, TABLE1_SPACE.bounds())
+
+    def test_expensive_regimes_excluded(self, campaign):
+        assert campaign.excluded_combinations > 0
+        assert campaign.dataset.wall.max() <= 4500.0 * 1.3  # cap + noise
+
+    def test_no_failed_or_bugged_rows(self, campaign):
+        assert all(r.rss_reported and not r.failed for r in campaign.records)
+
+
+class TestCampaignStatistics:
+    def test_cost_dynamic_range_order_of_magnitude(self, campaign):
+        """The paper reports 5.4e3; the regenerated dataset must land in
+        the same order of magnitude."""
+        ratio = campaign.dataset.cost_dynamic_range()
+        assert 5e2 < ratio < 5e4
+
+    def test_memory_long_tailed(self, campaign):
+        mem = campaign.dataset.mem
+        assert mem.max() / np.median(mem) > 5.0
+
+    def test_memory_limit_has_violators(self, campaign):
+        """A few percent of jobs must exceed L_mem for RGMA to matter."""
+        lm = campaign.dataset.memory_limit()
+        frac = (campaign.dataset.mem >= lm).mean()
+        assert 0.01 < frac < 0.20
+
+    def test_total_core_hours_order(self, campaign):
+        """Paper used over 30K core-hours; the simulated campaign should be
+        within an order of magnitude."""
+        assert 3e3 < campaign.total_core_hours < 3e5
+
+
+class TestDeterminismAndValidation:
+    def test_same_seed_same_dataset(self):
+        a = run_campaign(np.random.default_rng(3)).dataset
+        b = run_campaign(np.random.default_rng(3)).dataset
+        assert np.array_equal(a.X, b.X)
+        assert np.array_equal(a.cost, b.cost)
+
+    def test_different_seed_different_selection(self):
+        a = run_campaign(np.random.default_rng(3)).dataset
+        b = run_campaign(np.random.default_rng(4)).dataset
+        assert not np.array_equal(a.X, b.X)
+
+    def test_small_campaign(self):
+        cfg = CampaignConfig(num_unique=50, num_repeats=10)
+        res = run_campaign(np.random.default_rng(0), config=cfg)
+        assert len(res.dataset) == 60
+
+    def test_impossible_selection_rejected(self):
+        cfg = CampaignConfig(num_unique=5000)
+        with pytest.raises(ValueError):
+            run_campaign(np.random.default_rng(0), config=cfg)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(num_unique=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(sparsity=-1.0)
+        with pytest.raises(ValueError):
+            CampaignConfig(triple_fraction=1.5)

@@ -1,0 +1,125 @@
+"""Tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.machine.accounting import JobRecord
+
+
+def tiny_dataset(n=10, seed=0) -> Dataset:
+    rng = np.random.default_rng(seed)
+    X = np.column_stack([
+        rng.choice([4, 8, 16, 32], n),
+        rng.choice([8, 16, 32], n),
+        rng.choice([3, 4, 5, 6], n),
+        rng.uniform(0.2, 0.5, n),
+        rng.uniform(0.02, 0.5, n),
+    ]).astype(float)
+    return Dataset(
+        X=X,
+        wall=rng.uniform(2, 4000, n),
+        cost=rng.uniform(0.002, 12, n),
+        mem=rng.uniform(0.02, 33, n),
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        ds = tiny_dataset()
+        assert len(ds) == 10
+        assert ds.bounds.shape == (2, 5)
+
+    def test_rejects_nonpositive_responses(self):
+        ds = tiny_dataset()
+        with pytest.raises(ValueError):
+            Dataset(X=ds.X, wall=ds.wall, cost=ds.cost * 0.0, mem=ds.mem)
+
+    def test_rejects_misaligned(self):
+        ds = tiny_dataset()
+        with pytest.raises(ValueError):
+            Dataset(X=ds.X, wall=ds.wall[:-1], cost=ds.cost, mem=ds.mem)
+
+    def test_rejects_bad_bounds(self):
+        ds = tiny_dataset()
+        bad = np.zeros((2, 5))
+        with pytest.raises(ValueError):
+            Dataset(X=ds.X, wall=ds.wall, cost=ds.cost, mem=ds.mem, bounds=bad)
+
+    def test_from_records(self):
+        recs = [
+            JobRecord(i, (4.0 + i, 8.0 + i, 3.0 + i, 0.3 + 0.01 * i, 0.1 + 0.01 * i),
+                      10.0 + i, 4, 1.0 + i)
+            for i in range(5)
+        ]
+        ds = Dataset.from_records(recs)
+        assert len(ds) == 5
+        assert ds.cost[0] == pytest.approx(10.0 * 4 / 3600.0)
+
+    def test_from_records_rejects_bugged(self):
+        recs = [JobRecord(0, (4.0, 8.0, 3.0, 0.3, 0.1), 10.0, 4, 0.0)]
+        with pytest.raises(ValueError, match="MaxRSS"):
+            Dataset.from_records(recs)
+
+
+class TestTransforms:
+    def test_scaled_features_in_unit_cube(self):
+        ds = tiny_dataset()
+        U = ds.scaled_features()
+        assert U.min() >= 0.0 and U.max() <= 1.0
+        assert U.shape == ds.X.shape
+
+    def test_scaling_respects_given_bounds(self):
+        ds = tiny_dataset()
+        wide = np.vstack([ds.bounds[0] - 1.0, ds.bounds[1] + 1.0])
+        ds2 = Dataset(X=ds.X, wall=ds.wall, cost=ds.cost, mem=ds.mem, bounds=wide)
+        U = ds2.scaled_features()
+        assert U.min() > 0.0 and U.max() < 1.0
+
+    def test_log_transforms(self):
+        ds = tiny_dataset()
+        assert np.allclose(10.0 ** ds.log_cost(), ds.cost)
+        assert np.allclose(10.0 ** ds.log_mem(), ds.mem)
+
+    def test_subset_keeps_bounds(self):
+        ds = tiny_dataset()
+        sub = ds.subset(np.array([0, 2, 4]))
+        assert len(sub) == 3
+        assert np.array_equal(sub.bounds, ds.bounds)
+
+
+class TestDerived:
+    def test_cost_dynamic_range(self):
+        ds = tiny_dataset()
+        assert ds.cost_dynamic_range() == pytest.approx(ds.cost.max() / ds.cost.min())
+
+    def test_num_unique_configs_counts_repeats_once(self):
+        ds = tiny_dataset()
+        X = np.vstack([ds.X, ds.X[:3]])
+        d2 = Dataset(
+            X=X,
+            wall=np.concatenate([ds.wall, ds.wall[:3]]),
+            cost=np.concatenate([ds.cost, ds.cost[:3]]),
+            mem=np.concatenate([ds.mem, ds.mem[:3]]),
+        )
+        assert d2.num_unique_configs() == ds.num_unique_configs()
+
+    def test_memory_limit_42_percent_equivalence(self):
+        """10**(0.95*log10(max_bytes)) equals max**0.95 in bytes, i.e.
+        ~42% of a ~32.5 MB maximum — the paper's stated equivalence."""
+        ds = tiny_dataset()
+        # Force a known maximum.
+        mem = ds.mem.copy()
+        mem[0] = 32.56
+        mem = np.minimum(mem, 32.56)
+        d2 = Dataset(X=ds.X, wall=ds.wall, cost=ds.cost, mem=mem)
+        lm = d2.memory_limit(log_fraction=0.95)
+        assert lm / 32.56 == pytest.approx(0.42, abs=0.01)
+
+    def test_memory_limit_full_fraction_is_max(self):
+        ds = tiny_dataset()
+        assert ds.memory_limit(log_fraction=1.0) == pytest.approx(ds.mem.max())
+
+    def test_memory_limit_validation(self):
+        with pytest.raises(ValueError):
+            tiny_dataset().memory_limit(log_fraction=0.0)

@@ -1,0 +1,56 @@
+"""Tests for the Table I parameter space."""
+
+import numpy as np
+import pytest
+
+from repro.data.space import TABLE1_SPACE, ParameterSpace
+from repro.machine.runner import JobConfig
+
+
+class TestTable1Space:
+    def test_total_combinations(self):
+        assert TABLE1_SPACE.num_combinations == 1920
+
+    def test_grid_size_and_uniqueness(self):
+        grid = TABLE1_SPACE.grid()
+        assert len(grid) == 1920
+        assert len({g.as_features() for g in grid}) == 1920
+
+    def test_marginal_extremes_match_table1(self):
+        assert (min(TABLE1_SPACE.p_values), max(TABLE1_SPACE.p_values)) == (4, 32)
+        assert (min(TABLE1_SPACE.mx_values), max(TABLE1_SPACE.mx_values)) == (8, 32)
+        assert (min(TABLE1_SPACE.maxlevel_values), max(TABLE1_SPACE.maxlevel_values)) == (3, 6)
+        assert TABLE1_SPACE.r0_values[0] == pytest.approx(0.2)
+        assert TABLE1_SPACE.r0_values[-1] == pytest.approx(0.5)
+        assert TABLE1_SPACE.rhoin_values[0] == pytest.approx(0.02)
+        assert TABLE1_SPACE.rhoin_values[-1] == pytest.approx(0.5)
+
+    def test_bounds_shape_and_values(self):
+        b = TABLE1_SPACE.bounds()
+        assert b.shape == (2, 5)
+        assert np.allclose(b[0], [4, 8, 3, 0.2, 0.02])
+        assert np.allclose(b[1], [32, 32, 6, 0.5, 0.5])
+
+    def test_contains(self):
+        assert TABLE1_SPACE.contains(JobConfig(p=4, mx=8, maxlevel=3, r0=0.2, rhoin=0.02))
+        assert not TABLE1_SPACE.contains(JobConfig(p=6, mx=8, maxlevel=3, r0=0.2, rhoin=0.02))
+        assert not TABLE1_SPACE.contains(JobConfig(p=4, mx=8, maxlevel=3, r0=0.21, rhoin=0.02))
+
+    def test_grid_order_deterministic(self):
+        g1 = TABLE1_SPACE.grid()
+        g2 = TABLE1_SPACE.grid()
+        assert g1 == g2
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ParameterSpace(p_values=())
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            ParameterSpace(p_values=(8, 4))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            ParameterSpace(p_values=(4, 4, 8))

@@ -1,0 +1,90 @@
+"""Tests for Table I summaries and dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_csv, load_npz, save_csv, save_npz
+from repro.data.summary import (
+    TABLE1_LABELS,
+    TABLE1_PAPER,
+    render_table1,
+    summarize_dataset,
+    table1_rows,
+)
+
+from tests.data.test_dataset import tiny_dataset
+
+
+class TestSummary:
+    def test_all_columns_present(self):
+        s = summarize_dataset(tiny_dataset())
+        assert set(s) == set(TABLE1_LABELS)
+
+    def test_statistics_correct(self):
+        ds = tiny_dataset()
+        s = summarize_dataset(ds)["cost_node_hours"]
+        assert s.minimum == pytest.approx(ds.cost.min())
+        assert s.median == pytest.approx(np.median(ds.cost))
+        assert s.mean == pytest.approx(ds.cost.mean())
+        assert s.maximum == pytest.approx(ds.cost.max())
+
+    def test_rows_in_table_order(self):
+        rows = table1_rows(tiny_dataset())
+        labels = [r[0] for r in rows]
+        assert labels == list(TABLE1_LABELS.values())
+
+    def test_render_includes_paper_reference(self):
+        text = render_table1(tiny_dataset(), compare_paper=True)
+        assert "paper" in text
+        assert "11.853" in text or "11.85" in text
+
+    def test_render_without_reference(self):
+        text = render_table1(tiny_dataset(), compare_paper=False)
+        assert "paper" not in text
+
+    def test_paper_reference_values_sane(self):
+        assert TABLE1_PAPER["cost_node_hours"][3] == pytest.approx(11.853)
+        assert TABLE1_PAPER["max_rss_MB"][3] == pytest.approx(32.56)
+
+
+class TestIO:
+    def test_npz_roundtrip(self, tmp_path):
+        ds = tiny_dataset()
+        path = tmp_path / "d.npz"
+        save_npz(ds, path)
+        back = load_npz(path)
+        assert np.array_equal(back.X, ds.X)
+        assert np.array_equal(back.cost, ds.cost)
+        assert np.array_equal(back.mem, ds.mem)
+        assert np.array_equal(back.bounds, ds.bounds)
+
+    def test_csv_roundtrip(self, tmp_path):
+        ds = tiny_dataset()
+        path = tmp_path / "d.csv"
+        save_csv(ds, path)
+        back = load_csv(path)
+        assert np.allclose(back.X, ds.X, rtol=1e-9)
+        assert np.allclose(back.cost, ds.cost, rtol=1e-9)
+
+    def test_csv_bounds_recomputed_or_given(self, tmp_path):
+        ds = tiny_dataset()
+        path = tmp_path / "d.csv"
+        save_csv(ds, path)
+        back = load_csv(path, bounds=ds.bounds)
+        assert np.array_equal(back.bounds, ds.bounds)
+
+    def test_csv_rejects_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            load_csv(path)
+
+    def test_csv_rejects_empty(self, tmp_path):
+        ds = tiny_dataset()
+        path = tmp_path / "empty.csv"
+        save_csv(ds.subset(np.array([0])), path)
+        # Rewrite with header only.
+        header = path.read_text().splitlines()[0]
+        path.write_text(header + "\n")
+        with pytest.raises(ValueError, match="empty"):
+            load_csv(path)

@@ -1,0 +1,175 @@
+"""Tests for the GP regressor: LML, fitting, prediction, calibration."""
+
+import numpy as np
+import pytest
+
+from repro.gp.gpr import GPRegressor
+from repro.gp.kernels import RBF, ConstantKernel, WhiteKernel, default_kernel
+
+
+def toy_data(n=40, d=2, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, (n, d))
+    y = np.sin(4 * X[:, 0]) + X[:, 1] ** 2 + noise * rng.standard_normal(n)
+    return X, y
+
+
+def toy_truth(X):
+    return np.sin(4 * X[:, 0]) + X[:, 1] ** 2
+
+
+class TestLML:
+    def test_gradient_matches_numeric(self, rng):
+        X, y = toy_data()
+        gp = GPRegressor(rng=rng)
+        gp.X_train_, gp.y_train_ = X, y
+        gp._y_mean = float(y.mean())
+        theta = gp.kernel.theta
+        lml, grad = gp.log_marginal_likelihood(theta, eval_gradient=True)
+        eps = 1e-6
+        for j in range(theta.size):
+            tp, tm = theta.copy(), theta.copy()
+            tp[j] += eps
+            tm[j] -= eps
+            num = (
+                gp.log_marginal_likelihood(tp) - gp.log_marginal_likelihood(tm)
+            ) / (2 * eps)
+            assert grad[j] == pytest.approx(num, rel=1e-4, abs=1e-7)
+
+    def test_lml_increases_after_fit(self, rng):
+        X, y = toy_data()
+        gp = GPRegressor(rng=rng, n_restarts=2)
+        prior_theta = gp.kernel.theta.copy()
+        gp.fit(X, y)
+        assert gp.log_marginal_likelihood(gp.kernel_.theta) >= gp.log_marginal_likelihood(
+            prior_theta
+        )
+
+    def test_lml_requires_fit_data(self, rng):
+        gp = GPRegressor(rng=rng)
+        with pytest.raises(RuntimeError):
+            gp.log_marginal_likelihood(gp.kernel.theta)
+
+
+class TestFitPredict:
+    def test_interpolates_training_data(self, rng):
+        X, y = toy_data(noise=0.0)
+        gp = GPRegressor(
+            kernel=ConstantKernel(1.0) * RBF(0.5) + WhiteKernel(1e-6, bounds=(1e-8, 1e-4)),
+            rng=rng,
+        )
+        gp.fit(X, y)
+        mu = gp.predict(X)
+        assert np.max(np.abs(mu - y)) < 1e-3
+
+    def test_generalizes(self, rng):
+        X, y = toy_data(n=60)
+        gp = GPRegressor(rng=rng, n_restarts=3)
+        gp.fit(X, y)
+        Xt = np.random.default_rng(9).uniform(0, 1, (200, 2))
+        mu = gp.predict(Xt)
+        rmse = float(np.sqrt(np.mean((mu - toy_truth(Xt)) ** 2)))
+        assert rmse < 0.15
+
+    def test_std_small_at_data_large_away(self, rng):
+        X = np.array([[0.2, 0.2], [0.3, 0.3], [0.25, 0.25]])
+        y = np.array([1.0, 1.1, 1.05])
+        gp = GPRegressor(rng=rng, n_restarts=0)
+        gp.fit(X, y)
+        _, sd_near = gp.predict(np.array([[0.25, 0.26]]), return_std=True)
+        _, sd_far = gp.predict(np.array([[0.95, 0.95]]), return_std=True)
+        assert sd_far[0] > sd_near[0]
+
+    def test_coverage_calibration(self, rng):
+        """~all test errors inside 3 predictive sigmas on smooth data."""
+        X, y = toy_data(n=80)
+        gp = GPRegressor(rng=rng, n_restarts=2)
+        gp.fit(X, y)
+        Xt = np.random.default_rng(11).uniform(0, 1, (300, 2))
+        mu, sd = gp.predict(Xt, return_std=True)
+        frac = np.mean(np.abs(mu - toy_truth(Xt)) < 3 * sd + 0.05)
+        assert frac > 0.95
+
+    def test_prior_prediction_before_fit(self, rng):
+        gp = GPRegressor(rng=rng)
+        mu, sd = gp.predict(np.zeros((3, 2)), return_std=True)
+        assert np.allclose(mu, 0.0)
+        assert np.all(sd > 0.0)
+
+    def test_single_sample_fit(self, rng):
+        gp = GPRegressor(rng=rng)
+        gp.fit(np.array([[0.5, 0.5]]), np.array([2.0]))
+        mu = gp.predict(np.array([[0.5, 0.5]]))
+        assert mu[0] == pytest.approx(2.0, abs=0.1)
+
+    def test_normalize_y_restores_mean(self, rng):
+        X, y = toy_data()
+        y = y + 100.0
+        gp = GPRegressor(rng=rng)
+        gp.fit(X, y)
+        mu = gp.predict(X)
+        assert np.abs(mu - y).max() < 1.0
+
+    def test_input_validation(self, rng):
+        gp = GPRegressor(rng=rng)
+        with pytest.raises(ValueError):
+            gp.fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            gp.fit(np.zeros(3), np.zeros(3))
+
+    def test_restarts_require_rng(self):
+        with pytest.raises(ValueError):
+            GPRegressor(n_restarts=2, rng=None)
+
+
+class TestWarmStartAndRefactor:
+    def test_second_fit_warm_starts(self, rng):
+        X, y = toy_data(n=30)
+        gp = GPRegressor(rng=rng, n_restarts=2)
+        gp.fit(X, y)
+        theta1 = gp.kernel_.theta.copy()
+        X2, y2 = toy_data(n=35, seed=1)
+        gp.fit(X2, y2)
+        # Warm start: second fit runs one optimization from theta1; the new
+        # optimum should be in theta1's vicinity for similar data.
+        assert np.linalg.norm(gp.kernel_.theta - theta1) < 3.0
+
+    def test_refactor_keeps_hyperparameters(self, rng):
+        X, y = toy_data(n=30)
+        gp = GPRegressor(rng=rng)
+        gp.fit(X, y)
+        theta = gp.kernel_.theta.copy()
+        X2, y2 = toy_data(n=40, seed=2)
+        gp.refactor(X2, y2)
+        assert np.array_equal(gp.kernel_.theta, theta)
+        # But the predictions now reflect the new data.
+        mu = gp.predict(X2)
+        assert np.sqrt(np.mean((mu - y2) ** 2)) < 0.2
+
+    def test_refactor_requires_fit(self, rng):
+        gp = GPRegressor(rng=rng)
+        with pytest.raises(RuntimeError):
+            gp.refactor(np.zeros((2, 2)), np.zeros(2))
+
+
+class TestSampling:
+    def test_sample_shapes(self, rng):
+        X, y = toy_data(n=20)
+        gp = GPRegressor(rng=rng)
+        gp.fit(X, y)
+        s = gp.sample_y(np.random.default_rng(0).uniform(0, 1, (15, 2)), rng, n_samples=5)
+        assert s.shape == (5, 15)
+
+    def test_posterior_samples_near_data(self, rng):
+        X, y = toy_data(n=40, noise=0.01)
+        gp = GPRegressor(rng=rng, n_restarts=2)
+        gp.fit(X, y)
+        s = gp.sample_y(X, rng, n_samples=20)
+        spread = np.abs(s - y[None, :]).mean()
+        assert spread < 0.5
+
+    def test_prior_samples_have_kernel_scale(self, rng):
+        gp = GPRegressor(kernel=default_kernel(amplitude=4.0, noise_level=1e-4), rng=rng)
+        s = gp.sample_y(np.linspace(0, 1, 50)[:, None], rng, n_samples=50)
+        # Prior std = sqrt(4.0) = 2: sample std should be near 2.
+        assert 1.0 < s.std() < 3.0

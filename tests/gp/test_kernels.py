@@ -1,0 +1,191 @@
+"""Tests for covariance functions: values, gradients, composition, PSD."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gp.kernels import (
+    RBF,
+    ConstantKernel,
+    Matern,
+    Product,
+    Sum,
+    WhiteKernel,
+    default_kernel,
+)
+
+ALL_SIMPLE = [
+    ConstantKernel(2.0),
+    WhiteKernel(0.1),
+    RBF(0.5),
+    RBF([0.5, 1.0, 2.0]),
+    Matern(0.7, nu=0.5),
+    Matern(0.7, nu=1.5),
+    Matern(0.7, nu=2.5),
+]
+
+
+def random_X(n=12, d=3, seed=0):
+    return np.random.default_rng(seed).uniform(0, 1, (n, d))
+
+
+def numeric_gradient(kernel, X, eps=1e-6):
+    theta = kernel.theta
+    K0 = kernel(X)
+    grads = np.empty(K0.shape + (theta.size,))
+    for j in range(theta.size):
+        tp, tm = theta.copy(), theta.copy()
+        tp[j] += eps
+        tm[j] -= eps
+        grads[:, :, j] = (kernel.with_theta(tp)(X) - kernel.with_theta(tm)(X)) / (2 * eps)
+    return grads
+
+
+@pytest.mark.parametrize("kernel", ALL_SIMPLE, ids=lambda k: repr(k))
+class TestKernelContracts:
+    def test_symmetry(self, kernel):
+        X = random_X()
+        K = kernel(X)
+        assert np.allclose(K, K.T)
+
+    def test_psd(self, kernel):
+        X = random_X()
+        K = kernel(X)
+        eig = np.linalg.eigvalsh(K)
+        assert eig.min() > -1e-10
+
+    def test_diag_matches_full(self, kernel):
+        X = random_X()
+        assert np.allclose(kernel.diag(X), np.diag(kernel(X)))
+
+    def test_analytic_gradient_matches_numeric(self, kernel):
+        X = random_X(d=3)
+        _, G = kernel(X, eval_gradient=True)
+        Gn = numeric_gradient(kernel, X)
+        assert np.allclose(G, Gn, rtol=1e-5, atol=1e-8)
+
+    def test_theta_roundtrip(self, kernel):
+        k2 = kernel.with_theta(kernel.theta)
+        X = random_X()
+        assert np.allclose(kernel(X), k2(X))
+
+    def test_bounds_shape(self, kernel):
+        b = kernel.bounds
+        assert b.shape == (kernel.n_theta, 2)
+        assert np.all(b[:, 0] < b[:, 1])
+
+
+class TestRBF:
+    def test_known_value(self):
+        X = np.array([[0.0], [1.0]])
+        K = RBF(1.0)(X)
+        assert K[0, 1] == pytest.approx(np.exp(-0.5))
+
+    def test_length_scale_effect(self):
+        X = np.array([[0.0], [1.0]])
+        assert RBF(2.0)(X)[0, 1] > RBF(0.5)(X)[0, 1]
+
+    def test_cross_covariance_shape(self):
+        K = RBF(1.0)(random_X(5), random_X(7, seed=1))
+        assert K.shape == (5, 7)
+
+    def test_anisotropic_directions_differ(self):
+        k = RBF([0.1, 10.0])
+        X = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        K = k(X)
+        assert K[0, 1] < K[0, 2]  # short scale in x decays faster
+
+    def test_anisotropic_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            RBF([1.0, 1.0])(random_X(d=3))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            RBF(0.0)
+
+
+class TestMatern:
+    def test_nu_half_is_exponential(self):
+        X = np.array([[0.0], [1.0]])
+        K = Matern(1.0, nu=0.5)(X)
+        assert K[0, 1] == pytest.approx(np.exp(-1.0))
+
+    def test_smoothness_ordering_at_small_distance(self):
+        """Near the origin, rougher kernels decorrelate faster: the nu=0.5
+        kernel drops linearly in r while smoother members drop like r^2,
+        so k(0.5) < k(1.5) < k(2.5) < RBF at small r."""
+        X = np.array([[0.0], [0.1]])
+        k05 = Matern(1.0, nu=0.5)(X)[0, 1]
+        k15 = Matern(1.0, nu=1.5)(X)[0, 1]
+        k25 = Matern(1.0, nu=2.5)(X)[0, 1]
+        rbf = RBF(1.0)(X)[0, 1]
+        assert k05 < k15 < k25 < rbf
+
+    def test_rejects_other_nu(self):
+        with pytest.raises(ValueError):
+            Matern(1.0, nu=2.0)
+
+
+class TestWhite:
+    def test_diagonal_only_on_training(self):
+        X = random_X(5)
+        k = WhiteKernel(0.3)
+        assert np.allclose(k(X), 0.3 * np.eye(5))
+        assert np.allclose(k(X, random_X(4, seed=2)), 0.0)
+
+
+class TestComposition:
+    def test_sum_values(self):
+        X = random_X()
+        k = RBF(1.0) + WhiteKernel(0.2)
+        assert isinstance(k, Sum)
+        assert np.allclose(k(X), RBF(1.0)(X) + WhiteKernel(0.2)(X))
+
+    def test_product_values(self):
+        X = random_X()
+        k = ConstantKernel(3.0) * RBF(1.0)
+        assert isinstance(k, Product)
+        assert np.allclose(k(X), 3.0 * RBF(1.0)(X))
+
+    def test_composite_theta_concatenation(self):
+        k = ConstantKernel(2.0) * RBF(0.5) + WhiteKernel(0.1)
+        assert k.n_theta == 3
+        assert np.allclose(np.exp(k.theta), [2.0, 0.5, 0.1])
+
+    def test_composite_gradient_matches_numeric(self):
+        k = ConstantKernel(2.0) * RBF(0.5) + WhiteKernel(0.1)
+        X = random_X()
+        _, G = k(X, eval_gradient=True)
+        assert np.allclose(G, numeric_gradient(k, X), rtol=1e-5, atol=1e-8)
+
+    def test_composite_with_theta(self):
+        k = ConstantKernel(2.0) * RBF(0.5) + WhiteKernel(0.1)
+        k2 = k.with_theta(np.log([4.0, 1.0, 0.2]))
+        assert np.allclose(np.exp(k2.theta), [4.0, 1.0, 0.2])
+
+    @given(st.floats(min_value=0.05, max_value=5.0), st.floats(min_value=0.05, max_value=5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_default_kernel_psd(self, amp, ls):
+        k = default_kernel(length_scale=ls, amplitude=amp, noise_level=1e-3)
+        K = k(random_X(10, 5))
+        assert np.linalg.eigvalsh(K).min() > -1e-10
+
+
+class TestDefaultKernel:
+    def test_structure(self):
+        k = default_kernel()
+        assert k.n_theta == 3
+
+    def test_matern_variant(self):
+        k = default_kernel(matern_nu=1.5)
+        X = random_X()
+        assert np.all(np.isfinite(k(X)))
+
+    def test_anisotropic_variant(self):
+        k = default_kernel(anisotropic_dims=5)
+        assert k.n_theta == 1 + 5 + 1
+
+    def test_anisotropic_matern_rejected(self):
+        with pytest.raises(ValueError):
+            default_kernel(anisotropic_dims=3, matern_nu=1.5)

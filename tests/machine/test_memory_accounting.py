@@ -1,0 +1,77 @@
+"""Tests for the memory model and SLURM-style accounting."""
+
+import numpy as np
+import pytest
+
+from repro.machine.accounting import JobRecord, SlurmAccounting, filter_usable
+from repro.machine.memory_model import MemoryModel
+from repro.machine.perf_model import estimate_work
+from repro.machine.spec import EDISON
+
+
+class TestMemoryModel:
+    @pytest.fixture
+    def mem(self):
+        return MemoryModel(EDISON)
+
+    def test_patch_bytes(self, mem):
+        # mx=8, ng=2 -> 12x12 cells x 4 fields x 8 bytes
+        assert mem.patch_bytes(8, 2) == 4 * 144 * 8
+
+    def test_more_nodes_less_memory_per_task(self, mem):
+        work = estimate_work(mx=16, max_level=5, r0=0.3, rhoin=0.1)
+        assert mem.max_rss_MB(work, 4) > mem.max_rss_MB(work, 32)
+
+    def test_memory_grows_with_problem(self, mem):
+        small = estimate_work(mx=8, max_level=3, r0=0.2, rhoin=0.5)
+        large = estimate_work(mx=32, max_level=6, r0=0.4, rhoin=0.05)
+        assert mem.max_rss_MB(large, 8) > 10 * mem.max_rss_MB(small, 8)
+
+    def test_baseline_floor(self, mem):
+        tiny = estimate_work(mx=8, max_level=3, r0=0.2, rhoin=0.5)
+        assert mem.max_rss_MB(tiny, 32) >= mem.base_rss_MB
+
+    def test_fits_node_for_dataset_scale(self, mem):
+        """Every Table-I configuration is far below 64 GB per node, matching
+        the authors' observation that they never came close to node DRAM."""
+        work = estimate_work(mx=32, max_level=6, r0=0.5, rhoin=0.02)
+        assert mem.fits_node(work, 4)
+
+
+class TestJobRecord:
+    def test_cost_node_hours(self):
+        r = JobRecord(1, (4, 8, 3, 0.3, 0.1), wall_seconds=3600.0, nodes=4, max_rss_MB=5.0)
+        assert r.cost_node_hours == pytest.approx(4.0)
+
+    def test_rss_reported(self):
+        good = JobRecord(1, (), 10.0, 4, max_rss_MB=1.0)
+        bugged = JobRecord(2, (), 10.0, 4, max_rss_MB=0.0)
+        assert good.rss_reported and not bugged.rss_reported
+
+
+class TestSlurmAccountingBug:
+    def test_long_jobs_never_lose_rss(self, rng):
+        acct = SlurmAccounting(rss_bug_wall_threshold_s=139.0, rss_bug_probability=1.0)
+        r = JobRecord(1, (), wall_seconds=500.0, nodes=4, max_rss_MB=3.0)
+        assert acct.finalize(r, rng).max_rss_MB == 3.0
+
+    def test_short_jobs_lose_rss_with_probability(self):
+        acct = SlurmAccounting(rss_bug_probability=0.5)
+        rng = np.random.default_rng(0)
+        rows = [
+            acct.finalize(
+                JobRecord(i, (), wall_seconds=10.0, nodes=4, max_rss_MB=3.0), rng
+            )
+            for i in range(400)
+        ]
+        zeroed = sum(1 for r in rows if not r.rss_reported)
+        assert 140 < zeroed < 260  # ~50% +- noise
+
+    def test_filter_usable(self):
+        rows = [
+            JobRecord(1, (), 10.0, 4, max_rss_MB=1.0),
+            JobRecord(2, (), 10.0, 4, max_rss_MB=0.0),
+            JobRecord(3, (), 10.0, 4, max_rss_MB=2.0, failed=True),
+        ]
+        usable = filter_usable(rows)
+        assert [r.job_id for r in usable] == [1]

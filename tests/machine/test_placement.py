@@ -1,0 +1,90 @@
+"""Tests for placing AMR hierarchies onto ranks."""
+
+import numpy as np
+import pytest
+
+from repro.machine.placement import (
+    Placement,
+    leaf_weights,
+    place_forest,
+    remote_face_fraction,
+)
+from repro.mesh.balance import balance_forest
+from repro.mesh.forest import BrickTopology, Forest
+
+
+def refined_forest() -> Forest:
+    f = Forest(BrickTopology(2, 1), initial_level=2)
+    # Refine a cluster in tree 0 and rebalance.
+    for q in list(f.trees[0].leaves)[:4]:
+        f.trees[0].refine(q)
+    balance_forest(f)
+    return f
+
+
+class TestLeafWeights:
+    def test_uniform_per_patch(self):
+        f = Forest(BrickTopology(1, 1), initial_level=1)
+        w = leaf_weights(f, mx=8)
+        assert w.shape == (4,)
+        assert np.all(w == 64.0)
+
+
+class TestPlaceForest:
+    def test_assignment_covers_all_leaves(self):
+        f = refined_forest()
+        pl = place_forest(f, num_ranks=4, mx=8)
+        assert pl.assignment.shape == (len(f),)
+        assert pl.assignment.min() >= 0 and pl.assignment.max() < 4
+
+    def test_contiguous_curve_assignment(self):
+        f = refined_forest()
+        pl = place_forest(f, num_ranks=4, mx=8)
+        assert np.all(np.diff(pl.assignment) >= 0)
+
+    def test_rank_bytes(self):
+        f = Forest(BrickTopology(1, 1), initial_level=1)  # 4 leaves
+        pl = place_forest(f, num_ranks=2, mx=8, ng=2)
+        patch_bytes = 4 * 12 * 12 * 8
+        assert pl.rank_bytes.tolist() == [2 * patch_bytes, 2 * patch_bytes]
+        assert pl.max_rank_bytes == 2 * patch_bytes
+
+    def test_balance_with_equal_weights(self):
+        f = Forest(BrickTopology(2, 1), initial_level=2)  # 32 leaves
+        pl = place_forest(f, num_ranks=8, mx=8)
+        assert pl.stats.imbalance == pytest.approx(0.0)
+
+    def test_more_ranks_than_leaves(self):
+        f = Forest(BrickTopology(1, 1), initial_level=0)
+        pl = place_forest(f, num_ranks=16, mx=8)
+        assert pl.rank_bytes.shape == (16,)
+        assert pl.rank_bytes.sum() == 4 * 12 * 12 * 8
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ValueError):
+            place_forest(Forest(BrickTopology(1, 1)), 0, 8)
+
+
+class TestRemoteFaceFraction:
+    def test_single_rank_no_remote(self):
+        f = refined_forest()
+        pl = place_forest(f, num_ranks=1, mx=8)
+        assert remote_face_fraction(f, pl.assignment) == 0.0
+
+    def test_curve_partition_keeps_fraction_moderate(self):
+        """Morton contiguity: the remote fraction stays well below 1 and
+        below a random shuffle of the same assignment."""
+        f = Forest(BrickTopology(2, 2), initial_level=3)  # 256 leaves
+        pl = place_forest(f, num_ranks=8, mx=8)
+        curve_frac = remote_face_fraction(f, pl.assignment)
+        rng = np.random.default_rng(0)
+        shuffled = pl.assignment.copy()
+        rng.shuffle(shuffled)
+        random_frac = remote_face_fraction(f, shuffled)
+        assert curve_frac < 0.5
+        assert curve_frac < random_frac
+
+    def test_mismatched_assignment_rejected(self):
+        f = refined_forest()
+        with pytest.raises(ValueError):
+            remote_face_fraction(f, np.zeros(3, dtype=int))

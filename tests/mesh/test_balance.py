@@ -1,0 +1,97 @@
+"""Tests for 2:1 balance enforcement."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.balance import balance_deficits, balance_forest, is_balanced
+from repro.mesh.forest import BrickTopology, Forest
+
+
+def deep_refine(forest: Forest, tree: int, leaf_pos: int, times: int) -> None:
+    """Refine the leaf at ``leaf_pos`` (and its first child, repeatedly)."""
+    q = forest.trees[tree].leaves[leaf_pos]
+    for _ in range(times):
+        children = forest.trees[tree].refine(q)
+        q = children[0]
+
+
+class TestDetection:
+    def test_uniform_is_balanced(self):
+        assert is_balanced(Forest(BrickTopology(2, 2), initial_level=2))
+
+    def test_one_level_difference_is_balanced(self):
+        f = Forest(BrickTopology(1, 1), initial_level=1)
+        f.trees[0].refine(f.trees[0].leaves[0])
+        assert is_balanced(f)
+
+    def test_two_level_difference_detected(self):
+        f = Forest(BrickTopology(1, 1), initial_level=1)
+        deep_refine(f, 0, 0, 2)  # leaf at level 3 next to level-1 leaves
+        assert not is_balanced(f)
+        deficits = balance_deficits(f)
+        assert deficits, "expected at least one deficit"
+        # Every reported deficit is a genuine >1 level gap.
+        for _, q, worst in deficits:
+            assert worst > q.level + 1
+
+    def test_cross_tree_imbalance_detected(self):
+        f = Forest(BrickTopology(2, 1), initial_level=0)
+        # Deeply refine the right edge of tree 0; tree 1 stays at level 0.
+        deep_refine(f, 0, 0, 1)
+        # refine quadrant (1,1,0) twice (the one touching tree 1)
+        q = [q for q in f.trees[0].leaves if q.level == 1 and q.x == 1 and q.y == 0][0]
+        children = f.trees[0].refine(q)
+        f.trees[0].refine(children[1])
+        assert not is_balanced(f)
+
+
+class TestEnforcement:
+    def test_balance_fixes_single_tree(self):
+        f = Forest(BrickTopology(1, 1), initial_level=1)
+        deep_refine(f, 0, 0, 3)
+        n = balance_forest(f)
+        assert n > 0
+        assert is_balanced(f)
+
+    def test_balance_fixes_cross_tree(self):
+        f = Forest(BrickTopology(2, 1), initial_level=1)
+        deep_refine(f, 0, 3, 3)
+        balance_forest(f)
+        assert is_balanced(f)
+
+    def test_balance_is_idempotent(self):
+        f = Forest(BrickTopology(2, 1), initial_level=1)
+        deep_refine(f, 0, 0, 3)
+        balance_forest(f)
+        assert balance_forest(f) == 0
+
+    def test_balance_preserves_area(self):
+        f = Forest(BrickTopology(2, 2), initial_level=1)
+        deep_refine(f, 0, 0, 3)
+        deep_refine(f, 3, 2, 2)
+        balance_forest(f)
+        for tree in f.trees:
+            assert abs(tree.covered_area() - 1.0) < 1e-12
+
+    def test_balance_never_coarsens(self):
+        f = Forest(BrickTopology(1, 1), initial_level=1)
+        deep_refine(f, 0, 0, 3)
+        max_before = f.max_level
+        before = len(f)
+        balance_forest(f)
+        assert len(f) >= before
+        assert f.max_level == max_before  # ripple refines, never deepens the max
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 30)), min_size=1, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_random_forests_become_balanced(self, ops):
+        f = Forest(BrickTopology(2, 2), initial_level=1)
+        rng = np.random.default_rng(0)
+        for tree, pos in ops:
+            leaves = f.trees[tree].leaves
+            q = leaves[pos % len(leaves)]
+            if q.level < 5:
+                f.trees[tree].refine(q)
+        balance_forest(f)
+        assert is_balanced(f)

@@ -1,0 +1,108 @@
+"""Tests for the Morton (Z-order) curve encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.morton import (
+    COORD_BITS,
+    deinterleave2,
+    interleave2,
+    morton_decode,
+    morton_encode,
+    morton_key,
+)
+
+coords = st.integers(min_value=0, max_value=2**COORD_BITS - 1)
+
+
+class TestInterleave:
+    def test_known_values(self):
+        # x=0b011, y=0b101 -> bits y2 x2 y1 x1 y0 x0 = 1 0 0 1 1 1
+        assert interleave2(3, 5) == 0b100111
+        assert interleave2(0, 0) == 0
+        assert interleave2(1, 0) == 1
+        assert interleave2(0, 1) == 2
+        assert interleave2(1, 1) == 3
+
+    def test_vectorized_matches_scalar(self):
+        x = np.arange(50, dtype=np.uint64)
+        y = np.arange(50, dtype=np.uint64)[::-1].copy()
+        codes = interleave2(x, y)
+        for i in range(50):
+            assert int(codes[i]) == interleave2(int(x[i]), int(y[i]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            interleave2(2**COORD_BITS, 0)
+        with pytest.raises(ValueError):
+            interleave2(0, 2**COORD_BITS)
+
+    @given(coords, coords)
+    @settings(max_examples=200)
+    def test_roundtrip(self, x, y):
+        assert deinterleave2(interleave2(x, y)) == (x, y)
+
+    @given(coords, coords, coords, coords)
+    def test_order_preserves_locality_diagonal(self, x1, y1, x2, y2):
+        # Monotone along the diagonal: if both coords strictly dominate,
+        # the Morton code strictly dominates too.
+        if x1 < x2 and y1 < y2:
+            assert interleave2(x1, y1) < interleave2(x2, y2)
+
+
+class TestMortonEncode:
+    def test_parent_key_equals_first_child_key(self):
+        # On the common finest lattice, a parent and its lower-left child
+        # share the Morton code.
+        for level, x, y in [(1, 0, 1), (2, 3, 2), (3, 5, 7)]:
+            parent = morton_encode(level, x, y, max_level=5)
+            child = morton_encode(level + 1, 2 * x, 2 * y, max_level=5)
+            assert parent == child
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ValueError):
+            morton_encode(6, 0, 0, max_level=5)
+        with pytest.raises(ValueError):
+            morton_encode(-1, 0, 0, max_level=5)
+
+    def test_rejects_coords_outside_level(self):
+        with pytest.raises(ValueError):
+            morton_encode(2, 4, 0, max_level=5)
+
+    @given(
+        st.integers(min_value=0, max_value=8),
+        st.data(),
+    )
+    def test_roundtrip_decode(self, level, data):
+        n = 2**level
+        x = data.draw(st.integers(min_value=0, max_value=n - 1))
+        y = data.draw(st.integers(min_value=0, max_value=n - 1))
+        code = morton_encode(level, x, y, max_level=10)
+        assert morton_decode(code, level, max_level=10) == (x, y)
+
+    def test_vectorized(self):
+        lv = np.full(16, 2)
+        x, y = np.meshgrid(np.arange(4), np.arange(4), indexing="ij")
+        codes = morton_encode(lv, x.ravel(), y.ravel(), max_level=4)
+        assert codes.shape == (16,)
+        assert np.unique(codes).size == 16
+
+
+class TestMortonKey:
+    def test_total_order_ancestor_precedes_descendants(self):
+        k_parent = morton_key(1, 1, 0, max_level=4)
+        # All level-2 descendants of (1, 1, 0)
+        for cx in (2, 3):
+            for cy in (0, 1):
+                assert morton_key(2, cx, cy, max_level=4) > k_parent
+
+    def test_distinct_quadrants_distinct_keys(self):
+        seen = set()
+        for level in range(4):
+            n = 2**level
+            for x in range(n):
+                for y in range(n):
+                    seen.add(morton_key(level, x, y, max_level=3))
+        assert len(seen) == sum(4**lv for lv in range(4))

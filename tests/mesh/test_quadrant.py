@@ -1,0 +1,147 @@
+"""Tests for quadrant family arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mesh.quadrant import (
+    MAX_LEVEL,
+    Quadrant,
+    descendants_at_level,
+    is_ancestor,
+    quadrant_children,
+    quadrant_neighbor,
+    quadrant_parent,
+    quadrant_siblings,
+    quadrants_overlap,
+    root_quadrant,
+)
+
+
+def random_quadrant(data, max_level=8) -> Quadrant:
+    level = data.draw(st.integers(min_value=0, max_value=max_level))
+    n = 2**level
+    x = data.draw(st.integers(min_value=0, max_value=n - 1))
+    y = data.draw(st.integers(min_value=0, max_value=n - 1))
+    return Quadrant(level, x, y)
+
+
+class TestConstruction:
+    def test_root(self):
+        r = root_quadrant()
+        assert r.level == 0 and r.size == 1.0 and r.origin == (0.0, 0.0)
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ValueError):
+            Quadrant(-1, 0, 0)
+        with pytest.raises(ValueError):
+            Quadrant(MAX_LEVEL + 1, 0, 0)
+
+    def test_rejects_coords_outside_lattice(self):
+        with pytest.raises(ValueError):
+            Quadrant(1, 2, 0)
+        with pytest.raises(ValueError):
+            Quadrant(2, 0, 4)
+
+    def test_geometry(self):
+        q = Quadrant(2, 1, 3)
+        assert q.size == 0.25
+        assert q.origin == (0.25, 0.75)
+        assert q.center == (0.375, 0.875)
+
+    def test_child_id_convention(self):
+        r = root_quadrant()
+        ids = [c.child_id for c in quadrant_children(r)]
+        assert ids == [0, 1, 2, 3]
+
+
+class TestFamilies:
+    @given(st.data())
+    def test_parent_of_children_is_self(self, data):
+        q = random_quadrant(data)
+        for c in quadrant_children(q):
+            assert quadrant_parent(c) == q
+
+    @given(st.data())
+    def test_children_tile_parent(self, data):
+        q = random_quadrant(data)
+        children = quadrant_children(q)
+        assert len(set(children)) == 4
+        assert sum(c.size**2 for c in children) == pytest.approx(q.size**2)
+        for c in children:
+            assert is_ancestor(q, c)
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            quadrant_parent(root_quadrant())
+
+    def test_siblings_include_self(self):
+        q = Quadrant(3, 5, 2)
+        sibs = quadrant_siblings(q)
+        assert q in sibs and len(sibs) == 4
+
+    def test_cannot_refine_past_max(self):
+        deep = Quadrant(MAX_LEVEL, 0, 0)
+        with pytest.raises(ValueError):
+            quadrant_children(deep)
+
+
+class TestNeighbors:
+    def test_interior_neighbors(self):
+        q = Quadrant(2, 1, 1)
+        assert quadrant_neighbor(q, 0) == Quadrant(2, 0, 1)
+        assert quadrant_neighbor(q, 1) == Quadrant(2, 2, 1)
+        assert quadrant_neighbor(q, 2) == Quadrant(2, 1, 0)
+        assert quadrant_neighbor(q, 3) == Quadrant(2, 1, 2)
+
+    def test_boundary_returns_none(self):
+        q = Quadrant(2, 0, 3)
+        assert quadrant_neighbor(q, 0) is None  # -x at left edge
+        assert quadrant_neighbor(q, 3) is None  # +y at top edge
+
+    @given(st.data(), st.integers(min_value=0, max_value=3))
+    def test_neighbor_symmetry(self, data, face):
+        q = random_quadrant(data)
+        n = quadrant_neighbor(q, face)
+        if n is not None:
+            opposite = {0: 1, 1: 0, 2: 3, 3: 2}[face]
+            assert quadrant_neighbor(n, opposite) == q
+
+
+class TestAncestry:
+    @given(st.data())
+    def test_ancestor_is_strict(self, data):
+        q = random_quadrant(data)
+        assert not is_ancestor(q, q)
+
+    @given(st.data())
+    def test_grandparent_is_ancestor(self, data):
+        q = random_quadrant(data, max_level=6)
+        gc = quadrant_children(quadrant_children(q)[3])[0]
+        assert is_ancestor(q, gc)
+        assert not is_ancestor(gc, q)
+
+    def test_overlap_cases(self):
+        a = Quadrant(1, 0, 0)
+        b = Quadrant(2, 1, 1)  # inside a
+        c = Quadrant(2, 2, 2)  # outside a
+        assert quadrants_overlap(a, b)
+        assert quadrants_overlap(b, a)
+        assert not quadrants_overlap(a, c)
+        assert quadrants_overlap(a, a)
+
+
+class TestDescendants:
+    def test_counts(self):
+        q = Quadrant(1, 0, 1)
+        assert len(list(descendants_at_level(q, 1))) == 1
+        assert len(list(descendants_at_level(q, 3))) == 16
+
+    def test_all_descend(self):
+        q = Quadrant(1, 1, 0)
+        for d in descendants_at_level(q, 3):
+            assert is_ancestor(q, d)
+
+    def test_rejects_shallower_target(self):
+        with pytest.raises(ValueError):
+            list(descendants_at_level(Quadrant(2, 0, 0), 1))

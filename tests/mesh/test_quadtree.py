@@ -1,0 +1,132 @@
+"""Tests for the linear quadtree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.quadrant import Quadrant, quadrant_children, root_quadrant
+from repro.mesh.quadtree import Quadtree
+
+
+class TestConstruction:
+    def test_default_is_root(self):
+        t = Quadtree()
+        assert len(t) == 1 and t.leaves[0] == root_quadrant()
+
+    def test_uniform(self):
+        t = Quadtree.uniform(3)
+        assert len(t) == 64
+        assert t.max_level == t.min_level == 3
+        assert t.covered_area() == pytest.approx(1.0)
+
+    def test_rejects_non_tiling(self):
+        with pytest.raises(ValueError):
+            Quadtree([Quadrant(1, 0, 0)])  # only a quarter covered
+
+    def test_rejects_overlap(self):
+        leaves = [Quadrant(1, 0, 0), Quadrant(1, 1, 0), Quadrant(1, 0, 1),
+                  Quadrant(1, 1, 1), Quadrant(2, 0, 0)]
+        with pytest.raises(ValueError):
+            Quadtree(leaves)
+
+
+class TestRefineCoarsen:
+    def test_refine_replaces_leaf(self):
+        t = Quadtree()
+        children = t.refine(root_quadrant())
+        assert len(t) == 4
+        assert set(t.leaves) == set(children)
+        assert t.covered_area() == pytest.approx(1.0)
+
+    def test_refine_non_leaf_raises(self):
+        t = Quadtree.uniform(1)
+        with pytest.raises(KeyError):
+            t.refine(root_quadrant())
+
+    def test_coarsen_restores(self):
+        t = Quadtree()
+        t.refine(root_quadrant())
+        t.coarsen(t.leaves[0])
+        assert len(t) == 1 and t.leaves[0] == root_quadrant()
+
+    def test_coarsen_incomplete_family_raises(self):
+        t = Quadtree()
+        children = t.refine(root_quadrant())
+        t.refine(children[0])
+        with pytest.raises(ValueError):
+            t.coarsen(children[1])  # sibling 0 is refined, family incomplete
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_random_refinement_keeps_invariants(self, choices):
+        t = Quadtree()
+        for c in choices:
+            leaf = t.leaves[c % len(t)]
+            if leaf.level < 6:
+                t.refine(leaf)
+        assert t.covered_area() == pytest.approx(1.0)
+        # Morton sorted
+        keys = [q for q in t.leaves]
+        assert keys == sorted(keys, key=lambda q: (t.index_of(q)))
+
+    def test_refine_where_single_pass(self):
+        t = Quadtree.uniform(1)
+        n = t.refine_where(lambda q: q.x == 0, max_level=2)
+        assert n == 2  # both x=0 leaves at level 1
+        assert len(t) == 2 + 8
+
+    def test_refine_where_respects_max_level(self):
+        t = Quadtree.uniform(2)
+        n = t.refine_where(lambda q: True, max_level=2)
+        assert n == 0
+
+    def test_coarsen_where(self):
+        t = Quadtree.uniform(2)
+        n = t.coarsen_where(lambda q: True, min_level=1)
+        assert n == 4  # four level-2 families -> level 1
+        assert len(t) == 4
+
+    def test_coarsen_where_respects_min_level(self):
+        t = Quadtree.uniform(1)
+        n = t.coarsen_where(lambda q: True, min_level=1)
+        assert n == 0 and len(t) == 4
+
+
+class TestQueries:
+    def test_contains(self):
+        t = Quadtree.uniform(2)
+        assert Quadrant(2, 1, 1) in t
+        assert Quadrant(1, 0, 0) not in t
+
+    def test_index_of_matches_order(self):
+        t = Quadtree.uniform(2)
+        for i, q in enumerate(t.leaves):
+            assert t.index_of(q) == i
+
+    def test_locate_uniform(self):
+        t = Quadtree.uniform(2)
+        q = t.locate(0.3, 0.8)
+        assert q == Quadrant(2, 1, 3)
+
+    def test_locate_adaptive(self):
+        t = Quadtree()
+        children = t.refine(root_quadrant())
+        t.refine(children[0])
+        assert t.locate(0.1, 0.1).level == 2
+        assert t.locate(0.9, 0.9).level == 1
+
+    def test_locate_boundaries(self):
+        t = Quadtree.uniform(1)
+        assert t.locate(1.0, 1.0) == Quadrant(1, 1, 1)
+        assert t.locate(0.0, 0.0) == Quadrant(1, 0, 0)
+
+    def test_locate_rejects_outside(self):
+        t = Quadtree()
+        with pytest.raises(ValueError):
+            t.locate(1.5, 0.5)
+
+    def test_level_histogram(self):
+        t = Quadtree()
+        children = t.refine(root_quadrant())
+        t.refine(children[2])
+        assert t.level_histogram() == {1: 3, 2: 4}

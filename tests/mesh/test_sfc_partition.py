@@ -1,0 +1,83 @@
+"""Tests for space-filling-curve partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.partition import partition_curve, partition_stats
+
+
+class TestPartitionCurve:
+    def test_uniform_weights_even_split(self):
+        a = partition_curve(np.ones(12), 4)
+        assert np.array_equal(a, np.repeat([0, 1, 2, 3], 3))
+
+    def test_single_part(self):
+        a = partition_curve(np.ones(7), 1)
+        assert np.all(a == 0)
+
+    def test_more_parts_than_leaves(self):
+        a = partition_curve(np.ones(2), 8)
+        assert a.size == 2
+        assert np.all((a >= 0) & (a < 8))
+
+    def test_empty_weights(self):
+        assert partition_curve([], 4).size == 0
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(ValueError):
+            partition_curve([1.0, 0.0], 2)
+
+    def test_rejects_bad_parts(self):
+        with pytest.raises(ValueError):
+            partition_curve([1.0], 0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            partition_curve(np.ones((2, 2)), 2)
+
+    def test_heavy_leaf_gets_own_part(self):
+        w = np.array([1.0, 1.0, 100.0, 1.0, 1.0])
+        a = partition_curve(w, 2)
+        # The heavy midpoint lands the heavy leaf in part 1 alone-ish; the
+        # cheap prefix stays in part 0.
+        assert a[0] == 0 and a[-1] == 1
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=100)
+    def test_assignment_monotone_and_in_range(self, weights, parts):
+        a = partition_curve(weights, parts)
+        assert np.all(np.diff(a) >= 0), "curve assignment must be contiguous"
+        assert a.min() >= 0 and a.max() < parts
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=200))
+    def test_uniform_balance_bound(self, parts, n):
+        a = partition_curve(np.ones(n), parts)
+        counts = np.bincount(a, minlength=parts)
+        assert counts.max() - counts.min() <= 1
+
+
+class TestPartitionStats:
+    def test_perfect_balance(self):
+        w = np.ones(8)
+        a = partition_curve(w, 4)
+        s = partition_stats(w, a, 4)
+        assert s.imbalance == pytest.approx(0.0)
+        assert s.counts == (2, 2, 2, 2)
+
+    def test_imbalance_value(self):
+        w = np.array([3.0, 1.0])
+        s = partition_stats(w, np.array([0, 1]), 2)
+        assert s.imbalance == pytest.approx(0.5)  # max 3 / mean 2 - 1
+
+    def test_counts_empty_part(self):
+        s = partition_stats(np.ones(2), np.array([0, 0]), 3)
+        assert s.counts == (2, 0, 0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            partition_stats(np.ones(3), np.zeros(2, dtype=int), 2)

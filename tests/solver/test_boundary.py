@@ -1,0 +1,92 @@
+"""Tests for ghost-cell boundary conditions on uniform patches."""
+
+import numpy as np
+import pytest
+
+from repro.solver.boundary import BoundaryCondition, fill_ghosts
+from repro.solver.state import IMX, IMY
+
+NG = 2
+
+
+def tagged_patch(nx=6, ny=5, ng=NG):
+    """Patch whose interior cells are uniquely numbered, ghosts = -1."""
+    q = np.full((4, nx + 2 * ng, ny + 2 * ng), -1.0)
+    interior = np.arange(nx * ny, dtype=np.float64).reshape(nx, ny)
+    for f in range(4):
+        q[f, ng:-ng, ng:-ng] = interior * (f + 1)
+    return q
+
+
+class TestOutflow:
+    def test_copies_edge_cells(self):
+        q = tagged_patch()
+        fill_ghosts(q, NG, ("outflow",) * 4)
+        # Left ghosts replicate the first interior column.
+        for k in range(NG):
+            assert np.array_equal(q[0, k, NG:-NG], q[0, NG, NG:-NG])
+        # Top ghosts replicate the last interior row.
+        for k in range(NG):
+            assert np.array_equal(q[0, NG:-NG, -1 - k], q[0, NG:-NG, -NG - 1])
+
+    def test_all_ghosts_filled(self):
+        q = tagged_patch()
+        fill_ghosts(q, NG, ("outflow",) * 4)
+        assert not np.any(q[:, NG:-NG, :NG] == -1.0)
+        assert not np.any(q[:, :NG, NG:-NG] == -1.0)
+
+
+class TestReflect:
+    def test_mirrors_and_negates_normal_momentum_x(self):
+        q = tagged_patch()
+        fill_ghosts(q, NG, ("reflect", "outflow", "outflow", "outflow"))
+        # Ghost column ng-1 mirrors interior column ng; ng-2 mirrors ng+1.
+        assert np.array_equal(q[0, NG - 1, NG:-NG], q[0, NG, NG:-NG])
+        assert np.array_equal(q[0, NG - 2, NG:-NG], q[0, NG + 1, NG:-NG])
+        assert np.array_equal(q[IMX, NG - 1, NG:-NG], -q[IMX, NG, NG:-NG])
+        # Tangential momentum not negated.
+        assert np.array_equal(q[IMY, NG - 1, NG:-NG], q[IMY, NG, NG:-NG])
+
+    def test_mirrors_and_negates_normal_momentum_y(self):
+        q = tagged_patch()
+        fill_ghosts(q, NG, ("outflow", "outflow", "outflow", "reflect"))
+        assert np.array_equal(q[0, NG:-NG, -NG], q[0, NG:-NG, -NG - 1])
+        assert np.array_equal(q[IMY, NG:-NG, -NG], -q[IMY, NG:-NG, -NG - 1])
+        assert np.array_equal(q[IMX, NG:-NG, -NG], q[IMX, NG:-NG, -NG - 1])
+
+
+class TestPeriodic:
+    def test_wraps_x(self):
+        q = tagged_patch()
+        fill_ghosts(q, NG, ("periodic", "periodic", "outflow", "outflow"))
+        assert np.array_equal(q[0, :NG, NG:-NG], q[0, -2 * NG : -NG, NG:-NG])
+        assert np.array_equal(q[0, -NG:, NG:-NG], q[0, NG : 2 * NG, NG:-NG])
+
+    def test_wraps_y(self):
+        q = tagged_patch()
+        fill_ghosts(q, NG, ("outflow", "outflow", "periodic", "periodic"))
+        assert np.array_equal(q[0, NG:-NG, :NG], q[0, NG:-NG, -2 * NG : -NG])
+
+    def test_unpaired_periodic_rejected(self):
+        q = tagged_patch()
+        with pytest.raises(ValueError, match="periodic"):
+            fill_ghosts(q, NG, ("periodic", "outflow", "outflow", "outflow"))
+
+
+class TestEnumCoercion:
+    def test_accepts_enum_and_string(self):
+        q1, q2 = tagged_patch(), tagged_patch()
+        fill_ghosts(q1, NG, ("outflow",) * 4)
+        fill_ghosts(q2, NG, (BoundaryCondition.OUTFLOW,) * 4)
+        assert np.array_equal(q1, q2)
+
+    def test_rejects_unknown_string(self):
+        q = tagged_patch()
+        with pytest.raises(ValueError):
+            fill_ghosts(q, NG, ("bogus",) * 4)
+
+    def test_interior_untouched(self):
+        q = tagged_patch()
+        before = q[:, NG:-NG, NG:-NG].copy()
+        fill_ghosts(q, NG, ("reflect", "outflow", "periodic", "periodic"))
+        assert np.array_equal(q[:, NG:-NG, NG:-NG], before)

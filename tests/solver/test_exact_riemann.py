@@ -1,0 +1,124 @@
+"""Tests for the exact Riemann solver, plus validation of the FV stack
+against it on the Sod problem."""
+
+import numpy as np
+import pytest
+
+from repro.solver.exact_riemann import sample_solution, sod_exact, solve_riemann
+
+
+class TestStarRegion:
+    def test_sod_reference_values(self):
+        """Toro Table 4.2, Test 1 (the Sod tube)."""
+        sol = solve_riemann(1.0, 0.0, 1.0, 0.125, 0.0, 0.1)
+        assert sol.p_star == pytest.approx(0.30313, rel=1e-4)
+        assert sol.u_star == pytest.approx(0.92745, rel=1e-4)
+        assert sol.rho_star_l == pytest.approx(0.42632, rel=1e-4)
+        assert sol.rho_star_r == pytest.approx(0.26557, rel=1e-4)
+        assert not sol.left_is_shock and sol.right_is_shock
+
+    def test_toro_test2_double_rarefaction(self):
+        """Toro Test 2: two rarefactions, near-vacuum center."""
+        sol = solve_riemann(1.0, -2.0, 0.4, 1.0, 2.0, 0.4)
+        assert sol.p_star == pytest.approx(0.00189, rel=5e-3)
+        assert sol.u_star == pytest.approx(0.0, abs=1e-10)
+        assert not sol.left_is_shock and not sol.right_is_shock
+
+    def test_toro_test3_strong_shock(self):
+        """Toro Test 3: left rarefaction, strong right shock."""
+        sol = solve_riemann(1.0, 0.0, 1000.0, 1.0, 0.0, 0.01)
+        assert sol.p_star == pytest.approx(460.894, rel=1e-4)
+        assert sol.u_star == pytest.approx(19.5975, rel=1e-4)
+
+    def test_symmetric_problem_zero_contact_speed(self):
+        sol = solve_riemann(1.0, -1.0, 1.0, 1.0, 1.0, 1.0)
+        assert sol.u_star == pytest.approx(0.0, abs=1e-12)
+        assert sol.p_star < 1.0  # two rarefactions
+
+    def test_uniform_data_identity(self):
+        sol = solve_riemann(1.0, 0.5, 2.0, 1.0, 0.5, 2.0)
+        assert sol.p_star == pytest.approx(2.0, rel=1e-10)
+        assert sol.u_star == pytest.approx(0.5, rel=1e-10)
+        assert sol.rho_star_l == pytest.approx(1.0, rel=1e-9)
+
+    def test_vacuum_detection(self):
+        with pytest.raises(ValueError, match="vacuum"):
+            solve_riemann(1.0, -10.0, 0.1, 1.0, 10.0, 0.1)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            solve_riemann(-1.0, 0.0, 1.0, 1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            solve_riemann(1.0, 0.0, 0.0, 1.0, 0.0, 1.0)
+
+
+class TestSampling:
+    def test_far_field_states(self):
+        prim = sod_exact(np.array([-10.0, 10.0]))
+        assert prim[0, 0] == 1.0 and prim[2, 0] == 1.0
+        assert prim[0, 1] == 0.125 and prim[2, 1] == 0.1
+
+    def test_contact_jump(self):
+        sol = solve_riemann(1.0, 0.0, 1.0, 0.125, 0.0, 0.1)
+        eps = 1e-9
+        prim = sod_exact(np.array([sol.u_star - eps, sol.u_star + eps]))
+        # Density jumps across the contact; pressure and velocity continuous.
+        assert prim[0, 0] == pytest.approx(0.42632, rel=1e-3)
+        assert prim[0, 1] == pytest.approx(0.26557, rel=1e-3)
+        assert prim[2, 0] == pytest.approx(prim[2, 1], rel=1e-9)
+
+    def test_rarefaction_fan_continuous(self):
+        xi = np.linspace(-1.2, -0.05, 200)
+        prim = sod_exact(xi)
+        # No jumps bigger than a smooth gradient allows inside the fan.
+        assert np.abs(np.diff(prim[0])).max() < 0.02
+
+    def test_sampling_shapes(self):
+        prim = sod_exact(np.linspace(-1, 1, 17))
+        assert prim.shape == (3, 17)
+
+
+class TestFVValidationAgainstExact:
+    """The full MUSCL-HLLC patch solver converges to the exact solution."""
+
+    @pytest.fixture(scope="class")
+    def numeric_and_exact(self):
+        from repro.solver.boundary import fill_ghosts
+        from repro.solver.fv import advance_patch
+        from repro.solver.initial_conditions import sod_state
+        from repro.solver.state import primitive_from_conserved
+        from repro.solver.timestep import cfl_dt
+
+        ng, nx, ny = 2, 256, 4
+        dx = dy = 1.0 / nx
+        xc = (np.arange(nx + 2 * ng) - ng + 0.5) * dx
+        yc = (np.arange(ny + 2 * ng) - ng + 0.5) * dy
+        X, Y = np.meshgrid(xc, yc, indexing="ij")
+        q = sod_state(X, Y)
+        fill = lambda a: fill_ghosts(a, ng, ("outflow", "outflow", "periodic", "periodic"))
+        fill(q)
+        t, t_end = 0.0, 0.2
+        while t < t_end:
+            dt = cfl_dt(q[:, ng:-ng, ng:-ng], dx, dy, cfl=0.4, dt_max=t_end - t)
+            advance_patch(q, dt, dx, dy, ng, refresh_ghosts=fill)
+            fill(q)
+            t += dt
+        numeric = primitive_from_conserved(q[:, ng:-ng, ng:-ng])[:, :, ny // 2]
+        x_cells = (np.arange(nx) + 0.5) * dx
+        exact = sod_exact((x_cells - 0.5) / t_end)
+        return numeric, exact
+
+    def test_density_l1_error_small(self, numeric_and_exact):
+        numeric, exact = numeric_and_exact
+        l1 = np.abs(numeric[0] - exact[0]).mean()
+        assert l1 < 0.01
+
+    def test_velocity_l1_error_small(self, numeric_and_exact):
+        numeric, exact = numeric_and_exact
+        l1 = np.abs(numeric[1] - exact[1]).mean()
+        assert l1 < 0.015
+
+    def test_pressure_l1_error_small(self, numeric_and_exact):
+        numeric, exact = numeric_and_exact
+        l1 = np.abs(numeric[3] - exact[2]).mean()
+        assert l1 < 0.01

@@ -1,0 +1,169 @@
+"""Tests for the dimensionally-split finite-volume update.
+
+Includes the canonical validation: the Sod shock tube against its exact
+solution (shock position/strength, contact density).
+"""
+
+import numpy as np
+import pytest
+
+from repro.solver.boundary import fill_ghosts
+from repro.solver.fv import advance_patch, sweep_x, sweep_y
+from repro.solver.initial_conditions import sod_state, uniform_state
+from repro.solver.state import (
+    EulerState,
+    check_physical,
+    primitive_from_conserved,
+    total_energy,
+    total_mass,
+)
+from repro.solver.timestep import cfl_dt
+
+NG = 2
+
+
+def ghosted_coords(nx, ny, dx, dy, ng=NG):
+    xc = (np.arange(nx + 2 * ng) - ng + 0.5) * dx
+    yc = (np.arange(ny + 2 * ng) - ng + 0.5) * dy
+    return np.meshgrid(xc, yc, indexing="ij")
+
+
+def interior(q, ng=NG):
+    return q[:, ng:-ng, ng:-ng]
+
+
+class TestUniformStateInvariance:
+    @pytest.mark.parametrize("riemann", ["rusanov", "hll", "hllc"])
+    def test_uniform_state_is_fixed_point(self, riemann):
+        q = uniform_state(EulerState(1.0, 0.5, -0.3, 2.0), 12, 12)
+        q0 = q.copy()
+        advance_patch(q, 0.01, 0.1, 0.1, NG, riemann=riemann)
+        assert np.allclose(interior(q), interior(q0), atol=1e-13)
+
+    def test_sweeps_only_touch_interior(self):
+        q = uniform_state(EulerState(1.0, 0.0, 0.0, 1.0), 8, 8)
+        q[:, :NG, :] = 99.0  # poison ghosts
+        q[:, -NG:, :] = 99.0
+        ghost_before = q[:, :NG, :].copy()
+        sweep_x(q, 0.001, NG)
+        assert np.array_equal(q[:, :NG, :], ghost_before)
+
+
+class TestConservation:
+    def test_periodic_conserves_mass_energy(self):
+        rng = np.random.default_rng(5)
+        nx = ny = 16
+        q = uniform_state(EulerState(1.0, 0.3, 0.2, 1.0), nx + 2 * NG, ny + 2 * NG)
+        # Smooth perturbation
+        x, y = ghosted_coords(nx, ny, 1.0 / nx, 1.0 / ny)
+        q[0] *= 1.0 + 0.1 * np.sin(2 * np.pi * x) * np.cos(2 * np.pi * y)
+        fill = lambda a: fill_ghosts(a, NG, ("periodic",) * 4)
+        fill(q)
+        m0 = total_mass(interior(q))
+        e0 = total_energy(interior(q))
+        for _ in range(20):
+            dt = cfl_dt(interior(q), 1.0 / nx, 1.0 / ny)
+            advance_patch(q, dt, 1.0 / nx, 1.0 / ny, NG, refresh_ghosts=fill)
+            fill(q)
+        assert total_mass(interior(q)) == pytest.approx(m0, rel=1e-12)
+        assert total_energy(interior(q)) == pytest.approx(e0, rel=1e-12)
+
+
+class TestSodShockTube:
+    @pytest.fixture(scope="class")
+    def sod_solution(self):
+        nx, ny = 200, 4
+        dx = dy = 1.0 / nx
+        X, Y = ghosted_coords(nx, ny, dx, dy)
+        q = sod_state(X, Y)
+        fill = lambda a: fill_ghosts(a, NG, ("outflow", "outflow", "periodic", "periodic"))
+        fill(q)
+        t = 0.0
+        while t < 0.2:
+            dt = cfl_dt(interior(q), dx, dy, cfl=0.4, dt_max=0.2 - t)
+            advance_patch(q, dt, dx, dy, NG, refresh_ghosts=fill)
+            fill(q)
+            t += dt
+        prim = primitive_from_conserved(interior(q))
+        return prim[:, :, ny // 2], nx
+
+    def test_physical_everywhere(self, sod_solution):
+        prim, _ = sod_solution
+        assert np.all(prim[0] > 0) and np.all(prim[3] > 0)
+
+    def test_shock_position(self, sod_solution):
+        prim, nx = sod_solution
+        rho = prim[0]
+        d = np.abs(np.diff(rho))
+        i_sh = len(d) - 1 - int(np.argmax(d[::-1] > 0.02))
+        x_shock = (i_sh + 0.5) / nx
+        assert x_shock == pytest.approx(0.8504, abs=0.02)
+
+    def test_post_shock_density(self, sod_solution):
+        prim, nx = sod_solution
+        rho = prim[0]
+        # Plateau between contact (~0.685) and shock (~0.850)
+        plateau = rho[int(0.72 * nx) : int(0.82 * nx)]
+        assert np.median(plateau) == pytest.approx(0.2656, rel=0.02)
+
+    def test_contact_density(self, sod_solution):
+        prim, nx = sod_solution
+        rho = prim[0]
+        plateau = rho[int(0.55 * nx) : int(0.65 * nx)]
+        assert np.median(plateau) == pytest.approx(0.4263, rel=0.02)
+
+    def test_post_shock_velocity(self, sod_solution):
+        prim, nx = sod_solution
+        u = prim[1]
+        plateau = u[int(0.72 * nx) : int(0.80 * nx)]
+        assert np.median(plateau) == pytest.approx(0.9274, rel=0.03)
+
+
+class TestSymmetry:
+    def test_xy_symmetry_of_splitting(self):
+        """A problem symmetric under (x<->y, u<->v) stays symmetric to the
+        splitting order: Strang X-Y-X breaks exact transpose symmetry only
+        at the O(dt^2) splitting-error level."""
+        n = 12
+        dx = 1.0 / n
+        x, y = ghosted_coords(n, n, dx, dx)
+        q = uniform_state(EulerState(1.0, 0.0, 0.0, 1.0), n + 2 * NG, n + 2 * NG)
+        bump = 1.0 + 0.3 * np.exp(-((x - 0.5) ** 2 + (y - 0.5) ** 2) / 0.01)
+        q[0] *= bump
+        q[3] *= bump
+        fill = lambda a: fill_ghosts(a, NG, ("outflow",) * 4)
+        fill(q)
+        for _ in range(5):
+            dt = cfl_dt(interior(q), dx, dx)
+            advance_patch(q, dt, dx, dx, NG, refresh_ghosts=fill, strang=True)
+            fill(q)
+        rho = interior(q)[0]
+        # A momentum-swap bug in sweep_y would produce O(0.1) asymmetry;
+        # splitting error on this coarse grid sits near 7e-3.
+        assert np.allclose(rho, rho.T, atol=0.02)
+
+    def test_godunov_vs_strang_both_stable(self):
+        n = 16
+        dx = 1.0 / n
+        x, y = ghosted_coords(n, n, dx, dx)
+        for strang in (True, False):
+            q = sod_state(x, y)
+            fill = lambda a: fill_ghosts(a, NG, ("outflow",) * 4)
+            fill(q)
+            for _ in range(10):
+                dt = cfl_dt(interior(q), dx, dx)
+                advance_patch(q, dt, dx, dx, NG, refresh_ghosts=fill, strang=strang)
+                fill(q)
+            assert check_physical(interior(q))
+
+
+class TestValidation:
+    def test_requires_two_ghosts(self):
+        q = uniform_state(EulerState(1.0, 0.0, 0.0, 1.0), 8, 8)
+        with pytest.raises(ValueError, match="ghost"):
+            advance_patch(q, 0.01, 0.1, 0.1, ng=1)
+
+    def test_unknown_riemann_raises(self):
+        q = uniform_state(EulerState(1.0, 0.0, 0.0, 1.0), 8, 8)
+        with pytest.raises(ValueError, match="unknown Riemann"):
+            sweep_x(q, 0.01, NG, riemann="nope")

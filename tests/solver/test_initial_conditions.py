@@ -1,0 +1,106 @@
+"""Tests for initial conditions and the Rankine–Hugoniot jump."""
+
+import numpy as np
+import pytest
+
+from repro.solver.initial_conditions import (
+    ShockBubbleProblem,
+    postshock_state,
+    shock_bubble_state,
+    sod_state,
+    uniform_state,
+)
+from repro.solver.state import GAMMA_AIR, EulerState, check_physical, primitive_from_conserved
+from repro.solver.timestep import cfl_dt
+
+
+class TestPostshockState:
+    def test_rankine_hugoniot_mach2(self):
+        """Known RH values for M=2, gamma=1.4 into (rho=1, p=1)."""
+        s = postshock_state(2.0)
+        assert s.p == pytest.approx(4.5)  # (2*1.4*4 - 0.4)/2.4
+        assert s.rho == pytest.approx(8.0 / 3.0)  # 2.4*4/(0.4*4+2)
+        c0 = np.sqrt(1.4)
+        assert s.u == pytest.approx(2.0 * 3.0 / (2.4 * 2.0) * c0)
+
+    def test_mach_one_limit(self):
+        s = postshock_state(1.0 + 1e-9)
+        assert s.p == pytest.approx(1.0, rel=1e-6)
+        assert s.rho == pytest.approx(1.0, rel=1e-6)
+        assert s.u == pytest.approx(0.0, abs=1e-6)
+
+    def test_rejects_subsonic(self):
+        with pytest.raises(ValueError):
+            postshock_state(0.9)
+
+    def test_strong_shock_density_limit(self):
+        """rho1/rho0 -> (gamma+1)/(gamma-1) = 6 as M -> inf."""
+        s = postshock_state(100.0)
+        assert s.rho == pytest.approx(6.0, rel=1e-3)
+
+
+class TestShockBubbleProblem:
+    def test_default_valid(self):
+        p = ShockBubbleProblem()
+        assert p.bubble_center == (0.75, 0.5)
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            ShockBubbleProblem(r0=0.0)
+
+    def test_rejects_shock_inside_bubble(self):
+        with pytest.raises(ValueError):
+            ShockBubbleProblem(r0=0.3, shock_x=0.6, bubble_x=0.75)
+
+    def test_evaluate_regions(self):
+        p = ShockBubbleProblem(r0=0.2, rhoin=0.05, mach=2.0)
+        pts_x = np.array([0.05, 0.75, 1.8])  # behind shock, in bubble, ambient
+        pts_y = np.array([0.5, 0.5, 0.5])
+        q = p.evaluate(pts_x, pts_y)
+        prim = primitive_from_conserved(q)
+        assert prim[0, 0] == pytest.approx(8.0 / 3.0)  # post-shock density
+        assert prim[0, 1] == pytest.approx(0.05)  # bubble density
+        assert prim[0, 2] == pytest.approx(1.0)  # ambient
+        assert prim[1, 0] > 0 and prim[1, 1] == 0.0  # only shocked gas moves
+        assert prim[3, 1] == pytest.approx(1.0)  # bubble in pressure balance
+
+    def test_interface_distance_signs(self):
+        p = ShockBubbleProblem(r0=0.3)
+        cx, cy = p.bubble_center
+        assert p.interface_distance(np.array([cx]), np.array([cy]))[0] < 0
+        assert p.interface_distance(np.array([0.0]), np.array([0.0]))[0] > 0
+        edge = p.interface_distance(np.array([cx + 0.3]), np.array([cy]))[0]
+        assert edge == pytest.approx(0.0, abs=1e-12)
+
+    def test_state_grid_physical(self):
+        q = shock_bubble_state(ShockBubbleProblem(), 64, 32)
+        assert q.shape == (4, 64, 32)
+        assert check_physical(q)
+
+    def test_cfl_dt_positive(self):
+        q = shock_bubble_state(ShockBubbleProblem(), 32, 16)
+        dt = cfl_dt(q, 2.0 / 32, 1.0 / 16)
+        assert 0 < dt < 1.0
+
+    def test_bubble_area_scales_with_r0(self):
+        small = shock_bubble_state(ShockBubbleProblem(r0=0.2, rhoin=0.1), 128, 64)
+        large = shock_bubble_state(ShockBubbleProblem(r0=0.4, rhoin=0.1), 128, 64)
+        n_small = int(np.sum(small[0] < 0.5))
+        n_large = int(np.sum(large[0] < 0.5))
+        assert n_large > 3 * n_small  # area ratio 4, allow discretization
+
+
+class TestOtherStates:
+    def test_uniform_state(self):
+        q = uniform_state(EulerState(2.0, 1.0, -1.0, 3.0), 4, 5)
+        assert q.shape == (4, 4, 5)
+        prim = primitive_from_conserved(q)
+        assert np.allclose(prim[0], 2.0) and np.allclose(prim[3], 3.0)
+
+    def test_sod_state_halves(self):
+        x, y = np.meshgrid(np.linspace(0.05, 0.95, 10), np.linspace(0, 1, 4), indexing="ij")
+        q = sod_state(x, y)
+        prim = primitive_from_conserved(q)
+        assert np.allclose(prim[0][x < 0.5], 1.0)
+        assert np.allclose(prim[0][x >= 0.5], 0.125)
+        assert np.allclose(prim[1], 0.0)

@@ -1,0 +1,93 @@
+"""Tests for slope limiters: TVD properties and known values."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver.limiters import LIMITERS, mc_limiter, minmod, superbee, van_leer
+
+ALL = list(LIMITERS.values())
+slopes = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+@pytest.mark.parametrize("phi", ALL, ids=list(LIMITERS))
+class TestTVDProperties:
+    @given(slopes, slopes)
+    @settings(max_examples=150)
+    def test_zero_at_extrema(self, phi, a, b):
+        if a * b <= 0.0:
+            assert phi(np.array([a]), np.array([b]))[0] == 0.0
+
+    @given(slopes, slopes)
+    @settings(max_examples=150)
+    def test_symmetry(self, phi, a, b):
+        fa = phi(np.array([a]), np.array([b]))[0]
+        fb = phi(np.array([b]), np.array([a]))[0]
+        assert fa == pytest.approx(fb, rel=1e-12, abs=1e-12)
+
+    @given(slopes, slopes)
+    @settings(max_examples=150)
+    def test_tvd_bound(self, phi, a, b):
+        """|phi| <= 2*min(|a|, |b|) — the classic TVD region bound."""
+        s = phi(np.array([a]), np.array([b]))[0]
+        assert abs(s) <= 2.0 * min(abs(a), abs(b)) + 1e-12
+
+    @given(slopes, slopes)
+    @settings(max_examples=150)
+    def test_sign_matches_data(self, phi, a, b):
+        s = phi(np.array([a]), np.array([b]))[0]
+        if a > 0 and b > 0:
+            assert s >= 0
+        if a < 0 and b < 0:
+            assert s <= 0
+
+    def test_smooth_data_second_order(self, phi):
+        """On equal slopes, every limiter must return that slope."""
+        a = np.array([0.7])
+        out = phi(a, a)
+        assert out[0] == pytest.approx(0.7)
+
+    def test_vectorized(self, phi):
+        a = np.array([1.0, -1.0, 2.0, 0.0])
+        b = np.array([2.0, -3.0, -1.0, 5.0])
+        out = phi(a, b)
+        assert out.shape == (4,)
+        assert out[2] == 0.0 and out[3] == 0.0  # opposite signs / zero
+
+
+class TestKnownValues:
+    def test_minmod_picks_smaller(self):
+        assert minmod(np.array([1.0]), np.array([3.0]))[0] == 1.0
+        assert minmod(np.array([-2.0]), np.array([-0.5]))[0] == -0.5
+
+    def test_superbee_steepens(self):
+        # superbee(1, 2) = max(minmod(2,2), minmod(1,4)) = 2
+        assert superbee(np.array([1.0]), np.array([2.0]))[0] == 2.0
+
+    def test_mc_central_when_allowed(self):
+        # mc(1, 2): central = 1.5, bound = 2 -> 1.5
+        assert mc_limiter(np.array([1.0]), np.array([2.0]))[0] == 1.5
+
+    def test_mc_clips_to_bound(self):
+        # mc(0.5, 10): central = 5.25, bound = 1.0 -> 1.0
+        assert mc_limiter(np.array([0.5]), np.array([10.0]))[0] == 1.0
+
+    def test_van_leer_harmonic(self):
+        # vl(1, 3) = 2*3/4 = 1.5
+        assert van_leer(np.array([1.0]), np.array([3.0]))[0] == pytest.approx(1.5)
+
+    def test_van_leer_zero_division_guard(self):
+        out = van_leer(np.array([1.0]), np.array([-1.0]))
+        assert out[0] == 0.0
+
+    def test_dissipation_ordering(self):
+        """minmod <= mc <= superbee in magnitude for same-sign slopes."""
+        rng = np.random.default_rng(0)
+        a = rng.uniform(0.1, 5.0, 100)
+        b = rng.uniform(0.1, 5.0, 100)
+        s_min = minmod(a, b)
+        s_mc = mc_limiter(a, b)
+        s_sb = superbee(a, b)
+        assert np.all(s_min <= s_mc + 1e-12)
+        assert np.all(s_mc <= s_sb + 1e-12)

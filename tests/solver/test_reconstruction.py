@@ -1,0 +1,101 @@
+"""Tests for MUSCL interface reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.solver.limiters import minmod
+from repro.solver.reconstruction import limited_slopes, muscl_interface_states
+from repro.solver.state import conserved_from_primitive, primitive_from_conserved
+
+
+def make_pencil(prim_rows: np.ndarray) -> np.ndarray:
+    """(4, n) conserved pencil from a (4, n) primitive array."""
+    return conserved_from_primitive(np.asarray(prim_rows, dtype=np.float64))
+
+
+class TestLimitedSlopes:
+    def test_boundary_cells_zero(self):
+        w = np.arange(6.0).reshape(1, 6)
+        s = limited_slopes(w, minmod)
+        assert s[0, 0] == 0.0 and s[0, -1] == 0.0
+
+    def test_linear_data_exact_slope(self):
+        w = (2.0 * np.arange(8.0)).reshape(1, 8)
+        s = limited_slopes(w, minmod)
+        assert np.allclose(s[0, 1:-1], 2.0)
+
+    def test_extremum_zero_slope(self):
+        w = np.array([[0.0, 1.0, 0.0]])
+        s = limited_slopes(w, minmod)
+        assert s[0, 1] == 0.0
+
+
+class TestMusclStates:
+    def test_first_order_mode(self):
+        prim = np.vstack([
+            np.linspace(1, 2, 6),
+            np.zeros(6),
+            np.zeros(6),
+            np.ones(6),
+        ])
+        q = make_pencil(prim)
+        ql, qr = muscl_interface_states(q, limiter="none")
+        assert np.allclose(ql, q[..., :-1])
+        assert np.allclose(qr, q[..., 1:])
+
+    def test_shapes(self):
+        q = make_pencil(np.ones((4, 7)))
+        ql, qr = muscl_interface_states(q)
+        assert ql.shape == (4, 6) and qr.shape == (4, 6)
+
+    def test_constant_state_reproduced(self):
+        prim = np.vstack([np.full(6, 1.3), np.full(6, 0.4), np.full(6, -0.1), np.full(6, 2.0)])
+        q = make_pencil(prim)
+        ql, qr = muscl_interface_states(q, limiter="mc")
+        assert np.allclose(ql, q[..., :-1], rtol=1e-12)
+        assert np.allclose(qr, q[..., 1:], rtol=1e-12)
+
+    def test_linear_density_second_order(self):
+        """On smooth linear data interior interface states are the exact
+        midpoint values (second-order reconstruction)."""
+        n = 8
+        rho = 1.0 + 0.1 * np.arange(n)
+        prim = np.vstack([rho, np.zeros(n), np.zeros(n), np.ones(n)])
+        q = make_pencil(prim)
+        ql, qr = muscl_interface_states(q, limiter="mc")
+        pl = primitive_from_conserved(ql)
+        pr = primitive_from_conserved(qr)
+        # Interior interfaces i+1/2 for i=1..n-3: value rho_i + drho/2
+        for i in range(1, n - 2):
+            expected = rho[i] + 0.05
+            assert pl[0, i] == pytest.approx(expected, rel=1e-12)
+            assert pr[0, i] == pytest.approx(expected, rel=1e-12)
+
+    def test_reconstruction_in_primitive_variables_no_pressure_wiggle(self):
+        """A moving contact (constant u, p; jumping rho) must keep u and p
+        exactly constant in the reconstructed states."""
+        rho = np.array([1.0, 1.0, 1.0, 0.125, 0.125, 0.125])
+        prim = np.vstack([rho, np.full(6, 0.7), np.zeros(6), np.ones(6)])
+        q = make_pencil(prim)
+        ql, qr = muscl_interface_states(q, limiter="mc")
+        pl = primitive_from_conserved(ql)
+        pr = primitive_from_conserved(qr)
+        assert np.allclose(pl[1], 0.7, rtol=1e-12) and np.allclose(pr[1], 0.7, rtol=1e-12)
+        assert np.allclose(pl[3], 1.0, rtol=1e-12) and np.allclose(pr[3], 1.0, rtol=1e-12)
+
+    def test_unknown_limiter_raises(self):
+        q = make_pencil(np.ones((4, 5)))
+        with pytest.raises(ValueError, match="unknown limiter"):
+            muscl_interface_states(q, limiter="bogus")
+
+    def test_callable_limiter_accepted(self):
+        q = make_pencil(np.ones((4, 5)))
+        ql, qr = muscl_interface_states(q, limiter=minmod)
+        assert ql.shape == (4, 4)
+
+    def test_multidimensional_pencils(self):
+        """Reconstruction along the last axis of a (4, m, n) block."""
+        q = make_pencil(np.ones((4, 6)))
+        block = np.repeat(q[:, None, :], 3, axis=1)
+        ql, qr = muscl_interface_states(block)
+        assert ql.shape == (4, 3, 5)

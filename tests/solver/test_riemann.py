@@ -1,0 +1,132 @@
+"""Tests for the approximate Riemann solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver.riemann import (
+    RIEMANN_SOLVERS,
+    hll_flux,
+    hllc_flux,
+    physical_flux_x,
+    rusanov_flux,
+)
+from repro.solver.state import EulerState, conserved_from_primitive
+
+ALL_SOLVERS = list(RIEMANN_SOLVERS.values())
+
+positive = st.floats(min_value=0.05, max_value=20.0)
+velocity = st.floats(min_value=-5.0, max_value=5.0)
+
+
+def state(rho, u, v, p):
+    return EulerState(rho, u, v, p).conserved().reshape(4, 1)
+
+
+class TestPhysicalFlux:
+    def test_quiescent_flux_is_pressure_only(self):
+        q = state(1.0, 0.0, 0.0, 2.5)
+        f = physical_flux_x(q)
+        assert f[0, 0] == 0.0  # no mass flux
+        assert f[1, 0] == pytest.approx(2.5)  # momentum flux = p
+        assert f[2, 0] == 0.0
+        assert f[3, 0] == 0.0
+
+    def test_advection_terms(self):
+        q = state(2.0, 3.0, 1.0, 1.0)
+        f = physical_flux_x(q)
+        assert f[0, 0] == pytest.approx(6.0)  # rho u
+        assert f[1, 0] == pytest.approx(2.0 * 9.0 + 1.0)
+        assert f[2, 0] == pytest.approx(2.0 * 3.0 * 1.0)
+
+
+@pytest.mark.parametrize("flux", ALL_SOLVERS, ids=list(RIEMANN_SOLVERS))
+class TestConsistency:
+    """Shared properties every approximate Riemann solver must satisfy."""
+
+    def test_consistency_with_exact_flux(self, flux):
+        # F(q, q) == F_exact(q)
+        q = state(1.3, 0.7, -0.2, 2.1)
+        assert np.allclose(flux(q, q), physical_flux_x(q), atol=1e-12)
+
+    @given(positive, velocity, velocity, positive, positive, velocity, velocity, positive)
+    @settings(max_examples=60, deadline=None)
+    def test_finite_for_random_states(
+        self, flux, rl, ul, vl, pl, rr, ur, vr, pr
+    ):
+        ql = state(rl, ul, vl, pl)
+        qr = state(rr, ur, vr, pr)
+        f = flux(ql, qr)
+        assert np.all(np.isfinite(f))
+
+    def test_supersonic_right_takes_left_flux(self, flux):
+        # Both states moving right far above sound speed: upwind = left.
+        # (Rusanov is not exactly upwind — it keeps O(smax*dq) dissipation —
+        # so only the HLL family is checked exactly.)
+        ql = state(1.0, 10.0, 0.0, 1.0)
+        qr = state(0.5, 10.0, 0.0, 1.0)
+        if flux is rusanov_flux:
+            pytest.skip("Rusanov is not exactly upwind")
+        assert np.allclose(flux(ql, qr), physical_flux_x(ql), rtol=1e-10)
+
+    def test_supersonic_left_takes_right_flux(self, flux):
+        ql = state(1.0, -10.0, 0.0, 1.0)
+        qr = state(0.5, -10.0, 0.0, 1.0)
+        if flux is rusanov_flux:
+            pytest.skip("Rusanov is not exactly upwind")
+        assert np.allclose(flux(ql, qr), physical_flux_x(qr), rtol=1e-10)
+
+    def test_vectorized_matches_pointwise(self, flux):
+        rng = np.random.default_rng(3)
+        prim_l = np.abs(rng.normal(1, 0.3, (4, 16))) + 0.1
+        prim_r = np.abs(rng.normal(1, 0.3, (4, 16))) + 0.1
+        prim_l[1:3] -= 1.0
+        prim_r[1:3] -= 1.0
+        ql = conserved_from_primitive(np.abs(prim_l) + 0.05)
+        qr = conserved_from_primitive(np.abs(prim_r) + 0.05)
+        f_all = flux(ql, qr)
+        for j in range(16):
+            f_j = flux(ql[:, j : j + 1], qr[:, j : j + 1])
+            assert np.allclose(f_all[:, j], f_j[:, 0], rtol=1e-12)
+
+
+class TestHLLCContactResolution:
+    def test_stationary_contact_exact(self):
+        """HLLC keeps an isolated stationary contact exact; HLL smears it."""
+        ql = state(1.0, 0.0, 0.0, 1.0)
+        qr = state(0.125, 0.0, 0.0, 1.0)
+        f_hllc = hllc_flux(ql, qr)
+        # Exact flux across a stationary contact: no mass/momentum/energy flux
+        # except pressure in momentum.
+        assert f_hllc[0, 0] == pytest.approx(0.0, abs=1e-12)
+        assert f_hllc[1, 0] == pytest.approx(1.0, rel=1e-12)
+        assert f_hllc[3, 0] == pytest.approx(0.0, abs=1e-12)
+        # HLL by contrast produces a spurious mass flux here.
+        f_hll = hll_flux(ql, qr)
+        assert abs(f_hll[0, 0]) > 1e-3
+
+    def test_moving_contact_mass_flux(self):
+        """Across a contact moving at u, mass flux is upwind rho*u."""
+        ql = state(1.0, 1.0, 0.0, 1.0)
+        qr = state(0.125, 1.0, 0.0, 1.0)
+        f = hllc_flux(ql, qr)
+        assert f[0, 0] == pytest.approx(1.0, rel=1e-10)  # rho_l * u
+
+    def test_shear_advection(self):
+        """Transverse momentum advects with the contact (HLLC resolves it)."""
+        ql = state(1.0, 1.0, 2.0, 1.0)
+        qr = state(1.0, 1.0, -2.0, 1.0)
+        f = hllc_flux(ql, qr)
+        # contact speed = 1 > 0 -> upwind shear is the left one: rho*u*v = 2
+        assert f[2, 0] == pytest.approx(2.0, rel=1e-10)
+
+
+class TestDissipationOrdering:
+    def test_rusanov_most_dissipative_on_contact(self):
+        ql = state(1.0, 0.0, 0.0, 1.0)
+        qr = state(0.125, 0.0, 0.0, 1.0)
+        d_rus = abs(rusanov_flux(ql, qr)[0, 0])
+        d_hll = abs(hll_flux(ql, qr)[0, 0])
+        d_hllc = abs(hllc_flux(ql, qr)[0, 0])
+        assert d_hllc <= d_hll <= d_rus

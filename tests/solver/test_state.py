@@ -1,0 +1,118 @@
+"""Tests for Euler state conversions and the gamma-law EOS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver.state import (
+    GAMMA_AIR,
+    EulerState,
+    check_physical,
+    conserved_from_primitive,
+    max_wave_speed,
+    pressure,
+    primitive_from_conserved,
+    sound_speed,
+    total_energy,
+    total_mass,
+)
+
+finite = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+positive = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False)
+
+
+class TestConversions:
+    @given(positive, finite, finite, positive)
+    @settings(max_examples=200)
+    def test_roundtrip(self, rho, u, v, p):
+        prim = np.array([rho, u, v, p]).reshape(4, 1)
+        back = primitive_from_conserved(conserved_from_primitive(prim))
+        # Pressure recovery cancels the kinetic energy out of E; when KE
+        # dwarfs the internal energy the roundoff is relative to E, not p.
+        kinetic = 0.5 * rho * (u * u + v * v)
+        assert np.allclose(back[[0, 1, 2]], prim[[0, 1, 2]], rtol=1e-12, atol=1e-12)
+        assert back[3, 0] == pytest.approx(p, rel=1e-9, abs=1e-10 * max(kinetic, 1.0))
+
+    def test_known_energy(self):
+        # rho=1, u=2, v=0, p=1, gamma=1.4: E = 1/0.4 + 0.5*4 = 4.5
+        prim = np.array([1.0, 2.0, 0.0, 1.0]).reshape(4, 1)
+        q = conserved_from_primitive(prim)
+        assert q[3, 0] == pytest.approx(4.5)
+
+    def test_shapes_preserved(self):
+        prim = np.ones((4, 3, 5))
+        q = conserved_from_primitive(prim)
+        assert q.shape == (4, 3, 5)
+        assert primitive_from_conserved(q).shape == (4, 3, 5)
+
+    def test_vacuum_floored_not_nan(self):
+        q = np.zeros((4, 2, 2))
+        prim = primitive_from_conserved(q)
+        assert np.all(np.isfinite(prim))
+        assert np.all(prim[0] > 0) and np.all(prim[3] > 0)
+
+
+class TestEOSQuantities:
+    def test_sound_speed_air(self):
+        q = EulerState(rho=1.0, u=0.0, v=0.0, p=1.0).conserved()
+        c = sound_speed(q.reshape(4, 1))
+        assert c[0] == pytest.approx(np.sqrt(1.4))
+
+    def test_pressure_matches_input(self):
+        q = EulerState(rho=2.0, u=1.0, v=-1.0, p=3.0).conserved()
+        assert pressure(q.reshape(4, 1))[0] == pytest.approx(3.0)
+
+    @given(positive, finite, finite, positive)
+    def test_max_wave_speed_dominates_velocity(self, rho, u, v, p):
+        q = EulerState(rho, u, v, p).conserved().reshape(4, 1)
+        s = max_wave_speed(q)
+        assert s >= abs(u) and s >= abs(v)
+        assert s > 0
+
+    def test_max_wave_speed_over_array(self):
+        slow = EulerState(1.0, 0.0, 0.0, 1.0).conserved()
+        fast = EulerState(1.0, 10.0, 0.0, 1.0).conserved()
+        q = np.stack([slow, fast], axis=1).reshape(4, 2, 1)
+        assert max_wave_speed(q) == pytest.approx(10.0 + np.sqrt(1.4))
+
+
+class TestIntegrals:
+    def test_total_mass_with_area(self):
+        q = np.ones((4, 4, 4))
+        assert total_mass(q, cell_area=0.25) == pytest.approx(4.0)
+
+    def test_total_energy(self):
+        q = np.ones((4, 2, 2))
+        q[3] = 5.0
+        assert total_energy(q) == pytest.approx(20.0)
+
+
+class TestCheckPhysical:
+    def test_valid(self):
+        q = EulerState(1.0, 1.0, 0.0, 1.0).conserved().reshape(4, 1, 1)
+        assert check_physical(q)
+
+    def test_negative_density(self):
+        q = EulerState(1.0, 0.0, 0.0, 1.0).conserved().reshape(4, 1, 1).copy()
+        q[0] = -1.0
+        assert not check_physical(q)
+
+    def test_negative_pressure(self):
+        q = EulerState(1.0, 0.0, 0.0, 1.0).conserved().reshape(4, 1, 1).copy()
+        q[3] = 0.0  # energy below kinetic -> negative pressure
+        assert not check_physical(q)
+
+    def test_nan(self):
+        q = np.ones((4, 1, 1))
+        q[1, 0, 0] = np.nan
+        assert not check_physical(q)
+
+
+class TestEulerState:
+    def test_conserved_vector(self):
+        s = EulerState(rho=1.0, u=0.0, v=0.0, p=1.0)
+        q = s.conserved()
+        assert q.shape == (4,)
+        assert q[0] == 1.0 and q[1] == 0.0 and q[2] == 0.0
+        assert q[3] == pytest.approx(1.0 / (GAMMA_AIR - 1.0))

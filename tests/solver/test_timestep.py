@@ -1,0 +1,42 @@
+"""Tests for CFL step control."""
+
+import numpy as np
+import pytest
+
+from repro.solver.initial_conditions import uniform_state
+from repro.solver.state import EulerState
+from repro.solver.timestep import cfl_dt
+
+
+class TestCflDt:
+    def test_quiescent_gas_known_value(self):
+        q = uniform_state(EulerState(1.0, 0.0, 0.0, 1.0), 4, 4)
+        c = np.sqrt(1.4)
+        dt = cfl_dt(q, 0.1, 0.1, cfl=0.5)
+        assert dt == pytest.approx(0.5 * 0.1 / c)
+
+    def test_min_of_dx_dy(self):
+        q = uniform_state(EulerState(1.0, 0.0, 0.0, 1.0), 4, 4)
+        assert cfl_dt(q, 0.2, 0.05) == pytest.approx(cfl_dt(q, 0.05, 0.05))
+
+    def test_velocity_tightens_dt(self):
+        still = uniform_state(EulerState(1.0, 0.0, 0.0, 1.0), 4, 4)
+        moving = uniform_state(EulerState(1.0, 5.0, 0.0, 1.0), 4, 4)
+        assert cfl_dt(moving, 0.1, 0.1) < cfl_dt(still, 0.1, 0.1)
+
+    def test_dt_max_cap(self):
+        q = uniform_state(EulerState(1.0, 0.0, 0.0, 1.0), 4, 4)
+        assert cfl_dt(q, 0.1, 0.1, dt_max=1e-6) == 1e-6
+
+    def test_scales_linearly_with_cfl(self):
+        q = uniform_state(EulerState(1.0, 1.0, 0.5, 2.0), 4, 4)
+        assert cfl_dt(q, 0.1, 0.1, cfl=0.8) == pytest.approx(
+            2.0 * cfl_dt(q, 0.1, 0.1, cfl=0.4)
+        )
+
+    def test_rejects_bad_cfl(self):
+        q = uniform_state(EulerState(1.0, 0.0, 0.0, 1.0), 4, 4)
+        with pytest.raises(ValueError):
+            cfl_dt(q, 0.1, 0.1, cfl=0.0)
+        with pytest.raises(ValueError):
+            cfl_dt(q, 0.1, 0.1, cfl=1.5)

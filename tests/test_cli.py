@@ -1,0 +1,133 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dataset_defaults(self):
+        args = build_parser().parse_args(["dataset"])
+        assert args.seed == 42 and args.out is None
+
+    def test_run_policy_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "bogus"])
+
+
+class TestDatasetCommand:
+    def test_prints_table1(self, capsys):
+        assert main(["dataset", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Response: cost, node-hours" in out
+        assert "core-hours" in out
+
+    def test_saves_csv_and_npz(self, tmp_path, capsys):
+        csv = tmp_path / "d.csv"
+        npz = tmp_path / "d.npz"
+        assert main(["dataset", "--out", str(csv)]) == 0
+        assert main(["dataset", "--out", str(npz)]) == 0
+        assert csv.exists() and npz.exists()
+
+    def test_rejects_unknown_extension(self, tmp_path, capsys):
+        assert main(["dataset", "--out", str(tmp_path / "d.parquet")]) == 2
+
+
+class TestRunCommand:
+    def test_run_on_saved_dataset(self, tmp_path, capsys):
+        csv = tmp_path / "d.csv"
+        main(["dataset", "--out", str(csv)])
+        capsys.readouterr()
+        rc = main(
+            [
+                "run",
+                "--dataset",
+                str(csv),
+                "--policy",
+                "min_pred",
+                "--iterations",
+                "5",
+                "--n-init",
+                "20",
+                "--n-test",
+                "50",
+                "--refit-interval",
+                "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "final cost RMSE" in out
+        assert "min_pred" in out
+
+    def test_run_rgma_defaults_to_paper_limit(self, tmp_path, capsys):
+        csv = tmp_path / "d.csv"
+        main(["dataset", "--out", str(csv)])
+        capsys.readouterr()
+        rc = main(
+            [
+                "run",
+                "--dataset",
+                str(csv),
+                "--policy",
+                "rgma",
+                "--iterations",
+                "4",
+                "--n-init",
+                "20",
+                "--n-test",
+                "50",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "L_mem" in out
+        assert "cumulative regret" in out
+
+    def test_run_with_log2_features(self, tmp_path, capsys):
+        csv = tmp_path / "d.csv"
+        main(["dataset", "--out", str(csv)])
+        capsys.readouterr()
+        rc = main(
+            [
+                "run",
+                "--dataset",
+                str(csv),
+                "--iterations",
+                "3",
+                "--n-init",
+                "15",
+                "--n-test",
+                "40",
+                "--log2-features",
+                "0",
+                "1",
+            ]
+        )
+        assert rc == 0
+
+
+class TestSimulateCommand:
+    def test_simulate_small_job(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--p",
+                "4",
+                "--mx",
+                "8",
+                "--maxlevel",
+                "2",
+                "--t-end",
+                "0.02",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "predicted cost" in out
+        assert "patches per level" in out
