@@ -8,6 +8,11 @@ Scaling: the paper's full runs (hundreds of AL iterations, many
 trajectories) take minutes; benchmarks default to a reduced but
 shape-preserving configuration.  Set ``REPRO_BENCH_SCALE=full`` for
 paper-scale runs.
+
+Parallelism: the fig2/fig3/fig4 benchmarks fan their independent
+trajectories out over :func:`repro.core.run_trajectories`' process pool.
+``REPRO_BENCH_WORKERS`` overrides the worker count (1 = serial); results
+are worker-count-independent by seed design.
 """
 
 from __future__ import annotations
@@ -45,6 +50,18 @@ def bench_scale() -> dict:
     if name not in SCALES:
         raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}")
     return SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def bench_workers() -> int:
+    """Process-pool width for trajectory fan-out (capped, env-overridable)."""
+    raw = os.environ.get("REPRO_BENCH_WORKERS")
+    if raw is not None:
+        workers = int(raw)
+        if workers < 1:
+            raise ValueError("REPRO_BENCH_WORKERS must be >= 1")
+        return workers
+    return max(1, min(os.cpu_count() or 1, 4))
 
 
 @pytest.fixture(scope="session")

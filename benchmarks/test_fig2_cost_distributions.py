@@ -11,33 +11,34 @@ of the selected samples.  The paper's reading:
 import numpy as np
 
 from repro.analysis import cost_distribution_table, violin_stats
-from repro.core import ActiveLearner, MaxSigma, MinPred, RandGoodness, RandUniform, random_partition
+from repro.core import MaxSigma, MinPred, RandGoodness, RandUniform, TrajectorySpec, run_trajectories
 
 ALGOS = [RandUniform, MaxSigma, MinPred, RandGoodness]
 
 
-def one_trajectory(dataset, policy_cls, iterations, refit_interval, seed=2024):
-    rng = np.random.default_rng(seed)
-    part = random_partition(rng, len(dataset), n_init=50, n_test=200)
-    learner = ActiveLearner(
-        dataset,
-        part,
-        policy=policy_cls(),
-        rng=rng,
-        max_iterations=iterations,
-        hyper_refit_interval=refit_interval,
-    )
-    return learner.run()
-
-
-def test_fig2_selected_cost_distributions(benchmark, report, dataset, bench_scale):
+def test_fig2_selected_cost_distributions(benchmark, report, dataset, bench_scale, bench_workers):
     iterations = bench_scale["fig2_iterations"]
     refit = bench_scale["hyper_refit_interval"]
+    # One spec per algorithm, all sharing seed position (2024, 0): every
+    # policy sees the same Initial/Active/Test partition.
+    specs = [
+        TrajectorySpec(
+            name=cls.name,
+            policy_factory=cls,
+            base_seed=2024,
+            n_init=50,
+            n_test=200,
+            max_iterations=iterations,
+            hyper_refit_interval=refit,
+        )
+        for cls in ALGOS
+    ]
     trajectories = {}
 
     def run_all():
-        for cls in ALGOS:
-            trajectories[cls.name] = one_trajectory(dataset, cls, iterations, refit)
+        trajectories.update(
+            run_trajectories(dataset, specs, max_workers=bench_workers)
+        )
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
 

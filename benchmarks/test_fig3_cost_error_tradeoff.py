@@ -27,7 +27,7 @@ FACTORIES = {
 }
 
 
-def test_fig3_rmse_vs_cumulative_cost(benchmark, report, dataset, bench_scale):
+def test_fig3_rmse_vs_cumulative_cost(benchmark, report, dataset, bench_scale, bench_workers):
     cfg = BatchConfig(
         n_trajectories=bench_scale["n_trajectories"],
         n_init=50,
@@ -35,6 +35,7 @@ def test_fig3_rmse_vs_cumulative_cost(benchmark, report, dataset, bench_scale):
         max_iterations=bench_scale["fig34_iterations"],
         hyper_refit_interval=bench_scale["hyper_refit_interval"],
         base_seed=77,
+        processes=bench_workers,
     )
     holder = {}
 

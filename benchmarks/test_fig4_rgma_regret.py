@@ -7,6 +7,8 @@ regret incurred before that happens.  A memory-blind RandGoodness baseline
 is included for contrast — its regret keeps growing.
 """
 
+import functools
+
 import numpy as np
 
 from repro.analysis import aggregate_policy_curves, format_series, line_plot
@@ -15,7 +17,7 @@ from repro.core import BatchConfig, RGMA, RandGoodness, run_batch
 N_INITS = (1, 50, 100)
 
 
-def test_fig4_cumulative_regret(benchmark, report, dataset, memory_limit, bench_scale):
+def test_fig4_cumulative_regret(benchmark, report, dataset, memory_limit, bench_scale, bench_workers):
     batches = {}
 
     def run():
@@ -27,9 +29,14 @@ def test_fig4_cumulative_regret(benchmark, report, dataset, memory_limit, bench_
                 max_iterations=bench_scale["fig34_iterations"],
                 hyper_refit_interval=bench_scale["hyper_refit_interval"],
                 base_seed=123,
+                processes=bench_workers,
             )
             factories = {
-                f"rgma_init{n_init}": lambda: RGMA(memory_limit_MB=memory_limit),
+                # partial, not a lambda: the factory must pickle into the
+                # trajectory workers.
+                f"rgma_init{n_init}": functools.partial(
+                    RGMA, memory_limit_MB=memory_limit
+                ),
             }
             if n_init == 50:
                 factories["rand_goodness_init50"] = RandGoodness

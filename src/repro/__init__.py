@@ -31,6 +31,7 @@ Quickstart::
     print(trajectory.final_rmse_cost, trajectory.total_regret)
 """
 
+from repro import perf
 from repro.core import (
     ActiveLearner,
     BatchConfig,
@@ -43,8 +44,10 @@ from repro.core import (
     RandGoodness,
     RandUniform,
     Trajectory,
+    TrajectorySpec,
     random_partition,
     run_batch,
+    run_trajectories,
 )
 from repro.data import (
     Dataset,
@@ -69,8 +72,11 @@ __all__ = [
     "RandGoodness",
     "RandUniform",
     "Trajectory",
+    "TrajectorySpec",
     "random_partition",
     "run_batch",
+    "run_trajectories",
+    "perf",
     "Dataset",
     "ParameterSpace",
     "TABLE1_SPACE",

@@ -41,8 +41,9 @@ from repro.core.metrics import (
     individual_regrets,
 )
 from repro.core.trajectory import IterationRecord, Trajectory, StopReason
-from repro.core.loop import ActiveLearner
+from repro.core.loop import ActiveLearner, CandidateCovarianceCache
 from repro.core.batch import BatchConfig, BatchResult, run_batch
+from repro.core.parallel import TrajectorySpec, run_trajectories
 from repro.core.batch_selection import BATCH_STRATEGIES, BatchActiveLearner
 from repro.core.online import OnlineActiveLearner, OnlineResult
 from repro.core.advisor import ConfigurationAdvisor, Recommendation
@@ -76,6 +77,9 @@ __all__ = [
     "Trajectory",
     "StopReason",
     "ActiveLearner",
+    "CandidateCovarianceCache",
+    "TrajectorySpec",
+    "run_trajectories",
     "BatchActiveLearner",
     "BATCH_STRATEGIES",
     "BatchConfig",

@@ -2,10 +2,11 @@
 
 The paper compares algorithms by running AL on many random partitions of
 the dataset and reasoning about the statistics of the resulting
-trajectories, parallelizing the batch with Python's process-based
-``multiprocessing``.  :func:`run_batch` reproduces that: one trajectory per
-(policy, partition seed) pair, executed serially or across worker
-processes.
+trajectories, parallelizing the batch with process-based workers.
+:func:`run_batch` reproduces that: one trajectory per (policy, partition
+seed) pair, translated into :class:`~repro.core.parallel.TrajectorySpec`
+jobs and executed by :func:`repro.core.parallel.run_trajectories` —
+serially (``processes=1``) or across a spawn-safe process pool.
 
 Determinism: every trajectory derives its own ``Generator`` from
 ``(base_seed, trajectory_index)`` via ``SeedSequence.spawn``, so results
@@ -14,14 +15,10 @@ are identical whether run serially or in parallel, at any worker count.
 
 from __future__ import annotations
 
-import multiprocessing as mp
 from dataclasses import dataclass, field
 from typing import Callable
 
-import numpy as np
-
-from repro.core.loop import ActiveLearner
-from repro.core.partitions import random_partition
+from repro.core.parallel import TrajectorySpec, run_trajectories
 from repro.core.trajectory import Trajectory
 from repro.data.dataset import Dataset
 
@@ -77,35 +74,6 @@ class BatchResult:
         return self.trajectories[policy_name]
 
 
-def _run_one(
-    dataset: Dataset,
-    policy_factory: Callable[[], object],
-    config: BatchConfig,
-    traj_index: int,
-) -> Trajectory:
-    """Worker body: one policy on one partition, fully seeded."""
-    seed_seq = np.random.SeedSequence(entropy=config.base_seed, spawn_key=(traj_index,))
-    rng = np.random.default_rng(seed_seq)
-    partition = random_partition(
-        rng, len(dataset), n_init=config.n_init, n_test=config.n_test
-    )
-    learner = ActiveLearner(
-        dataset,
-        partition,
-        policy=policy_factory(),  # fresh policy instance per trajectory
-        rng=rng,
-        n_restarts=config.n_restarts,
-        hyper_refit_interval=config.hyper_refit_interval,
-        max_iterations=config.max_iterations,
-    )
-    return learner.run()
-
-
-def _star(args) -> tuple[str, Trajectory]:
-    name, dataset, factory, config, idx = args
-    return name, _run_one(dataset, factory, config, idx)
-
-
 def run_batch(
     dataset: Dataset,
     policy_factories: dict[str, Callable[[], object]],
@@ -117,7 +85,9 @@ def run_batch(
     ----------
     policy_factories : dict
         Maps a display name to a zero-argument factory producing a fresh
-        policy instance (policies may be stateful).
+        policy instance (policies may be stateful).  Factories must be
+        picklable (a class or ``functools.partial``) when
+        ``config.processes > 1``.
 
     Notes
     -----
@@ -125,18 +95,22 @@ def run_batch(
     spawn key), giving a paired comparison across policies — differences in
     outcomes come from the algorithms, not from partition luck.
     """
-    jobs = [
-        (name, dataset, factory, config, i)
+    specs = [
+        TrajectorySpec(
+            name=name,
+            policy_factory=factory,
+            base_seed=config.base_seed,
+            traj_index=i,
+            n_init=config.n_init,
+            n_test=config.n_test,
+            max_iterations=config.max_iterations,
+            hyper_refit_interval=config.hyper_refit_interval,
+            n_restarts=config.n_restarts,
+        )
         for i in range(config.n_trajectories)
         for name, factory in policy_factories.items()
     ]
     result = BatchResult({name: [] for name in policy_factories})
-    if config.processes == 1:
-        pairs = map(_star, jobs)
-        for name, traj in pairs:
-            result.trajectories[name].append(traj)
-    else:
-        with mp.get_context("spawn").Pool(config.processes) as pool:
-            for name, traj in pool.map(_star, jobs):
-                result.trajectories[name].append(traj)
+    for name, traj in run_trajectories(dataset, specs, max_workers=config.processes):
+        result.trajectories[name].append(traj)
     return result

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.metrics import individual_regrets, rmse_nonlog
+from repro.core.metrics import individual_regret, rmse_nonlog
 from repro.core.partitions import Partition
 from repro.core.policies import CandidateView, RGMA, SelectionPolicy
 from repro.core.preprocessing import DesignTransform
@@ -22,6 +22,87 @@ from repro.core.trajectory import IterationRecord, StopReason, Trajectory
 from repro.data.dataset import Dataset
 from repro.gp.gpr import GPRegressor
 from repro.gp.kernels import Kernel, default_kernel
+
+
+class CandidateCovarianceCache:
+    """Incrementally maintained cross-covariance for one surrogate model.
+
+    Re-scoring the Active pool each iteration rebuilds the
+    ``(candidates x train)`` kernel matrix from scratch even though only
+    one candidate left the pool and one column (the newly learned point)
+    joined the training set.  This cache keeps ``Ks`` and the prior
+    diagonal across iterations: an acquisition deletes the selected
+    candidate's row and appends a single freshly evaluated column.
+
+    Exactness invariants:
+
+    - The cache is keyed on the kernel's ``theta``; a hyperparameter refit
+      changes ``theta`` and the next :meth:`predict` silently rebuilds.
+    - ``Ks`` depends only on the kernel and the point sets — *not* on the
+      Cholesky factor — so a jitter-ladder or full-refactor fallback in
+      the model never stales the cache.
+    - Models without the exact-GP ``predict_from_cross`` surface (e.g.
+      :class:`repro.gp.local.LocalGPRegressor`) bypass the cache entirely.
+    """
+
+    def __init__(self, model) -> None:
+        self.model = model
+        self._Ks: np.ndarray | None = None
+        self._diag: np.ndarray | None = None
+        self._theta: np.ndarray | None = None
+
+    def invalidate(self) -> None:
+        self._Ks = None
+        self._diag = None
+        self._theta = None
+
+    @property
+    def _cacheable(self) -> bool:
+        return hasattr(self.model, "predict_from_cross") and getattr(
+            self.model, "is_fitted", False
+        )
+
+    def _fresh(self) -> bool:
+        kernel = getattr(self.model, "kernel_", None)
+        X_train = getattr(self.model, "X_train_", None)
+        return (
+            self._Ks is not None
+            and kernel is not None
+            and X_train is not None
+            and self._theta is not None
+            and self._Ks.shape[1] == X_train.shape[0]
+            and np.array_equal(kernel.theta, self._theta)
+        )
+
+    def predict(self, U_cand: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Candidate mean/std, rebuilding the cached ``Ks`` only when stale."""
+        if not self._cacheable:
+            return self.model.predict(U_cand, return_std=True)
+        if not self._fresh():
+            kernel = self.model.kernel_
+            self._Ks = kernel(U_cand, self.model.X_train_)
+            self._diag = kernel.diag(U_cand)
+            self._theta = kernel.theta.copy()
+        return self.model.predict_from_cross(self._Ks, self._diag, return_std=True)
+
+    def acquire(self, pos: int, U_remaining: np.ndarray, u_new: np.ndarray) -> None:
+        """Candidate ``pos`` was selected: drop its row, append its column.
+
+        ``U_remaining`` are the features of the pool *after* removal and
+        ``u_new`` the selected point now joining the training set.  Must
+        run before any hyperparameter refit so the single-column kernel
+        evaluation uses the same ``theta`` the cache was built under.
+        """
+        if self._Ks is None or not self._fresh():
+            self.invalidate()
+            return
+        self._Ks = np.delete(self._Ks, pos, axis=0)
+        self._diag = np.delete(self._diag, pos)
+        if U_remaining.shape[0] != self._Ks.shape[0]:
+            self.invalidate()
+            return
+        col = self.model.kernel_(U_remaining, u_new[None, :])
+        self._Ks = np.hstack([self._Ks, col])
 
 
 class ActiveLearner:
@@ -65,6 +146,11 @@ class ActiveLearner:
         :class:`repro.gp.local.LocalGPRegressor` (the paper's "multiple
         local performance models" future work).  Overrides ``kernel`` and
         ``n_restarts``.
+    cache_candidates : bool
+        Maintain the candidate cross-covariance matrices across iterations
+        (:class:`CandidateCovarianceCache`) instead of rebuilding them for
+        every :meth:`_candidate_view`.  Exact; disable only to benchmark
+        or to cross-check against the straight-line path.
     """
 
     def __init__(
@@ -81,6 +167,7 @@ class ActiveLearner:
         log2_features=(),
         weight_rmse_by_cost: bool = False,
         model_factory=None,
+        cache_candidates: bool = True,
     ) -> None:
         if hyper_refit_interval < 1:
             raise ValueError("hyper_refit_interval must be >= 1")
@@ -113,6 +200,9 @@ class ActiveLearner:
         # Mutable AL state.
         self._remaining = list(partition.active_idx)
         self._learned: list[int] = []
+        self.cache_candidates = bool(cache_candidates)
+        self._cache_cost = CandidateCovarianceCache(self.gpr_cost)
+        self._cache_mem = CandidateCovarianceCache(self.gpr_mem)
 
     # ---------------------------------------------------------------- helpers
 
@@ -147,8 +237,12 @@ class ActiveLearner:
     def _candidate_view(self) -> CandidateView:
         idx = np.asarray(self._remaining, dtype=np.int64)
         U = self._U[idx]
-        mu_c, sd_c = self.gpr_cost.predict(U, return_std=True)
-        mu_m, sd_m = self.gpr_mem.predict(U, return_std=True)
+        if self.cache_candidates:
+            mu_c, sd_c = self._cache_cost.predict(U)
+            mu_m, sd_m = self._cache_mem.predict(U)
+        else:
+            mu_c, sd_c = self.gpr_cost.predict(U, return_std=True)
+            mu_m, sd_m = self.gpr_mem.predict(U, return_std=True)
         return CandidateView(
             X=U, mu_cost=mu_c, sigma_cost=sd_c, mu_mem=mu_m, sigma_mem=sd_m
         )
@@ -184,16 +278,17 @@ class ActiveLearner:
                 break
             ds_index = self._remaining.pop(pos)
             self._learned.append(ds_index)
+            if self.cache_candidates:
+                U_rem = self._U[np.asarray(self._remaining, dtype=np.int64)]
+                u_new = self._U[ds_index]
+                self._cache_cost.acquire(pos, U_rem, u_new)
+                self._cache_mem.acquire(pos, U_rem, u_new)
 
             cost = float(self.dataset.cost[ds_index])
             mem = float(self.dataset.mem[ds_index])
             cum_cost += cost
             if memory_limit is not None:
-                cum_regret += float(
-                    individual_regrets(
-                        np.array([cost]), np.array([mem]), memory_limit
-                    )[0]
-                )
+                cum_regret += individual_regret(cost, mem, memory_limit)
 
             optimize = (iteration % self.hyper_refit_interval) == 0
             self._fit_models(optimize=optimize)

@@ -45,6 +45,18 @@ def rmse_nonlog(mu_log: np.ndarray, y_raw: np.ndarray, weights: np.ndarray | Non
     return float(np.sqrt((w * e * e).sum() / total))
 
 
+def individual_regret(cost: float, mem: float, memory_limit_MB: float) -> float:
+    """Scalar fast path of :func:`individual_regrets` for a single sample.
+
+    The AL loop accrues regret one acquisition at a time; going through
+    the vectorized form costs two array allocations per iteration for a
+    single comparison.
+    """
+    if memory_limit_MB <= 0:
+        raise ValueError("memory limit must be positive")
+    return float(cost) if mem >= memory_limit_MB else 0.0
+
+
 def individual_regrets(
     costs: np.ndarray, mems: np.ndarray, memory_limit_MB: float
 ) -> np.ndarray:

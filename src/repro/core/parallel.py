@@ -1,0 +1,121 @@
+"""Parallel execution of independent AL trajectories.
+
+The figure benchmarks and the paper's cross-validation run many AL
+trajectories that share nothing but the (read-only) dataset — one per
+(policy, partition seed) pair.  :func:`run_trajectories` fans a list of
+:class:`TrajectorySpec` out over a spawn-safe ``concurrent.futures``
+process pool.
+
+Determinism: every spec derives its own ``Generator`` from
+``SeedSequence(entropy=base_seed, spawn_key=(traj_index,))`` — the same
+stream construction :mod:`repro.core.batch` has always used — so results
+are identical serial or parallel, at any worker count, and specs with the
+same ``(base_seed, traj_index)`` share a partition (paired comparisons
+across policies).
+
+Spawn-safety: workers are started with the ``spawn`` method (fresh
+interpreters, no inherited locks or BLAS thread state); everything a
+worker needs — the dataset, a module-level worker function, and picklable
+policy factories (classes or :func:`functools.partial`, not lambdas) —
+crosses the process boundary by pickling.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.loop import ActiveLearner
+from repro.core.partitions import random_partition
+from repro.core.trajectory import Trajectory
+from repro.data.dataset import Dataset
+
+
+@dataclass(frozen=True)
+class TrajectorySpec:
+    """One independent AL run: a policy factory plus its seed-tree position.
+
+    Attributes
+    ----------
+    name : str
+        Display name the result is reported under.
+    policy_factory : callable
+        Zero-argument factory for a fresh policy instance.  Must be
+        picklable for parallel execution — a policy class or a
+        ``functools.partial``, not a lambda.
+    base_seed, traj_index : int
+        Position in the seed tree; specs sharing both get the same
+        partition and RNG stream.
+    n_init, n_test, max_iterations, hyper_refit_interval, n_restarts :
+        Forwarded to :class:`~repro.core.loop.ActiveLearner`.
+    learner_kwargs : dict
+        Extra keyword arguments for :class:`ActiveLearner` (e.g.
+        ``stopping_rule``, ``cache_candidates``).
+    """
+
+    name: str
+    policy_factory: Callable[[], object]
+    base_seed: int = 0
+    traj_index: int = 0
+    n_init: int = 50
+    n_test: int = 200
+    max_iterations: int | None = None
+    hyper_refit_interval: int = 1
+    n_restarts: int = 2
+    learner_kwargs: dict = field(default_factory=dict)
+
+
+def _run_spec(dataset: Dataset, spec: TrajectorySpec) -> tuple[str, Trajectory]:
+    """Worker body: one fully seeded AL run."""
+    seed_seq = np.random.SeedSequence(
+        entropy=spec.base_seed, spawn_key=(spec.traj_index,)
+    )
+    rng = np.random.default_rng(seed_seq)
+    partition = random_partition(
+        rng, len(dataset), n_init=spec.n_init, n_test=spec.n_test
+    )
+    learner = ActiveLearner(
+        dataset,
+        partition,
+        policy=spec.policy_factory(),
+        rng=rng,
+        n_restarts=spec.n_restarts,
+        hyper_refit_interval=spec.hyper_refit_interval,
+        max_iterations=spec.max_iterations,
+        **spec.learner_kwargs,
+    )
+    return spec.name, learner.run()
+
+
+def default_workers(n_jobs: int) -> int:
+    """Worker count capped by the job count and the machine's cores."""
+    return max(1, min(n_jobs, os.cpu_count() or 1))
+
+
+def run_trajectories(
+    dataset: Dataset,
+    specs: Iterable[TrajectorySpec],
+    max_workers: int | None = None,
+) -> list[tuple[str, Trajectory]]:
+    """Run every spec; return ``(name, trajectory)`` pairs in spec order.
+
+    ``max_workers=None`` picks :func:`default_workers`; ``1`` runs
+    serially in-process (no pool, easiest to debug/profile).  Results are
+    independent of the worker count by construction.
+    """
+    spec_list: Sequence[TrajectorySpec] = list(specs)
+    if max_workers is None:
+        max_workers = default_workers(len(spec_list))
+    if max_workers < 1:
+        raise ValueError("max_workers must be >= 1")
+    if max_workers == 1 or len(spec_list) <= 1:
+        return [_run_spec(dataset, s) for s in spec_list]
+    with ProcessPoolExecutor(
+        max_workers=max_workers, mp_context=get_context("spawn")
+    ) as pool:
+        return list(pool.map(_run_spec, [dataset] * len(spec_list), spec_list))

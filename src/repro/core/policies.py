@@ -13,10 +13,29 @@ MinPred and RandGoodness chase.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Protocol
 
 import numpy as np
+
+from repro import perf
+
+
+def timed_select(select):
+    """Credit a policy's ``select`` to the ``select`` perf phase.
+
+    Applied to every built-in policy so :func:`repro.perf.report` breaks
+    the AL hot loop down into fit / refactor / predict / select without
+    the loop having to wrap each call site.
+    """
+
+    @functools.wraps(select)
+    def wrapper(self, view: "CandidateView", rng: np.random.Generator):
+        with perf.timer("select"):
+            return select(self, view, rng)
+
+    return wrapper
 
 
 @dataclass(frozen=True)
@@ -69,6 +88,7 @@ class RandUniform:
 
     name = "rand_uniform"
 
+    @timed_select
     def select(self, view: CandidateView, rng: np.random.Generator) -> int | None:
         if len(view) == 0:
             return None
@@ -86,6 +106,7 @@ class MaxSigma:
 
     name = "max_sigma"
 
+    @timed_select
     def select(self, view: CandidateView, rng: np.random.Generator) -> int | None:
         if len(view) == 0:
             return None
@@ -103,6 +124,7 @@ class MinPred:
 
     name = "min_pred"
 
+    @timed_select
     def select(self, view: CandidateView, rng: np.random.Generator) -> int | None:
         if len(view) == 0:
             return None
@@ -147,6 +169,7 @@ class RandGoodness:
     def __init__(self, base: float = 10.0) -> None:
         self.base = float(base)
 
+    @timed_select
     def select(self, view: CandidateView, rng: np.random.Generator) -> int | None:
         if len(view) == 0:
             return None
@@ -182,6 +205,7 @@ class RGMA:
     def log_limit(self) -> float:
         return float(np.log10(self.memory_limit_MB))
 
+    @timed_select
     def select(self, view: CandidateView, rng: np.random.Generator) -> int | None:
         if len(view) == 0:
             return None

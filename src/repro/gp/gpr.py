@@ -9,18 +9,31 @@ with optional random restarts.
 The AL loop refits the model after every acquired sample; following the
 paper ("use old model's parameters as a starting point in hyperparameter
 fitting"), :meth:`GPRegressor.fit` warm-starts from the current kernel.
+
+When hyperparameter refits are thinned out (``hyper_refit_interval > 1``
+in the AL loop), :meth:`GPRegressor.refactor` detects that the new
+training set is the old one plus appended rows and *extends* the stored
+Cholesky factor in O(n^2) (a rank-``m`` block update) instead of
+refactorizing from scratch in O(n^3).  The fast path applies only when
+the hyperparameters are frozen and the stored factorization needed no
+jitter; otherwise it falls back to the exact full factorization.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import scipy.linalg
 from scipy.linalg import cho_solve, cholesky, solve_triangular
 from scipy.optimize import minimize
 
+from repro import perf
 from repro.gp.kernels import Kernel, default_kernel
 
 #: Jitter ladder tried when the covariance is numerically indefinite.
 _JITTERS = (0.0, 1e-10, 1e-8, 1e-6, 1e-4)
+
+#: Factorization failures we recover from; anything else is a real bug.
+_CHOL_ERRORS = (np.linalg.LinAlgError, scipy.linalg.LinAlgError)
 
 
 class GPRegressor:
@@ -42,6 +55,10 @@ class GPRegressor:
         Re-randomize on every fit (slower, used in validation tests).
     rng : numpy.random.Generator, optional
         Source for restart draws; required when ``n_restarts > 0``.
+    incremental : bool
+        Allow :meth:`refactor` to extend the stored Cholesky factor in
+        O(n^2) when the new training set appends rows to the old one.
+        Disable to force from-scratch factorization (equivalence tests).
 
     Attributes
     ----------
@@ -49,6 +66,10 @@ class GPRegressor:
         Fitted kernel (after :meth:`fit`).
     X_train_, y_train_ : ndarray
         Stored training data.
+    last_factor_mode_ : str
+        How the current ``(L, alpha)`` pair was produced: ``"fit"``,
+        ``"full"`` (from-scratch :meth:`refactor`) or ``"rank1"``
+        (incremental extension).
     """
 
     def __init__(
@@ -58,12 +79,14 @@ class GPRegressor:
         n_restarts: int = 2,
         restart_every_fit: bool = False,
         rng: np.random.Generator | None = None,
+        incremental: bool = True,
     ) -> None:
         self.kernel = kernel if kernel is not None else default_kernel()
         self.normalize_y = normalize_y
         self.n_restarts = int(n_restarts)
         self.restart_every_fit = restart_every_fit
         self.rng = rng
+        self.incremental = bool(incremental)
         if self.n_restarts > 0 and rng is None:
             raise ValueError("n_restarts > 0 requires an rng")
         self.kernel_: Kernel | None = None
@@ -73,6 +96,12 @@ class GPRegressor:
         self._L: np.ndarray | None = None
         self._alpha: np.ndarray | None = None
         self._fit_count = 0
+        #: Jitter the stored factorization needed (0.0 = exact kernel matrix).
+        self._factor_jitter = 0.0
+        #: Capacity buffer holding ``_L`` in its leading block, so repeated
+        #: appends extend in place instead of copying the whole factor.
+        self._L_buf: np.ndarray | None = None
+        self.last_factor_mode_ = ""
 
     # ------------------------------------------------------------------ LML
 
@@ -121,24 +150,39 @@ class GPRegressor:
         return lml, grad
 
     @staticmethod
-    def _chol(K: np.ndarray) -> np.ndarray | None:
-        """Cholesky with a jitter ladder; None if hopeless."""
+    def _chol_jitter(K: np.ndarray) -> tuple[np.ndarray, float] | None:
+        """Cholesky with a jitter ladder; None if hopeless.
+
+        Returns the factor *and* the jitter it needed — the incremental
+        update path is only exact when the stored factorization used no
+        jitter.  Only genuine indefiniteness (``LinAlgError``) climbs the
+        ladder; shape errors or NaNs from a broken theta propagate.
+        """
         n = K.shape[0]
         for jitter in _JITTERS:
             try:
-                return cholesky(
+                L = cholesky(
                     K + jitter * np.eye(n), lower=True, check_finite=False
                 )
-            except np.linalg.LinAlgError:
-                continue
-            except Exception:
+                return L, jitter
+            except _CHOL_ERRORS:
                 continue
         return None
+
+    @staticmethod
+    def _chol(K: np.ndarray) -> np.ndarray | None:
+        """Cholesky factor alone (see :meth:`_chol_jitter`)."""
+        out = GPRegressor._chol_jitter(K)
+        return None if out is None else out[0]
 
     # ------------------------------------------------------------------ fit
 
     def fit(self, X, y) -> "GPRegressor":
         """Fit hyperparameters by LML maximization and precompute factors."""
+        with perf.timer("fit"):
+            return self._fit(X, y)
+
+    def _fit(self, X, y) -> "GPRegressor":
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64).ravel()
         if X.ndim != 2 or X.shape[0] != y.shape[0]:
@@ -171,22 +215,35 @@ class GPRegressor:
                     best_theta, best_lml = theta, lml
             self.kernel_ = start.with_theta(best_theta)
 
-        K = self.kernel_(X)
-        L = self._chol(K)
-        if L is None:
-            raise np.linalg.LinAlgError("covariance not positive definite")
-        self._L = L
-        self._alpha = cho_solve((L, True), yc, check_finite=False)
+        self._factorize(X, yc)
+        self.last_factor_mode_ = "fit"
         self._fit_count += 1
         return self
+
+    def _factorize(self, X: np.ndarray, yc: np.ndarray) -> None:
+        """From-scratch factorization of the covariance at ``kernel_``."""
+        assert self.kernel_ is not None
+        K = self.kernel_(X)
+        out = self._chol_jitter(K)
+        if out is None:
+            raise np.linalg.LinAlgError("covariance not positive definite")
+        self._L, self._factor_jitter = out
+        self._L_buf = self._L  # capacity == size until the first extension
+        self._alpha = cho_solve((self._L, True), yc, check_finite=False)
 
     def refactor(self, X, y) -> "GPRegressor":
         """Replace the training data *without* re-optimizing hyperparameters.
 
-        Re-factorizes the covariance at the incumbent ``kernel_`` for the
-        new data.  Used by the AL loop when hyperparameter refits are
-        thinned out (``hyper_refit_interval > 1``).  Requires a prior
-        :meth:`fit`.
+        Used by the AL loop when hyperparameter refits are thinned out
+        (``hyper_refit_interval > 1``).  Requires a prior :meth:`fit`.
+
+        When ``incremental`` is enabled and the new training set is the old
+        one with rows appended, the stored Cholesky factor is *extended* by
+        a rank-``m`` block update in O(n^2) instead of being rebuilt in
+        O(n^3).  The fast path is skipped — falling back to the exact full
+        factorization — whenever the stored factor needed jitter, the
+        prefix rows changed, or the Schur complement of the appended block
+        is not positive definite.
         """
         if self.kernel_ is None:
             raise RuntimeError("refactor() requires a prior fit()")
@@ -194,17 +251,81 @@ class GPRegressor:
         y = np.asarray(y, dtype=np.float64).ravel()
         if X.ndim != 2 or X.shape[0] != y.shape[0]:
             raise ValueError("X must be (n, d) aligned with y (n,)")
+        if self._can_extend(X):
+            with perf.timer("rank1_update"):
+                if self._extend_factorization(X, y):
+                    return self
+        with perf.timer("refactor"):
+            self.X_train_ = X
+            self.y_train_ = y
+            self._y_mean = float(y.mean()) if self.normalize_y else 0.0
+            self._factorize(X, self._centered_y())
+            self.last_factor_mode_ = "full"
+            self._fit_count += 1
+        return self
+
+    def _can_extend(self, X: np.ndarray) -> bool:
+        """Fast-path guard: appended-rows refactor with an exact factor."""
+        old = self.X_train_
+        return (
+            self.incremental
+            and self._L is not None
+            and old is not None
+            and self._factor_jitter == 0.0
+            and X.shape[0] > old.shape[0]
+            and X.shape[1] == old.shape[1]
+            and np.array_equal(X[: old.shape[0]], old)
+        )
+
+    def _extend_factorization(self, X: np.ndarray, y: np.ndarray) -> bool:
+        """Extend ``(L, alpha)`` by the appended rows of ``X`` in O(n^2).
+
+        With ``K_new = [[K11, K12], [K12^T, K22]]`` and ``K11 = L L^T``
+        already factorized, the extended factor is
+        ``[[L, 0], [B^T, L22]]`` where ``B = L^{-1} K12`` and
+        ``L22 = chol(K22 - B^T B)``.  Returns False (leaving state
+        untouched) if the Schur complement is not positive definite, in
+        which case the caller re-factorizes from scratch.
+        """
+        assert self.kernel_ is not None and self._L is not None
+        assert self.X_train_ is not None
+        n_old = self.X_train_.shape[0]
+        X_new = X[n_old:]
+        K12 = self.kernel_(self.X_train_, X_new)  # cross-cov, noise-free
+        K22 = self.kernel_(X_new)  # includes the noise diagonal
+        B = solve_triangular(self._L, K12, lower=True, check_finite=False)
+        S = K22 - B.T @ B
+        try:
+            L22 = cholesky(S, lower=True, check_finite=False)
+        except _CHOL_ERRORS:
+            return False
+        n_new = X.shape[0]
+        buf = self._L_buf
+        if (
+            buf is None
+            or buf.shape[0] < n_new
+            or not (self._L is buf or self._L.base is buf)
+        ):
+            # (Re)allocate with headroom: one O(n^2) copy buys capacity for
+            # ~n/2 in-place appends, keeping the amortized memory traffic
+            # of the AL loop's one-sample acquisitions at O(n) each.
+            cap = max(int(1.5 * n_new) + 8, 64)
+            buf = np.zeros((cap, cap))
+            buf[:n_old, :n_old] = self._L
+            self._L_buf = buf
+        buf[n_old:n_new, :n_old] = B.T
+        buf[n_old:n_new, n_old:n_new] = L22
+        L_ext = buf[:n_new, :n_new]
         self.X_train_ = X
         self.y_train_ = y
         self._y_mean = float(y.mean()) if self.normalize_y else 0.0
-        K = self.kernel_(X)
-        L = self._chol(K)
-        if L is None:
-            raise np.linalg.LinAlgError("covariance not positive definite")
-        self._L = L
-        self._alpha = cho_solve((L, True), self._centered_y(), check_finite=False)
+        self._L = L_ext
+        # alpha depends on *all* centered targets (the mean shifted), but
+        # with L in hand it is a pair of triangular solves: O(n^2).
+        self._alpha = cho_solve((L_ext, True), self._centered_y(), check_finite=False)
+        self.last_factor_mode_ = "rank1"
         self._fit_count += 1
-        return self
+        return True
 
     def _optimize(self, theta0, X, yc, bounds) -> tuple[np.ndarray, float]:
         def objective(theta):
@@ -239,13 +360,40 @@ class GPRegressor:
             return mean, np.sqrt(np.maximum(prior.diag(X), 0.0))
         kernel = self.kernel_
         assert kernel is not None and self._alpha is not None
-        Ks = kernel(X, self.X_train_)  # (m, n), no noise (cross-covariance)
-        mean = Ks @ self._alpha + self._y_mean
-        if not return_std:
-            return mean
-        V = solve_triangular(self._L, Ks.T, lower=True, check_finite=False)
-        var = kernel.diag(X) - np.einsum("ij,ij->j", V, V)
-        return mean, np.sqrt(np.maximum(var, 0.0))
+        with perf.timer("predict"):
+            Ks = kernel(X, self.X_train_)  # (m, n), no noise (cross-covariance)
+            mean = Ks @ self._alpha + self._y_mean
+            if not return_std:
+                return mean
+            V = solve_triangular(self._L, Ks.T, lower=True, check_finite=False)
+            var = kernel.diag(X) - np.einsum("ij,ij->j", V, V)
+            return mean, np.sqrt(np.maximum(var, 0.0))
+
+    def predict_from_cross(
+        self, Ks: np.ndarray, prior_diag: np.ndarray, return_std: bool = False
+    ):
+        """Predict from a *precomputed* cross-covariance against the train set.
+
+        ``Ks`` must equal ``kernel_(X_query, X_train_)`` (shape ``(m, n)``)
+        and ``prior_diag`` must equal ``kernel_.diag(X_query)``.  The AL
+        loop maintains both incrementally across iterations
+        (:class:`repro.core.loop.CandidateCovarianceCache`) so each
+        iteration skips the O(m·n) kernel rebuild.
+        """
+        if self._L is None or self._alpha is None:
+            raise RuntimeError("predict_from_cross() requires a factorized model")
+        Ks = np.asarray(Ks, dtype=np.float64)
+        if Ks.ndim != 2 or Ks.shape[1] != self._alpha.shape[0]:
+            raise ValueError("Ks must be (m, n_train)")
+        with perf.timer("predict"):
+            mean = Ks @ self._alpha + self._y_mean
+            if not return_std:
+                return mean
+            V = solve_triangular(self._L, Ks.T, lower=True, check_finite=False)
+            var = np.asarray(prior_diag, dtype=np.float64) - np.einsum(
+                "ij,ij->j", V, V
+            )
+            return mean, np.sqrt(np.maximum(var, 0.0))
 
     # ------------------------------------------------------------- utilities
 

@@ -1,0 +1,122 @@
+"""Lightweight per-phase timing registry for the AL hot loop.
+
+The AL loop and the GP layer report how long they spend in each phase —
+``fit`` (LML optimization), ``refactor`` (from-scratch re-factorization),
+``rank1_update`` (incremental Cholesky extension), ``predict`` and
+``select`` — so that optimizations of the hot loop are measurable rather
+than anecdotal.  The registry is deliberately tiny: a dict of
+``phase -> (calls, seconds)`` guarded by a lock, fed by a context-manager
+timer whose overhead is two ``perf_counter()`` calls.
+
+Every process owns its own registry (worker processes spawned by
+:mod:`repro.core.parallel` start fresh); aggregate across processes by
+shipping :meth:`PerfRegistry.snapshot` dicts back to the parent if needed.
+
+Typical use::
+
+    from repro import perf
+
+    with perf.timer("predict"):
+        mu, sd = gpr.predict(X, return_std=True)
+
+    print(perf.report())
+    perf.reset()
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+#: Canonical phase names used by the built-in instrumentation.
+PHASES = ("fit", "refactor", "rank1_update", "predict", "select")
+
+
+@dataclass(frozen=True)
+class PhaseStat:
+    """Accumulated timing for one phase."""
+
+    calls: int
+    seconds: float
+
+    @property
+    def mean_ms(self) -> float:
+        return 1e3 * self.seconds / self.calls if self.calls else 0.0
+
+
+class PerfRegistry:
+    """Thread-safe accumulator of per-phase call counts and wall time."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._calls: dict[str, int] = {}
+        self._seconds: dict[str, float] = {}
+
+    def add(self, phase: str, seconds: float, calls: int = 1) -> None:
+        """Record ``calls`` invocations of ``phase`` totalling ``seconds``."""
+        with self._lock:
+            self._calls[phase] = self._calls.get(phase, 0) + calls
+            self._seconds[phase] = self._seconds.get(phase, 0.0) + seconds
+
+    @contextmanager
+    def timer(self, phase: str):
+        """Time a ``with`` block and credit it to ``phase``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(phase, time.perf_counter() - t0)
+
+    def snapshot(self) -> dict[str, PhaseStat]:
+        """Immutable copy of the current counters."""
+        with self._lock:
+            return {
+                p: PhaseStat(self._calls[p], self._seconds[p])
+                for p in sorted(self._calls)
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._calls.clear()
+            self._seconds.clear()
+
+    def report(self) -> str:
+        """Render the counters as an aligned text table."""
+        snap = self.snapshot()
+        if not snap:
+            return "(no phases recorded)"
+        width = max(len(p) for p in snap)
+        lines = [f"{'phase':<{width}}  {'calls':>7}  {'total_s':>9}  {'mean_ms':>8}"]
+        for phase, stat in snap.items():
+            lines.append(
+                f"{phase:<{width}}  {stat.calls:>7d}  {stat.seconds:>9.4f}  "
+                f"{stat.mean_ms:>8.3f}"
+            )
+        return "\n".join(lines)
+
+
+#: Process-global default registry used by the built-in instrumentation.
+REGISTRY = PerfRegistry()
+
+
+def timer(phase: str):
+    """``with perf.timer("fit"): ...`` against the default registry."""
+    return REGISTRY.timer(phase)
+
+
+def add(phase: str, seconds: float, calls: int = 1) -> None:
+    REGISTRY.add(phase, seconds, calls)
+
+
+def snapshot() -> dict[str, PhaseStat]:
+    return REGISTRY.snapshot()
+
+
+def reset() -> None:
+    REGISTRY.reset()
+
+
+def report() -> str:
+    return REGISTRY.report()

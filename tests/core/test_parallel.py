@@ -1,0 +1,73 @@
+"""Tests for the process-pool trajectory runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import TrajectorySpec, default_workers, run_trajectories
+from repro.core.policies import MinPred, RandUniform
+
+
+def _specs(n=3, **kw):
+    base = dict(n_init=15, n_test=20, max_iterations=4, hyper_refit_interval=2)
+    base.update(kw)
+    return [
+        TrajectorySpec(
+            name=f"traj{i}", policy_factory=RandUniform, base_seed=31, traj_index=i,
+            **base,
+        )
+        for i in range(n)
+    ]
+
+
+class TestSerialExecution:
+    def test_returns_named_pairs_in_spec_order(self, small_dataset):
+        out = run_trajectories(small_dataset, _specs(3), max_workers=1)
+        assert [name for name, _ in out] == ["traj0", "traj1", "traj2"]
+        assert all(len(t) == 4 for _, t in out)
+
+    def test_same_seed_position_shares_partition(self, small_dataset):
+        """Paired comparison: equal (base_seed, traj_index) => equal
+        partitions, so the first selected index pool is shared."""
+        a = TrajectorySpec(name="a", policy_factory=MinPred, base_seed=5,
+                           n_init=15, n_test=20, max_iterations=3)
+        b = TrajectorySpec(name="b", policy_factory=MinPred, base_seed=5,
+                           n_init=15, n_test=20, max_iterations=3)
+        out = run_trajectories(small_dataset, [a, b], max_workers=1)
+        assert np.array_equal(out[0][1].selected_indices, out[1][1].selected_indices)
+
+    def test_distinct_indices_get_distinct_streams(self, small_dataset):
+        out = run_trajectories(small_dataset, _specs(2), max_workers=1)
+        assert not np.array_equal(
+            out[0][1].selected_indices, out[1][1].selected_indices
+        )
+
+    def test_learner_kwargs_forwarded(self, small_dataset):
+        spec = TrajectorySpec(
+            name="s", policy_factory=RandUniform, base_seed=1, n_init=15,
+            n_test=20, max_iterations=2,
+            learner_kwargs={"cache_candidates": False},
+        )
+        out = run_trajectories(small_dataset, [spec], max_workers=1)
+        assert len(out[0][1]) == 2
+
+
+class TestParallelExecution:
+    def test_parallel_matches_serial_exactly(self, small_dataset):
+        specs = _specs(2)
+        serial = run_trajectories(small_dataset, specs, max_workers=1)
+        parallel = run_trajectories(small_dataset, specs, max_workers=2)
+        for (n1, a), (n2, b) in zip(serial, parallel):
+            assert n1 == n2
+            assert np.array_equal(a.selected_indices, b.selected_indices)
+            assert np.array_equal(a.rmse_cost, b.rmse_cost)
+
+    def test_invalid_worker_count(self, small_dataset):
+        with pytest.raises(ValueError):
+            run_trajectories(small_dataset, _specs(1), max_workers=0)
+
+
+class TestDefaultWorkers:
+    def test_capped_by_jobs_and_cores(self):
+        assert default_workers(1) == 1
+        assert default_workers(10**6) >= 1
+        assert default_workers(2) <= 2

@@ -1,0 +1,163 @@
+"""Tests for the incremental (rank-m block) Cholesky update in GPRegressor.
+
+The AL loop's fast path relies on :meth:`GPRegressor.refactor` extending
+``(L, alpha)`` when rows are appended under frozen hyperparameters.  These
+tests pin down the exactness contract: the extended factorization matches
+a from-scratch one to tight tolerance over random append sequences, and
+every condition that breaks the invariant falls back to the full path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gp.gpr import GPRegressor
+from repro.gp.kernels import RBF, ConstantKernel, WhiteKernel
+
+
+def _data(n, d=3, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, (n, d))
+    y = np.sin(X @ np.linspace(1.0, 3.0, d)) + 0.05 * rng.standard_normal(n)
+    return X, y
+
+
+def _pair(seed=1, **kw):
+    """A fast (incremental) and a slow (from-scratch) regressor."""
+    fast = GPRegressor(rng=np.random.default_rng(seed), **kw)
+    slow = GPRegressor(rng=np.random.default_rng(seed), incremental=False, **kw)
+    return fast, slow
+
+
+class TestRankOneEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_append_sequences_match_full_refactor(self, seed):
+        """Property: over random append chunk sizes, (L, alpha) match 1e-8."""
+        rng = np.random.default_rng(seed)
+        X, y = _data(80, seed=seed)
+        n0 = int(rng.integers(10, 30))
+        fast, slow = _pair(seed=seed)
+        fast.fit(X[:n0], y[:n0])
+        slow.fit(X[:n0], y[:n0])
+        n = n0
+        while n < X.shape[0]:
+            n = min(X.shape[0], n + int(rng.integers(1, 5)))
+            fast.refactor(X[:n], y[:n])
+            slow.refactor(X[:n], y[:n])
+            assert fast.last_factor_mode_ == "rank1"
+            assert slow.last_factor_mode_ == "full"
+            assert np.max(np.abs(fast._L - slow._L)) < 1e-8
+            assert np.max(np.abs(fast._alpha - slow._alpha)) < 1e-8
+
+    def test_predictions_match_after_many_single_appends(self):
+        X, y = _data(60, seed=7)
+        fast, slow = _pair(seed=7)
+        fast.fit(X[:30], y[:30])
+        slow.fit(X[:30], y[:30])
+        for n in range(31, 61):
+            fast.refactor(X[:n], y[:n])
+            slow.refactor(X[:n], y[:n])
+        Xq = np.random.default_rng(8).uniform(0, 1, (40, 3))
+        mu_f, sd_f = fast.predict(Xq, return_std=True)
+        mu_s, sd_s = slow.predict(Xq, return_std=True)
+        assert np.allclose(mu_f, mu_s, atol=1e-8)
+        assert np.allclose(sd_f, sd_s, atol=1e-8)
+
+    def test_normalized_mean_tracks_appends(self):
+        """The target mean shifts with every append; alpha must follow."""
+        X, y = _data(40, seed=3)
+        y = y + 50.0  # large offset exercises normalize_y
+        fast, slow = _pair(seed=3)
+        fast.fit(X[:20], y[:20])
+        slow.fit(X[:20], y[:20])
+        for n in (25, 30, 40):
+            fast.refactor(X[:n], y[:n])
+            slow.refactor(X[:n], y[:n])
+        assert fast._y_mean == pytest.approx(float(y.mean()))
+        assert np.allclose(fast.predict(X), slow.predict(X), atol=1e-8)
+
+
+class TestFallbacks:
+    def test_incremental_disabled_uses_full_path(self):
+        X, y = _data(30)
+        gp = GPRegressor(rng=np.random.default_rng(0), incremental=False)
+        gp.fit(X[:20], y[:20])
+        gp.refactor(X[:25], y[:25])
+        assert gp.last_factor_mode_ == "full"
+
+    def test_changed_prefix_uses_full_path(self):
+        X, y = _data(30)
+        gp = GPRegressor(rng=np.random.default_rng(0))
+        gp.fit(X[:20], y[:20])
+        X_perm = X[:25][::-1].copy()
+        gp.refactor(X_perm, y[:25][::-1].copy())
+        assert gp.last_factor_mode_ == "full"
+
+    def test_shrunk_training_set_uses_full_path(self):
+        X, y = _data(30)
+        gp = GPRegressor(rng=np.random.default_rng(0))
+        gp.fit(X, y)
+        gp.refactor(X[:20], y[:20])
+        assert gp.last_factor_mode_ == "full"
+
+    def test_jittered_factorization_blocks_fast_path(self):
+        """A stored factor that needed jitter must not be extended."""
+        X, y = _data(30)
+        gp = GPRegressor(rng=np.random.default_rng(0))
+        gp.fit(X[:20], y[:20])
+        gp._factor_jitter = 1e-8  # as if the ladder had engaged
+        gp.refactor(X[:25], y[:25])
+        assert gp.last_factor_mode_ == "full"
+        assert gp._factor_jitter == 0.0  # full path re-measured it
+
+    def test_fit_always_factorizes_from_scratch(self):
+        X, y = _data(40)
+        gp = GPRegressor(rng=np.random.default_rng(0))
+        gp.fit(X[:30], y[:30])
+        gp.fit(X, y)
+        assert gp.last_factor_mode_ == "fit"
+
+    def test_duplicate_rows_fall_back_not_crash(self):
+        """Appending a duplicate of an existing row makes the Schur
+        complement nearly singular under tiny noise; the update must either
+        stay exact or fall back — never return a broken factor."""
+        X, y = _data(25, seed=5)
+        X = np.vstack([X, X[0]])  # exact duplicate appended last
+        y = np.append(y, y[0])
+        kernel = ConstantKernel(1.0) * RBF(0.7) + WhiteKernel(
+            1e-8, bounds=(1e-8, 1e-4)
+        )
+        gp = GPRegressor(kernel=kernel, rng=np.random.default_rng(0), n_restarts=0)
+        gp.fit(X[:25], y[:25])
+        gp.refactor(X, y)  # must not raise
+        ref = GPRegressor(
+            kernel=gp.kernel_, rng=np.random.default_rng(0), n_restarts=0,
+            incremental=False,
+        )
+        ref.fit(X[:25], y[:25])
+        ref.refactor(X, y)
+        assert np.allclose(gp.predict(X[:5]), ref.predict(X[:5]), atol=1e-6)
+
+
+class TestCholErrorHandling:
+    def test_non_square_matrix_raises_instead_of_none(self):
+        """The jitter ladder only swallows LinAlgError; a shape bug is a bug."""
+        with pytest.raises(ValueError):
+            GPRegressor._chol(np.zeros((3, 4)))
+
+    def test_indefinite_matrix_climbs_ladder(self):
+        K = np.array([[1.0, 2.0], [2.0, 1.0]])  # indefinite
+        out = GPRegressor._chol_jitter(K)
+        assert out is None  # hopeless even at max jitter
+
+    def test_near_singular_matrix_reports_jitter(self):
+        K = np.ones((3, 3))  # PSD but singular
+        out = GPRegressor._chol_jitter(K)
+        assert out is not None
+        L, jitter = out
+        assert jitter > 0.0
+        assert np.allclose(L @ L.T, K + jitter * np.eye(3), atol=1e-8)
+
+    def test_clean_matrix_reports_zero_jitter(self):
+        out = GPRegressor._chol_jitter(np.eye(4))
+        assert out is not None
+        assert out[1] == 0.0

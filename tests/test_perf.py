@@ -1,0 +1,83 @@
+"""Tests for the repro.perf timing registry."""
+
+import pytest
+
+from repro import perf
+from repro.perf import PerfRegistry, PhaseStat
+
+
+class TestPerfRegistry:
+    def test_add_and_snapshot(self):
+        reg = PerfRegistry()
+        reg.add("fit", 0.5)
+        reg.add("fit", 0.25)
+        reg.add("predict", 0.1, calls=3)
+        snap = reg.snapshot()
+        assert snap["fit"] == PhaseStat(calls=2, seconds=0.75)
+        assert snap["predict"].calls == 3
+
+    def test_timer_context_manager(self):
+        reg = PerfRegistry()
+        with reg.timer("select"):
+            pass
+        snap = reg.snapshot()
+        assert snap["select"].calls == 1
+        assert snap["select"].seconds >= 0.0
+
+    def test_timer_records_on_exception(self):
+        reg = PerfRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.timer("fit"):
+                raise RuntimeError("boom")
+        assert reg.snapshot()["fit"].calls == 1
+
+    def test_reset(self):
+        reg = PerfRegistry()
+        reg.add("fit", 1.0)
+        reg.reset()
+        assert reg.snapshot() == {}
+
+    def test_report_renders_all_phases(self):
+        reg = PerfRegistry()
+        reg.add("fit", 1.0)
+        reg.add("rank1_update", 0.5, calls=10)
+        text = reg.report()
+        assert "fit" in text and "rank1_update" in text
+        assert "calls" in text
+
+    def test_empty_report(self):
+        assert "no phases" in PerfRegistry().report()
+
+    def test_mean_ms(self):
+        assert PhaseStat(calls=4, seconds=2.0).mean_ms == pytest.approx(500.0)
+        assert PhaseStat(calls=0, seconds=0.0).mean_ms == 0.0
+
+
+class TestModuleLevelRegistry:
+    def test_module_helpers_hit_default_registry(self):
+        perf.reset()
+        with perf.timer("fit"):
+            pass
+        perf.add("select", 0.01)
+        snap = perf.snapshot()
+        assert snap["fit"].calls == 1
+        assert snap["select"].calls == 1
+        perf.reset()
+        assert perf.snapshot() == {}
+
+    def test_gpr_populates_registry(self, rng):
+        import numpy as np
+        from repro.gp.gpr import GPRegressor
+
+        perf.reset()
+        X = np.random.default_rng(0).uniform(0, 1, (25, 2))
+        y = X[:, 0] + X[:, 1]
+        gp = GPRegressor(rng=rng)
+        gp.fit(X[:20], y[:20])
+        gp.refactor(X, y)
+        gp.predict(X, return_std=True)
+        snap = perf.snapshot()
+        assert snap["fit"].calls == 1
+        assert snap["rank1_update"].calls == 1
+        assert snap["predict"].calls == 1
+        perf.reset()
