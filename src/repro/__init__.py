@@ -13,6 +13,8 @@ Layering (bottom up):
 - :mod:`repro.solver` — finite-volume Euler solver (Clawpack analogue).
 - :mod:`repro.amr` — patch-based AMR driver (ForestClaw analogue).
 - :mod:`repro.machine` — simulated Edison supercomputer + SLURM accounting.
+- :mod:`repro.faults` — fault injection (crash/OOM/timeout/straggler/
+  MaxRSS-lost) and resilient, retrying execution.
 - :mod:`repro.data` — the 1920-point input space and 600-job dataset.
 - :mod:`repro.gp` — Gaussian Process Regression with LML-fitted kernels.
 - :mod:`repro.core` — the AL loop, the five selection policies, metrics.
@@ -55,6 +57,15 @@ from repro.data import (
     TABLE1_SPACE,
     run_campaign,
 )
+from repro.faults import (
+    AcquisitionFaultModel,
+    FailurePolicy,
+    FaultConfig,
+    FaultEvent,
+    FaultKind,
+    ResilientJobRunner,
+    RetryPolicy,
+)
 from repro.gp import GPRegressor, default_kernel
 from repro.machine import EDISON, JobConfig, JobRunner
 
@@ -81,6 +92,13 @@ __all__ = [
     "ParameterSpace",
     "TABLE1_SPACE",
     "run_campaign",
+    "AcquisitionFaultModel",
+    "FailurePolicy",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultKind",
+    "ResilientJobRunner",
+    "RetryPolicy",
     "GPRegressor",
     "default_kernel",
     "EDISON",

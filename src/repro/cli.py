@@ -3,9 +3,12 @@
 Three subcommands cover the paper's workflow end to end:
 
 - ``dataset`` — generate the 600-job campaign, print Table I, optionally
-  save it as CSV or NPZ.
+  save it as CSV or NPZ; ``--fault-*`` flags route every job through the
+  fault-injection layer and the resilient (retrying) executor.
 - ``run`` — one Active-Learning trajectory on a dataset (generated or
-  loaded), with any of the five policies and the paper's knobs.
+  loaded), with any of the five policies and the paper's knobs; the
+  ``--acq-*`` flags make acquisitions fail and ``--on-failure`` picks the
+  loop's response.
 - ``simulate`` — run one real AMR shock-bubble simulation and report the
   measured work plus the machine model's cost/memory predictions.
 """
@@ -19,6 +22,7 @@ import numpy as np
 
 from repro.core import ActiveLearner, POLICIES, RGMA, random_partition
 from repro.data import load_csv, load_npz, render_table1, run_campaign, save_csv, save_npz
+from repro.faults import AcquisitionFaultModel, FaultConfig, RetryPolicy
 
 
 def _add_dataset_cmd(sub: argparse._SubParsersAction) -> None:
@@ -28,16 +32,63 @@ def _add_dataset_cmd(sub: argparse._SubParsersAction) -> None:
     p.add_argument(
         "--no-compare", action="store_true", help="omit the paper's reference column"
     )
+    g = p.add_argument_group("fault injection (all off by default)")
+    g.add_argument("--fault-crash-prob", type=float, default=0.0,
+                   help="per-attempt crash probability")
+    g.add_argument("--fault-timeout", type=float, default=None,
+                   help="queue wall-clock limit in seconds")
+    g.add_argument("--fault-straggler-prob", type=float, default=0.0,
+                   help="slow-node probability")
+    g.add_argument("--fault-straggler-slowdown", type=float, default=4.0,
+                   help="wall-clock multiplier for stragglers")
+    g.add_argument("--fault-oom-limit", type=float, default=None,
+                   help="per-process MaxRSS (MB) at which the OOM killer fires")
+    g.add_argument("--fault-rss-lost-prob", type=float, default=0.0,
+                   help="MaxRSS=0 bug probability for eligible (short) jobs")
+    g.add_argument("--fault-rss-threshold", type=float, default=139.0,
+                   help="wall-time eligibility threshold for the MaxRSS=0 bug")
+    g.add_argument("--max-retries", type=int, default=3,
+                   help="resubmissions allowed per job before giving up")
     p.set_defaults(func=cmd_dataset)
 
 
+def _fault_config(args: argparse.Namespace) -> FaultConfig | None:
+    """A FaultConfig from the dataset command's flags; None when all off."""
+    cfg = FaultConfig(
+        crash_probability=args.fault_crash_prob,
+        oom_memory_limit_MB=args.fault_oom_limit,
+        timeout_wall_seconds=args.fault_timeout,
+        straggler_probability=args.fault_straggler_prob,
+        straggler_slowdown=args.fault_straggler_slowdown,
+        rss_lost_wall_threshold_s=args.fault_rss_threshold,
+        rss_lost_probability=args.fault_rss_lost_prob,
+    )
+    return cfg if cfg.enabled else None
+
+
 def cmd_dataset(args: argparse.Namespace) -> int:
-    result = run_campaign(np.random.default_rng(args.seed))
+    faults = _fault_config(args)
+    result = run_campaign(
+        np.random.default_rng(args.seed),
+        faults=faults,
+        retry=RetryPolicy(max_retries=args.max_retries) if faults else None,
+    )
     print(render_table1(result.dataset, compare_paper=not args.no_compare))
     print(
         f"\nexcluded combinations: {result.excluded_combinations}  "
         f"simulated core-hours: {result.total_core_hours:.0f}"
     )
+    if faults is not None:
+        by_kind: dict[str, int] = {}
+        for e in result.fault_events:
+            by_kind[e.kind.value] = by_kind.get(e.kind.value, 0) + 1
+        kinds = "  ".join(f"{k}={n}" for k, n in sorted(by_kind.items())) or "none"
+        print(
+            f"fault events: {len(result.fault_events)} ({kinds})\n"
+            f"usable rows: {result.num_usable}/{len(result.records)}  "
+            f"failed: {result.failed_jobs}  censored: {result.censored_jobs}  "
+            f"wasted core-hours: {result.wasted_core_hours:.0f}"
+        )
     if args.out:
         if args.out.endswith(".csv"):
             save_csv(result.dataset, args.out)
@@ -72,6 +123,13 @@ def _add_run_cmd(sub: argparse._SubParsersAction) -> None:
         default=[],
         help="feature columns modeled via log2 (e.g. 0 1 for p and mx)",
     )
+    g = p.add_argument_group("acquisition faults (off by default)")
+    g.add_argument("--acq-crash-prob", type=float, default=0.0,
+                   help="probability an acquisition crashes (responses lost)")
+    g.add_argument("--acq-censor-prob", type=float, default=0.0,
+                   help="probability an acquisition loses its MaxRSS")
+    g.add_argument("--on-failure", choices=["drop", "next_best", "impute"],
+                   default="next_best", help="loop response to a failed acquisition")
     p.set_defaults(func=cmd_run)
 
 
@@ -97,6 +155,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     partition = random_partition(
         rng, len(dataset), n_init=args.n_init, n_test=args.n_test
     )
+    acq_faults = AcquisitionFaultModel(
+        crash_probability=args.acq_crash_prob,
+        censor_probability=args.acq_censor_prob,
+    )
     learner = ActiveLearner(
         dataset,
         partition,
@@ -105,10 +167,18 @@ def cmd_run(args: argparse.Namespace) -> int:
         max_iterations=args.iterations,
         hyper_refit_interval=args.refit_interval,
         log2_features=tuple(args.log2_features),
+        acquisition_faults=acq_faults if acq_faults.enabled else None,
+        on_failure=args.on_failure,
     )
     traj = learner.run()
     print(f"policy            : {traj.policy_name}")
     print(f"iterations        : {len(traj)}  (stop: {traj.stop_reason.value})")
+    if acq_faults.enabled:
+        print(
+            f"faults            : {traj.num_failed_acquisitions} crashed, "
+            f"{traj.num_censored_acquisitions} censored "
+            f"({len(traj.fault_events)} events, policy: {args.on_failure})"
+        )
     print(f"initial cost RMSE : {traj.initial_rmse_cost:.4f} node-hours")
     print(f"final cost RMSE   : {traj.final_rmse_cost:.4f} node-hours")
     print(f"final mem RMSE    : {traj.final_rmse_mem:.4f} MB")

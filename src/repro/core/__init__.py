@@ -43,7 +43,7 @@ from repro.core.metrics import (
 from repro.core.trajectory import IterationRecord, Trajectory, StopReason
 from repro.core.loop import ActiveLearner, CandidateCovarianceCache
 from repro.core.batch import BatchConfig, BatchResult, run_batch
-from repro.core.parallel import TrajectorySpec, run_trajectories
+from repro.core.parallel import TrajectoryFailure, TrajectorySpec, run_trajectories
 from repro.core.batch_selection import BATCH_STRATEGIES, BatchActiveLearner
 from repro.core.online import OnlineActiveLearner, OnlineResult
 from repro.core.advisor import ConfigurationAdvisor, Recommendation
@@ -78,6 +78,7 @@ __all__ = [
     "StopReason",
     "ActiveLearner",
     "CandidateCovarianceCache",
+    "TrajectoryFailure",
     "TrajectorySpec",
     "run_trajectories",
     "BatchActiveLearner",

@@ -176,7 +176,7 @@ class BatchActiveLearner(ActiveLearner):
             chosen_ds = [self._remaining[p] for p in picks]
             for p in sorted(picks, reverse=True):
                 del self._remaining[p]
-            self._learned.extend(chosen_ds)
+            self._learn_observed(chosen_ds)
 
             optimize = (round_index % self.hyper_refit_interval) == 0
             self._fit_models(optimize=optimize)

@@ -20,6 +20,12 @@ from repro.core.preprocessing import DesignTransform
 from repro.core.stopping import NoEarlyStopping, StoppingRule
 from repro.core.trajectory import IterationRecord, StopReason, Trajectory
 from repro.data.dataset import Dataset
+from repro.faults.acquisition import (
+    AcquisitionFaultModel,
+    AcquisitionOutcome,
+    FailurePolicy,
+)
+from repro.faults.model import FaultEvent, FaultKind
 from repro.gp.gpr import GPRegressor
 from repro.gp.kernels import Kernel, default_kernel
 
@@ -104,6 +110,20 @@ class CandidateCovarianceCache:
         col = self.model.kernel_(U_remaining, u_new[None, :])
         self._Ks = np.hstack([self._Ks, col])
 
+    def drop(self, pos: int) -> None:
+        """Candidate ``pos`` left the pool *without* joining the training set.
+
+        The failure-handling path: a crashed or censored acquisition is
+        removed from the pool but its column never appears in the kernel
+        matrix, so only the row is deleted.  ``Ks`` stays keyed to the
+        unchanged training set and the fast path is preserved.
+        """
+        if self._Ks is None or not self._fresh():
+            self.invalidate()
+            return
+        self._Ks = np.delete(self._Ks, pos, axis=0)
+        self._diag = np.delete(self._diag, pos)
+
 
 class ActiveLearner:
     """Runs Algorithm 1 on an offline dataset.
@@ -151,6 +171,23 @@ class ActiveLearner:
         (:class:`CandidateCovarianceCache`) instead of rebuilding them for
         every :meth:`_candidate_view`.  Exact; disable only to benchmark
         or to cross-check against the straight-line path.
+    acquisition_faults : AcquisitionFaultModel, optional
+        Failure model for the "run the experiment" step.  ``None`` (or a
+        disabled model) takes the paper-faithful path, bit-identical to a
+        fault-free build; an enabled model makes each acquisition crash or
+        lose its MaxRSS with the configured probabilities, and the loop
+        responds per ``on_failure``.  Spent node-hours are charged either
+        way — a crashed experiment still burned its allocation.
+    on_failure : FailurePolicy or str
+        Response to a failed/censored acquisition:
+
+        - ``"drop"`` — discard the sample; the iteration is consumed and
+          the models are left untouched.
+        - ``"next_best"`` (default) — discard the sample and immediately
+          re-ask the policy for a replacement within the same iteration.
+        - ``"impute"`` — train on the GP posterior mean at the point
+          instead of the lost observation (censored acquisitions impute
+          only the memory response; the observed cost is kept).
     """
 
     def __init__(
@@ -168,6 +205,8 @@ class ActiveLearner:
         weight_rmse_by_cost: bool = False,
         model_factory=None,
         cache_candidates: bool = True,
+        acquisition_faults: AcquisitionFaultModel | None = None,
+        on_failure: FailurePolicy | str = FailurePolicy.NEXT_BEST,
     ) -> None:
         if hyper_refit_interval < 1:
             raise ValueError("hyper_refit_interval must be >= 1")
@@ -197,9 +236,18 @@ class ActiveLearner:
                 rng=rng,
             )
 
-        # Mutable AL state.
+        self.acquisition_faults = acquisition_faults
+        self.on_failure = FailurePolicy(on_failure)
+
+        # Mutable AL state.  The cost and memory models keep separate
+        # learned lists because a censored acquisition (MaxRSS lost) feeds
+        # only the cost model; targets ride along so the impute policy can
+        # substitute posterior means for lost observations.
         self._remaining = list(partition.active_idx)
         self._learned: list[int] = []
+        self._targets_cost: list[float] = []
+        self._learned_mem: list[int] = []
+        self._targets_mem: list[float] = []
         self.cache_candidates = bool(cache_candidates)
         self._cache_cost = CandidateCovarianceCache(self.gpr_cost)
         self._cache_mem = CandidateCovarianceCache(self.gpr_mem)
@@ -211,15 +259,36 @@ class ActiveLearner:
             [self.partition.init_idx, np.asarray(self._learned, dtype=np.int64)]
         )
 
+    def _learn_observed(self, ds_indices) -> None:
+        """Add fully observed samples (true targets) to both models.
+
+        The helper subclasses (e.g. the batch learner) must use instead of
+        touching ``_learned`` directly, so the per-model target lists stay
+        aligned with the index lists.
+        """
+        for ds_index in ds_indices:
+            ds_index = int(ds_index)
+            self._learned.append(ds_index)
+            self._targets_cost.append(float(self._log_cost[ds_index]))
+            self._learned_mem.append(ds_index)
+            self._targets_mem.append(float(self._log_mem[ds_index]))
+
     def _fit_models(self, optimize: bool = True) -> None:
-        idx = self._train_indices()
-        U, lc, lm = self._U[idx], self._log_cost[idx], self._log_mem[idx]
+        init = self.partition.init_idx
+        idx_c = np.concatenate([init, np.asarray(self._learned, dtype=np.int64)])
+        y_c = np.concatenate(
+            [self._log_cost[init], np.asarray(self._targets_cost, dtype=np.float64)]
+        )
+        idx_m = np.concatenate([init, np.asarray(self._learned_mem, dtype=np.int64)])
+        y_m = np.concatenate(
+            [self._log_mem[init], np.asarray(self._targets_mem, dtype=np.float64)]
+        )
         if optimize:
-            self.gpr_cost.fit(U, lc)
-            self.gpr_mem.fit(U, lm)
+            self.gpr_cost.fit(self._U[idx_c], y_c)
+            self.gpr_mem.fit(self._U[idx_m], y_m)
         else:
-            self.gpr_cost.refactor(U, lc)
-            self.gpr_mem.refactor(U, lm)
+            self.gpr_cost.refactor(self._U[idx_c], y_c)
+            self.gpr_mem.refactor(self._U[idx_m], y_m)
 
     def _test_rmse(self) -> tuple[float, float, float]:
         t = self.partition.test_idx
@@ -250,10 +319,24 @@ class ActiveLearner:
     # -------------------------------------------------------------------- run
 
     def run(self) -> Trajectory:
-        """Execute the full AL loop and return its trajectory."""
+        """Execute the full AL loop and return its trajectory.
+
+        With an enabled ``acquisition_faults`` model, acquisitions can
+        crash (no usable responses) or come back RSS-censored (cost
+        observed, memory lost); either way the sample's node-hours are
+        charged, the candidate leaves the pool, a
+        :class:`~repro.faults.FaultEvent` is appended to the trajectory,
+        and the loop proceeds per ``on_failure`` — it never corrupts the
+        incremental-Cholesky fast path (lost samples are *dropped* from
+        the cached cross-covariance, never appended) and never aborts.
+        """
         self.stopping_rule.reset()
         self._fit_models(optimize=True)
         rmse_c0, rmse_m0, _ = self._test_rmse()
+
+        faults = self.acquisition_faults
+        faults_on = faults is not None and faults.enabled
+        fault_events: list[FaultEvent] = []
 
         memory_limit = (
             self.policy.memory_limit_MB if isinstance(self.policy, RGMA) else None
@@ -262,6 +345,9 @@ class ActiveLearner:
         cum_cost = 0.0
         cum_regret = 0.0
         stop = StopReason.EXHAUSTED
+        # RMSE reported on iterations that learned nothing (dropped
+        # acquisitions leave the models untouched).
+        prev_rmse = (rmse_c0, rmse_m0, float("nan"))
 
         iteration = 0
         while self._remaining:
@@ -277,22 +363,98 @@ class ActiveLearner:
                 stop = StopReason.MEMORY_CONSTRAINED
                 break
             ds_index = self._remaining.pop(pos)
-            self._learned.append(ds_index)
-            if self.cache_candidates:
-                U_rem = self._U[np.asarray(self._remaining, dtype=np.int64)]
-                u_new = self._U[ds_index]
-                self._cache_cost.acquire(pos, U_rem, u_new)
-                self._cache_mem.acquire(pos, U_rem, u_new)
+            outcome = faults.strike(self.rng) if faults_on else AcquisitionOutcome.OK
 
+            # The experiment ran (or died trying): its node-hours are
+            # spent regardless of whether the observation is usable.
             cost = float(self.dataset.cost[ds_index])
             mem = float(self.dataset.mem[ds_index])
             cum_cost += cost
             if memory_limit is not None:
                 cum_regret += individual_regret(cost, mem, memory_limit)
 
+            crashed = outcome is AcquisitionOutcome.CRASHED
+            censored = outcome is AcquisitionOutcome.CENSORED
+            if crashed and self.on_failure is not FailurePolicy.IMPUTE:
+                # The sample is lost entirely: remove it from the cached
+                # cross-covariances (row only — it never joins the kernel)
+                # and leave both models untouched.
+                if self.cache_candidates:
+                    self._cache_cost.drop(pos)
+                    self._cache_mem.drop(pos)
+                fault_events.append(
+                    FaultEvent(
+                        job_id=int(ds_index),
+                        attempt=iteration,
+                        kind=FaultKind.CRASH,
+                        lost_wall_seconds=float(self.dataset.wall[ds_index]),
+                        nodes=int(self.dataset.X[ds_index, 0]),
+                        detail=f"acquisition crashed ({self.on_failure.value})",
+                    )
+                )
+                records.append(
+                    IterationRecord(
+                        iteration=iteration,
+                        dataset_index=int(ds_index),
+                        cost=cost,
+                        mem=mem,
+                        rmse_cost=prev_rmse[0],
+                        rmse_mem=prev_rmse[1],
+                        cumulative_cost=cum_cost,
+                        cumulative_regret=cum_regret,
+                        rmse_cost_weighted=prev_rmse[2],
+                        failed=True,
+                    )
+                )
+                if self.on_failure is FailurePolicy.NEXT_BEST:
+                    continue  # replacement selected within the same iteration
+                iteration += 1  # DROP: the iteration is consumed
+                continue
+
+            # The sample (or an imputation of it) joins the training sets.
+            u_new = self._U[ds_index]
+            target_cost = float(self._log_cost[ds_index])
+            target_mem = float(self._log_mem[ds_index])
+            learn_mem = True
+            if crashed:  # IMPUTE policy: both observations were lost
+                target_cost = float(self.gpr_cost.predict(u_new[None, :])[0])
+                target_mem = float(self.gpr_mem.predict(u_new[None, :])[0])
+            elif censored:  # cost observed, MaxRSS lost
+                if self.on_failure is FailurePolicy.IMPUTE:
+                    target_mem = float(self.gpr_mem.predict(u_new[None, :])[0])
+                else:
+                    learn_mem = False
+
+            self._learned.append(ds_index)
+            self._targets_cost.append(target_cost)
+            if learn_mem:
+                self._learned_mem.append(ds_index)
+                self._targets_mem.append(target_mem)
+            if self.cache_candidates:
+                U_rem = self._U[np.asarray(self._remaining, dtype=np.int64)]
+                self._cache_cost.acquire(pos, U_rem, u_new)
+                if learn_mem:
+                    self._cache_mem.acquire(pos, U_rem, u_new)
+                else:
+                    self._cache_mem.drop(pos)
+            if crashed or censored:
+                fault_events.append(
+                    FaultEvent(
+                        job_id=int(ds_index),
+                        attempt=iteration,
+                        kind=FaultKind.CRASH if crashed else FaultKind.RSS_LOST,
+                        lost_wall_seconds=(
+                            float(self.dataset.wall[ds_index]) if crashed else 0.0
+                        ),
+                        nodes=int(self.dataset.X[ds_index, 0]),
+                        detail=f"handled via {self.on_failure.value}",
+                    )
+                )
+
             optimize = (iteration % self.hyper_refit_interval) == 0
             self._fit_models(optimize=optimize)
             rmse_c, rmse_m, rmse_w = self._test_rmse()
+            prev_rmse = (rmse_c, rmse_m, rmse_w)
             records.append(
                 IterationRecord(
                     iteration=iteration,
@@ -304,6 +466,8 @@ class ActiveLearner:
                     cumulative_cost=cum_cost,
                     cumulative_regret=cum_regret,
                     rmse_cost_weighted=rmse_w,
+                    failed=crashed,
+                    censored=censored,
                 )
             )
             iteration += 1
@@ -315,4 +479,5 @@ class ActiveLearner:
             stop_reason=stop,
             initial_rmse_cost=rmse_c0,
             initial_rmse_mem=rmse_m0,
+            fault_events=tuple(fault_events),
         )

@@ -18,11 +18,17 @@ interpreters, no inherited locks or BLAS thread state); everything a
 worker needs — the dataset, a module-level worker function, and picklable
 policy factories (classes or :func:`functools.partial`, not lambdas) —
 crosses the process boundary by pickling.
+
+Failure isolation: exceptions are caught *inside* the worker and returned
+as :class:`TrajectoryFailure` values, so one trajectory that raises (or a
+worker process that dies outright) never hangs the pool or discards the
+other trajectories' results — see ``run_trajectories(on_error=...)``.
 """
 
 from __future__ import annotations
 
 import os
+import traceback as _traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from multiprocessing import get_context
@@ -70,6 +76,29 @@ class TrajectorySpec:
     learner_kwargs: dict = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class TrajectoryFailure:
+    """A trajectory that died instead of returning a :class:`Trajectory`.
+
+    Returned in place of the trajectory when ``on_error="return"``, so one
+    bad spec (a policy that raises, a worker that crashes) costs exactly
+    one result — never the whole batch.
+
+    Attributes
+    ----------
+    name : str
+        The failed spec's display name.
+    error : str
+        ``repr`` of the exception (or a pool-level diagnosis).
+    traceback : str
+        Formatted traceback from the worker, for postmortems.
+    """
+
+    name: str
+    error: str
+    traceback: str = ""
+
+
 def _run_spec(dataset: Dataset, spec: TrajectorySpec) -> tuple[str, Trajectory]:
     """Worker body: one fully seeded AL run."""
     seed_seq = np.random.SeedSequence(
@@ -92,6 +121,24 @@ def _run_spec(dataset: Dataset, spec: TrajectorySpec) -> tuple[str, Trajectory]:
     return spec.name, learner.run()
 
 
+def _run_spec_guarded(
+    dataset: Dataset, spec: TrajectorySpec
+) -> tuple[str, Trajectory | TrajectoryFailure]:
+    """Worker body that converts exceptions into data.
+
+    Raising across the process boundary would poison ``pool.map`` — every
+    later result is lost and, for unpicklable exceptions, the pool can
+    deadlock.  Catching *inside* the worker makes a failed trajectory an
+    ordinary return value.
+    """
+    try:
+        return _run_spec(dataset, spec)
+    except Exception as exc:  # noqa: BLE001 - the boundary must be total
+        return spec.name, TrajectoryFailure(
+            name=spec.name, error=repr(exc), traceback=_traceback.format_exc()
+        )
+
+
 def default_workers(n_jobs: int) -> int:
     """Worker count capped by the job count and the machine's cores."""
     return max(1, min(n_jobs, os.cpu_count() or 1))
@@ -101,21 +148,62 @@ def run_trajectories(
     dataset: Dataset,
     specs: Iterable[TrajectorySpec],
     max_workers: int | None = None,
-) -> list[tuple[str, Trajectory]]:
+    on_error: str = "raise",
+) -> list[tuple[str, Trajectory | TrajectoryFailure]]:
     """Run every spec; return ``(name, trajectory)`` pairs in spec order.
 
     ``max_workers=None`` picks :func:`default_workers`; ``1`` runs
     serially in-process (no pool, easiest to debug/profile).  Results are
     independent of the worker count by construction.
+
+    Failure handling (``on_error``):
+
+    - ``"raise"`` (default) — after *every* spec has finished, raise a
+      ``RuntimeError`` naming each failed trajectory with its worker-side
+      traceback.  Unlike a raw ``pool.map``, completed results are
+      computed before the raise and no worker is left hanging.
+    - ``"return"`` — substitute a :class:`TrajectoryFailure` for each
+      failed trajectory and return the full, spec-ordered list.  Callers
+      filter with ``isinstance(t, Trajectory)``.
     """
+    if on_error not in ("raise", "return"):
+        raise ValueError("on_error must be 'raise' or 'return'")
     spec_list: Sequence[TrajectorySpec] = list(specs)
     if max_workers is None:
         max_workers = default_workers(len(spec_list))
     if max_workers < 1:
         raise ValueError("max_workers must be >= 1")
+
+    results: list[tuple[str, Trajectory | TrajectoryFailure]]
     if max_workers == 1 or len(spec_list) <= 1:
-        return [_run_spec(dataset, s) for s in spec_list]
-    with ProcessPoolExecutor(
-        max_workers=max_workers, mp_context=get_context("spawn")
-    ) as pool:
-        return list(pool.map(_run_spec, [dataset] * len(spec_list), spec_list))
+        results = [_run_spec_guarded(dataset, s) for s in spec_list]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=max_workers, mp_context=get_context("spawn")
+        ) as pool:
+            futures = [
+                pool.submit(_run_spec_guarded, dataset, s) for s in spec_list
+            ]
+            results = []
+            for spec, fut in zip(spec_list, futures):
+                try:
+                    results.append(fut.result())
+                except Exception as exc:  # noqa: BLE001
+                    # The worker process itself died (BrokenProcessPool,
+                    # unpicklable result, ...): report, don't hang.
+                    results.append(
+                        (
+                            spec.name,
+                            TrajectoryFailure(name=spec.name, error=repr(exc)),
+                        )
+                    )
+
+    failures = [t for _, t in results if isinstance(t, TrajectoryFailure)]
+    if failures and on_error == "raise":
+        detail = "\n".join(
+            f"- {f.name}: {f.error}\n{f.traceback}".rstrip() for f in failures
+        )
+        raise RuntimeError(
+            f"{len(failures)}/{len(spec_list)} trajectories failed:\n{detail}"
+        )
+    return results

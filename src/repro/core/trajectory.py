@@ -9,10 +9,12 @@ run stopped.  Batch analysis (:mod:`repro.core.batch`,
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 
 import numpy as np
+
+from repro.faults.model import FaultEvent
 
 
 class StopReason(str, Enum):
@@ -48,6 +50,12 @@ class IterationRecord:
         Cost-weighted test RMSE (Eq. (12) with rho = diag(test costs)):
         the scale-dependent error metric Sec. V-D argues for.  NaN when
         weighting is disabled.
+    failed : bool
+        The acquisition crashed — its cost is charged but the observation
+        was lost (handled per the learner's ``on_failure`` policy).
+    censored : bool
+        The acquisition completed but lost its MaxRSS (the accounting
+        bug); only the cost response was usable.
     """
 
     iteration: int
@@ -59,6 +67,8 @@ class IterationRecord:
     cumulative_cost: float
     cumulative_regret: float
     rmse_cost_weighted: float = float("nan")
+    failed: bool = False
+    censored: bool = False
 
 
 @dataclass(frozen=True)
@@ -74,6 +84,9 @@ class Trajectory:
     stop_reason : StopReason
     initial_rmse_cost, initial_rmse_mem : float
         Test RMSE after the pre-AL fit (iteration "-1" baseline).
+    fault_events : tuple of FaultEvent
+        Acquisition-level faults struck during the run (empty without an
+        enabled fault model).
     """
 
     policy_name: str
@@ -82,9 +95,20 @@ class Trajectory:
     stop_reason: StopReason
     initial_rmse_cost: float
     initial_rmse_mem: float
+    fault_events: tuple[FaultEvent, ...] = field(default=())
 
     def __len__(self) -> int:
         return len(self.records)
+
+    @property
+    def num_failed_acquisitions(self) -> int:
+        """Acquisitions that crashed (cost spent, observation lost)."""
+        return sum(1 for r in self.records if r.failed)
+
+    @property
+    def num_censored_acquisitions(self) -> int:
+        """Acquisitions that completed but lost their MaxRSS."""
+        return sum(1 for r in self.records if r.censored)
 
     # Convenience column extractors -------------------------------------------------
 

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.data.space import TABLE1_SPACE, ParameterSpace
+from repro.faults import FaultConfig, FaultEvent, ResilientJobRunner, RetryPolicy
 from repro.machine.accounting import JobRecord
 from repro.machine.runner import JobConfig, JobRunner
 
@@ -65,13 +66,28 @@ class CampaignConfig:
 
 @dataclass
 class CampaignResult:
-    """Everything the campaign produced."""
+    """Everything the campaign produced.
+
+    ``records`` holds every *final* accounting row, including jobs that
+    exhausted their retries (``failed=True``) or lost MaxRSS to the
+    accounting bug; ``dataset`` is built from the usable subset only.
+    ``fault_events`` is empty unless the campaign ran under a fault
+    config; ``wasted_core_hours`` charges the discarded attempts.
+    """
 
     records: list[JobRecord]
     dataset: Dataset
     space: ParameterSpace
     excluded_combinations: int
     total_core_hours: float = field(default=0.0)
+    fault_events: list[FaultEvent] = field(default_factory=list)
+    failed_jobs: int = 0
+    censored_jobs: int = 0
+    wasted_core_hours: float = 0.0
+
+    @property
+    def num_usable(self) -> int:
+        return len(self.dataset)
 
 
 def _predicted_costs(
@@ -147,6 +163,8 @@ def run_campaign(
     space: ParameterSpace = TABLE1_SPACE,
     config: CampaignConfig = CampaignConfig(),
     runner: JobRunner | None = None,
+    faults: FaultConfig | None = None,
+    retry: RetryPolicy | None = None,
 ) -> CampaignResult:
     """Generate the paper-style 600-job dataset.
 
@@ -154,12 +172,23 @@ def run_campaign(
     ----------
     rng : numpy.random.Generator
         Drives both the selection and the per-job measurement noise.
+    faults : FaultConfig, optional
+        Fault-injection layer for the simulated machine.  ``None`` (or a
+        disabled config) takes the plain execution path, bit-identical to
+        a fault-free build; an enabled config routes every job through
+        :class:`~repro.faults.ResilientJobRunner` and reports retries,
+        failures, and censored rows on the result.
+    retry : RetryPolicy, optional
+        Response policy when a fault strikes (default
+        :class:`~repro.faults.RetryPolicy`); ignored without ``faults``.
 
     Returns
     -------
     CampaignResult
         With ``dataset`` ready for the AL simulator (Table I bounds applied
-        for unit-cube scaling).
+        for unit-cube scaling).  Under faults, the dataset holds only the
+        usable rows (completed, MaxRSS reported) — the authors' own
+        post-processing — while ``records`` keeps every final row.
     """
     if runner is None:
         runner = JobRunner()
@@ -190,15 +219,47 @@ def run_campaign(
 
     job_plan: list[int] = list(chosen) + list(doubles) + list(np.repeat(triples, 2))
     records: list[JobRecord] = []
-    for job_id, gi in enumerate(job_plan):
-        records.append(runner.run(grid[gi], rng, job_id=job_id))
+    if faults is None or not faults.enabled:
+        # Plain path — kept separate so fault-free campaigns stay
+        # bit-identical (zero extra RNG draws) to pre-fault-layer builds.
+        for job_id, gi in enumerate(job_plan):
+            records.append(runner.run(grid[gi], rng, job_id=job_id))
+        dataset = Dataset.from_records(records, bounds=space.bounds())
+        core_hours = sum(r.cost_node_hours for r in records) * runner.spec.cores_per_node
+        return CampaignResult(
+            records=records,
+            dataset=dataset,
+            space=space,
+            excluded_combinations=len(grid) - int(eligible.size),
+            total_core_hours=core_hours,
+        )
 
-    dataset = Dataset.from_records(records, bounds=space.bounds())
-    core_hours = sum(r.cost_node_hours for r in records) * runner.spec.cores_per_node
+    resilient = ResilientJobRunner(runner=runner, faults=faults, retry=retry)
+    events: list[FaultEvent] = []
+    wasted = 0.0
+    for job_id, gi in enumerate(job_plan):
+        run = resilient.run(grid[gi], rng, job_id=job_id)
+        records.append(run.record)
+        events.extend(run.events)
+        wasted += run.wasted_node_hours
+
+    from repro.machine.accounting import filter_usable
+
+    usable = filter_usable(records)
+    if not usable:
+        raise RuntimeError(
+            "fault injection destroyed every record; relax the fault config"
+        )
+    dataset = Dataset.from_records(usable, bounds=space.bounds())
+    spent = sum(r.cost_node_hours for r in records) + wasted
     return CampaignResult(
         records=records,
         dataset=dataset,
         space=space,
         excluded_combinations=len(grid) - int(eligible.size),
-        total_core_hours=core_hours,
+        total_core_hours=spent * runner.spec.cores_per_node,
+        fault_events=events,
+        failed_jobs=sum(1 for r in records if r.failed),
+        censored_jobs=sum(1 for r in records if not r.failed and not r.rss_reported),
+        wasted_core_hours=wasted * runner.spec.cores_per_node,
     )

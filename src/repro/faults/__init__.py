@@ -1,0 +1,52 @@
+"""Fault injection and resilient execution for the simulated campaign.
+
+The paper's dataset already carries one real machine failure — the
+MaxRSS=0 SLURM reporting bug that cost the authors 1K-612 records.  This
+subpackage generalizes that into a configurable fault layer and the
+machinery to survive it:
+
+- :class:`FaultConfig` / :class:`FaultInjector` — job crash, OOM kill,
+  wall-clock timeout, straggler slowdown, and the accounting bug, applied
+  to truthful :class:`~repro.machine.accounting.JobRecord` measurements.
+- :class:`FaultEvent` — the structured fault stream (what struck, when,
+  what it wasted) threaded through campaign results and AL trajectories.
+- :class:`RetryPolicy` / :class:`ResilientJobRunner` — per-fault retry
+  with capped exponential backoff and resubmission-at-higher-``p`` for
+  OOM kills.
+- :class:`AcquisitionFaultModel` / :class:`FailurePolicy` — failures at
+  the AL acquisition boundary and the loop's response (drop / next-best /
+  impute), consumed by :class:`repro.core.loop.ActiveLearner`.
+
+Everything defaults *off*, and disabled fault layers consume zero RNG
+draws: fault-free runs are bit-identical to pre-fault-layer behaviour.
+"""
+
+from repro.faults.model import (
+    EXIT_STATES,
+    FaultConfig,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    Inspection,
+)
+from repro.faults.resilient import ResilientJobRunner, ResilientRun, RetryPolicy
+from repro.faults.acquisition import (
+    AcquisitionFaultModel,
+    AcquisitionOutcome,
+    FailurePolicy,
+)
+
+__all__ = [
+    "EXIT_STATES",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "Inspection",
+    "ResilientJobRunner",
+    "ResilientRun",
+    "RetryPolicy",
+    "AcquisitionFaultModel",
+    "AcquisitionOutcome",
+    "FailurePolicy",
+]

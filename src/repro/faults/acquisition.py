@@ -1,0 +1,76 @@
+"""Acquisition-level faults: when "run the experiment" goes wrong mid-AL.
+
+The offline AL simulator of Algorithm 1 looks selected samples up in a
+precomputed dataset, so in the paper an acquisition can never fail.  A
+live campaign is different: the job backing an acquisition can crash, or
+complete but lose its MaxRSS to the accounting bug — exactly the failure
+the authors absorbed *before* AL by dropping rows.  This module models
+both at the acquisition boundary so :class:`~repro.core.loop.ActiveLearner`
+can be exercised against them.
+
+Determinism contract: :meth:`AcquisitionFaultModel.strike` consumes a
+fixed two RNG draws per acquisition, and a disabled model (both
+probabilities zero) is never consulted by the loop — fault-free
+trajectories are bit-identical to pre-fault-layer behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+
+class FailurePolicy(str, Enum):
+    """How the AL loop responds to a failed or censored acquisition."""
+
+    DROP = "drop"  # discard the sample; iteration is consumed
+    NEXT_BEST = "next_best"  # re-ask the policy for a replacement now
+    IMPUTE = "impute"  # train on the GP posterior mean instead
+
+
+class AcquisitionOutcome(str, Enum):
+    """What one acquisition attempt returned."""
+
+    OK = "ok"
+    CRASHED = "crashed"  # no usable responses; cost still spent
+    CENSORED = "censored"  # cost observed, MaxRSS lost (RSS=0 bug)
+
+
+@dataclass(frozen=True, slots=True)
+class AcquisitionFaultModel:
+    """Per-acquisition failure probabilities for the AL loop.
+
+    Attributes
+    ----------
+    crash_probability : float
+        Probability the selected experiment crashes: neither response is
+        observed, but the node-hours are spent (charged to cumulative
+        cost, and to regret under a memory limit).
+    censor_probability : float
+        Probability the experiment completes but loses its MaxRSS —
+        the cost response is usable, the memory response is not.
+    """
+
+    crash_probability: float = 0.0
+    censor_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("crash_probability", "censor_probability"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+
+    @property
+    def enabled(self) -> bool:
+        return self.crash_probability > 0.0 or self.censor_probability > 0.0
+
+    def strike(self, rng: np.random.Generator) -> AcquisitionOutcome:
+        """Fate of one acquisition; fixed RNG consumption (2 draws)."""
+        u_crash, u_censor = rng.random(2)
+        if u_crash < self.crash_probability:
+            return AcquisitionOutcome.CRASHED
+        if u_censor < self.censor_probability:
+            return AcquisitionOutcome.CENSORED
+        return AcquisitionOutcome.OK

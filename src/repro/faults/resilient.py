@@ -1,0 +1,206 @@
+"""Resilient job execution: retries, backoff, and resubmission policies.
+
+A production campaign does not stop at the first ``NODE_FAIL``: it
+resubmits with a capped exponential backoff, and an ``OUT_OF_MEMORY`` kill
+is answered by resubmitting wider (more nodes, smaller per-process
+footprint) — the standard operational response on machines like Edison
+where memory per node is fixed.  :class:`ResilientJobRunner` wraps the
+plain :class:`~repro.machine.runner.JobRunner` with exactly that logic and
+emits every fault as a structured
+:class:`~repro.faults.model.FaultEvent`.
+
+With a disabled :class:`~repro.faults.model.FaultConfig` the wrapper is a
+zero-overhead pass-through — one ``JobRunner.run`` call, no extra RNG
+draws — so fault-free campaigns stay bit-identical to the plain path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.faults.model import FaultConfig, FaultEvent, FaultInjector, FaultKind
+from repro.machine.accounting import JobRecord
+from repro.machine.runner import JobConfig, JobRunner
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How the campaign reacts to each fault kind.
+
+    Attributes
+    ----------
+    max_retries : int
+        Resubmissions allowed after the first attempt (0 = fail fast).
+    backoff_base_s, backoff_factor, backoff_cap_s : float
+        Queue-side delay before attempt ``k`` (k >= 1):
+        ``min(cap, base * factor ** (k - 1))`` — capped exponential.
+    escalate_p_on_oom : bool
+        Resubmit OOM-killed jobs at double the node count (halving the
+        per-process footprint) instead of repeating the doomed shape.
+    p_max : int
+        Ceiling for OOM escalation (the dataset's largest allocation).
+    retry_rss_lost : bool
+        Re-run jobs whose MaxRSS was lost to the accounting bug.  Off by
+        default — the authors discovered the bug in post-processing and
+        dropped the rows, which is what the paper's Table III conditions
+        assume.
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 30.0
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 600.0
+    escalate_p_on_oom: bool = True
+    p_max: int = 32
+    retry_rss_lost: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff times must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.p_max < 1:
+            raise ValueError("p_max must be positive")
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Delay imposed before resubmission number ``attempt`` (>= 1)."""
+        if attempt < 1:
+            return 0.0
+        return float(
+            min(self.backoff_cap_s, self.backoff_base_s * self.backoff_factor ** (attempt - 1))
+        )
+
+
+@dataclass(frozen=True)
+class ResilientRun:
+    """Everything one (possibly multi-attempt) job execution produced.
+
+    Attributes
+    ----------
+    record : JobRecord
+        The final accounting row — the successful attempt, or the last
+        failed one (``failed=True``) when retries ran out.
+    events : tuple of FaultEvent
+        One entry per fault struck, in attempt order.
+    attempts : int
+        Total submissions (1 = clean first run).
+    wasted_node_hours : float
+        Node-hours burned by attempts that did not produce the final
+        record (the cost a cumulative-regret metric charges).
+    queue_wait_seconds : float
+        Total backoff delay the retry policy imposed.
+    """
+
+    record: JobRecord
+    events: tuple[FaultEvent, ...] = ()
+    attempts: int = 1
+    wasted_node_hours: float = 0.0
+    queue_wait_seconds: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        return not self.record.failed
+
+
+class ResilientJobRunner:
+    """A :class:`JobRunner` that survives the fault model.
+
+    Parameters
+    ----------
+    runner : JobRunner
+        The underlying (truthful) executor.
+    faults : FaultConfig
+        What can strike each attempt.
+    retry : RetryPolicy
+        How to respond when something does.
+    """
+
+    def __init__(
+        self,
+        runner: JobRunner | None = None,
+        faults: FaultConfig | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        self.runner = runner if runner is not None else JobRunner()
+        self.faults = faults if faults is not None else FaultConfig.disabled()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._injector = FaultInjector(self.faults)
+
+    def run(
+        self, config: JobConfig, rng: np.random.Generator, job_id: int = 0
+    ) -> ResilientRun:
+        """Execute ``config``, retrying per policy; never raises on faults."""
+        if not self.faults.enabled:
+            return ResilientRun(record=self.runner.run(config, rng, job_id=job_id))
+
+        events: list[FaultEvent] = []
+        wasted = 0.0
+        queue_wait = 0.0
+        current = config
+        attempt = 0
+        while True:
+            record = self.runner.run(current, rng, job_id=job_id)
+            outcome = self._injector.inspect(record, rng)
+            record = outcome.record
+            if outcome.fault is None:
+                return ResilientRun(
+                    record=record,
+                    events=tuple(events),
+                    attempts=attempt + 1,
+                    wasted_node_hours=wasted,
+                    queue_wait_seconds=queue_wait,
+                )
+
+            retryable = outcome.fatal or (
+                outcome.fault is FaultKind.RSS_LOST and self.retry.retry_rss_lost
+            )
+            out_of_budget = attempt >= self.retry.max_retries
+            if not retryable or out_of_budget:
+                # Survivable degradation (straggler, kept RSS_LOST) or
+                # retries exhausted: this attempt is the final record.
+                events.append(
+                    FaultEvent(
+                        job_id=job_id,
+                        attempt=attempt,
+                        kind=outcome.fault,
+                        lost_wall_seconds=record.wall_seconds if outcome.fatal else 0.0,
+                        nodes=record.nodes,
+                        detail="gave up" if (retryable and out_of_budget) else "kept",
+                    )
+                )
+                return ResilientRun(
+                    record=record,
+                    events=tuple(events),
+                    attempts=attempt + 1,
+                    wasted_node_hours=wasted,
+                    queue_wait_seconds=queue_wait,
+                )
+
+            # The attempt is discarded and resubmitted: charge its cost
+            # (an RSS_LOST re-run also spent real node-hours — the job
+            # completed, only its measurement was unusable).
+            wasted += record.cost_node_hours
+            backoff = self.retry.backoff_seconds(attempt + 1)
+            queue_wait += backoff
+            detail = "resubmitted"
+            if outcome.fault is FaultKind.OOM and self.retry.escalate_p_on_oom:
+                new_p = min(current.p * 2, self.retry.p_max)
+                if new_p > current.p:
+                    current = replace(current, p=new_p)
+                    detail = f"resubmitted at p={new_p}"
+            events.append(
+                FaultEvent(
+                    job_id=job_id,
+                    attempt=attempt,
+                    kind=outcome.fault,
+                    lost_wall_seconds=record.wall_seconds if outcome.fatal else 0.0,
+                    nodes=record.nodes,
+                    backoff_seconds=backoff,
+                    detail=detail,
+                )
+            )
+            attempt += 1

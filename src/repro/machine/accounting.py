@@ -32,6 +32,10 @@ class JobRecord:
         Peak per-task resident set; 0.0 when the reporting bug struck.
     failed : bool
         Whether the job crashed (e.g. exceeded a memory limit).
+    exit_state : str
+        SLURM-like ``State`` string ("COMPLETED", "NODE_FAIL",
+        "OUT_OF_MEMORY", "TIMEOUT"); empty means "derive from ``failed``"
+        (see :attr:`state`), keeping pre-fault-layer constructors valid.
     """
 
     job_id: int
@@ -40,6 +44,18 @@ class JobRecord:
     nodes: int
     max_rss_MB: float
     failed: bool = False
+    exit_state: str = ""
+
+    @property
+    def state(self) -> str:
+        """The sacct ``State`` column (derived when not set explicitly)."""
+        if self.exit_state:
+            return self.exit_state
+        return "FAILED" if self.failed else "COMPLETED"
+
+    def evolve(self, **changes) -> "JobRecord":
+        """A copy with fields replaced (the fault layer's update idiom)."""
+        return replace(self, **changes)
 
     @property
     def cost_node_hours(self) -> float:

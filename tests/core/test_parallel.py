@@ -3,8 +3,30 @@
 import numpy as np
 import pytest
 
-from repro.core.parallel import TrajectorySpec, default_workers, run_trajectories
-from repro.core.policies import MinPred, RandUniform
+from repro.core.parallel import (
+    TrajectoryFailure,
+    TrajectorySpec,
+    default_workers,
+    run_trajectories,
+)
+from repro.core.policies import MinPred, RandGoodness, RandUniform
+from repro.core.trajectory import Trajectory
+
+
+class ExplodingPolicy(RandUniform):
+    """Raises mid-trajectory (3rd selection).  Module-level so it pickles
+    into spawn-started workers."""
+
+    name = "exploding"
+
+    def __init__(self):
+        self.calls = 0
+
+    def select(self, view, rng):
+        self.calls += 1
+        if self.calls >= 3:
+            raise RuntimeError("injected mid-run explosion")
+        return super().select(view, rng)
 
 
 def _specs(n=3, **kw):
@@ -71,3 +93,94 @@ class TestDefaultWorkers:
         assert default_workers(1) == 1
         assert default_workers(10**6) >= 1
         assert default_workers(2) <= 2
+
+
+class TestWorkerCountDeterminism:
+    """The determinism contract: results are a function of the specs alone,
+    not of how they were scheduled over processes."""
+
+    def test_identical_results_at_workers_1_2_4(self, small_dataset):
+        specs = [
+            TrajectorySpec(
+                name=f"rg{i}", policy_factory=RandGoodness, base_seed=17,
+                traj_index=i, n_init=15, n_test=20, max_iterations=4,
+                hyper_refit_interval=2,
+            )
+            for i in range(3)
+        ]
+        runs = {
+            w: run_trajectories(small_dataset, specs, max_workers=w)
+            for w in (1, 2, 4)
+        }
+        ref = runs[1]
+        for w in (2, 4):
+            for (n_ref, t_ref), (n_w, t_w) in zip(ref, runs[w]):
+                assert n_ref == n_w
+                assert np.array_equal(t_ref.selected_indices, t_w.selected_indices)
+                assert np.array_equal(t_ref.rmse_cost, t_w.rmse_cost)
+                assert np.array_equal(t_ref.rmse_mem, t_w.rmse_mem)
+
+    def test_mid_run_failure_does_not_perturb_survivors(self, small_dataset):
+        """A trajectory that raises on its 3rd selection is reported as a
+        TrajectoryFailure; every other trajectory is bit-identical at any
+        worker count."""
+        good = dict(n_init=15, n_test=20, max_iterations=4, hyper_refit_interval=2)
+        specs = [
+            TrajectorySpec(name="ok0", policy_factory=RandGoodness,
+                           base_seed=17, traj_index=0, **good),
+            TrajectorySpec(name="boom", policy_factory=ExplodingPolicy,
+                           base_seed=17, traj_index=1, **good),
+            TrajectorySpec(name="ok1", policy_factory=RandGoodness,
+                           base_seed=17, traj_index=2, **good),
+        ]
+        runs = {
+            w: run_trajectories(
+                small_dataset, specs, max_workers=w, on_error="return"
+            )
+            for w in (1, 2, 4)
+        }
+        for w, out in runs.items():
+            assert [name for name, _ in out] == ["ok0", "boom", "ok1"]
+            failure = out[1][1]
+            assert isinstance(failure, TrajectoryFailure)
+            assert "injected mid-run explosion" in failure.error
+            assert isinstance(out[0][1], Trajectory)
+            assert isinstance(out[2][1], Trajectory)
+        ref = runs[1]
+        for w in (2, 4):
+            for pos in (0, 2):
+                assert np.array_equal(
+                    ref[pos][1].selected_indices, runs[w][pos][1].selected_indices
+                )
+                assert np.array_equal(
+                    ref[pos][1].rmse_cost, runs[w][pos][1].rmse_cost
+                )
+
+    def test_failure_carries_worker_traceback(self, small_dataset):
+        spec = TrajectorySpec(
+            name="boom", policy_factory=ExplodingPolicy, base_seed=3,
+            n_init=15, n_test=20, max_iterations=4,
+        )
+        out = run_trajectories(
+            small_dataset, [spec], max_workers=1, on_error="return"
+        )
+        failure = out[0][1]
+        assert isinstance(failure, TrajectoryFailure)
+        assert "RuntimeError" in failure.traceback
+        assert "injected mid-run explosion" in failure.traceback
+
+    def test_on_error_raise_names_every_failure(self, small_dataset):
+        specs = [
+            TrajectorySpec(name=f"boom{i}", policy_factory=ExplodingPolicy,
+                           base_seed=3, traj_index=i, n_init=15, n_test=20,
+                           max_iterations=4)
+            for i in range(2)
+        ]
+        with pytest.raises(RuntimeError, match="2/2 trajectories failed"):
+            run_trajectories(small_dataset, specs, max_workers=2)
+
+    def test_on_error_validated(self, small_dataset):
+        with pytest.raises(ValueError):
+            run_trajectories(
+                small_dataset, _specs(1), max_workers=1, on_error="ignore"
+            )

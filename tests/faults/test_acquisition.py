@@ -1,0 +1,51 @@
+"""Tests for the acquisition-level fault model."""
+
+import numpy as np
+import pytest
+
+from repro.faults.acquisition import AcquisitionFaultModel, AcquisitionOutcome
+
+
+def test_default_disabled():
+    assert not AcquisitionFaultModel().enabled
+    assert AcquisitionFaultModel(crash_probability=0.1).enabled
+    assert AcquisitionFaultModel(censor_probability=0.1).enabled
+
+
+@pytest.mark.parametrize(
+    "kwargs", [{"crash_probability": -0.1}, {"censor_probability": 1.1}]
+)
+def test_validation(kwargs):
+    with pytest.raises(ValueError):
+        AcquisitionFaultModel(**kwargs)
+
+
+def test_strike_outcomes():
+    rng = np.random.default_rng(0)
+    assert AcquisitionFaultModel(crash_probability=1.0).strike(rng) is (
+        AcquisitionOutcome.CRASHED
+    )
+    assert AcquisitionFaultModel(censor_probability=1.0).strike(rng) is (
+        AcquisitionOutcome.CENSORED
+    )
+    assert AcquisitionFaultModel(crash_probability=1e-12).strike(rng) is (
+        AcquisitionOutcome.OK
+    )
+
+
+def test_strike_consumes_exactly_two_draws():
+    for model in (
+        AcquisitionFaultModel(crash_probability=1.0),
+        AcquisitionFaultModel(censor_probability=1.0),
+        AcquisitionFaultModel(crash_probability=1e-12),
+    ):
+        rng = np.random.default_rng(5)
+        ref = np.random.default_rng(5)
+        model.strike(rng)
+        ref.random(2)
+        assert rng.bit_generator.state == ref.bit_generator.state
+
+
+def test_crash_preempts_censor():
+    model = AcquisitionFaultModel(crash_probability=1.0, censor_probability=1.0)
+    assert model.strike(np.random.default_rng(0)) is AcquisitionOutcome.CRASHED

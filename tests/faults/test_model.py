@@ -1,0 +1,152 @@
+"""Tests for the fault model: config validation, injector semantics."""
+
+import numpy as np
+import pytest
+
+from repro.faults.model import FaultConfig, FaultInjector, FaultKind
+from repro.machine.accounting import JobRecord
+
+
+def make_record(wall=500.0, rss=100.0, nodes=4, job_id=7):
+    return JobRecord(
+        job_id=job_id,
+        features=(float(nodes), 16.0, 4.0, 0.3, 0.1),
+        wall_seconds=wall,
+        nodes=nodes,
+        max_rss_MB=rss,
+    )
+
+
+class TestFaultConfig:
+    def test_default_is_disabled(self):
+        assert not FaultConfig().enabled
+        assert not FaultConfig.disabled().enabled
+
+    def test_each_knob_enables(self):
+        assert FaultConfig(crash_probability=0.1).enabled
+        assert FaultConfig(oom_memory_limit_MB=100.0).enabled
+        assert FaultConfig(timeout_wall_seconds=10.0).enabled
+        assert FaultConfig(straggler_probability=0.1).enabled
+        assert FaultConfig(
+            rss_lost_wall_threshold_s=139.0, rss_lost_probability=0.5
+        ).enabled
+
+    def test_rss_bug_needs_both_threshold_and_probability(self):
+        assert not FaultConfig(rss_lost_probability=0.5).enabled
+        assert not FaultConfig(rss_lost_wall_threshold_s=139.0).enabled
+
+    def test_paper_bug_only_matches_accounting_defaults(self):
+        from repro.machine.accounting import SlurmAccounting
+
+        cfg = FaultConfig.paper_bug_only()
+        acc = SlurmAccounting()
+        assert cfg.rss_lost_wall_threshold_s == acc.rss_bug_wall_threshold_s
+        assert cfg.rss_lost_probability == acc.rss_bug_probability
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"crash_probability": 1.5},
+            {"crash_probability": -0.1},
+            {"crash_wall_fraction": 0.0},
+            {"oom_memory_limit_MB": -1.0},
+            {"timeout_wall_seconds": 0.0},
+            {"straggler_slowdown": 1.0},
+            {"rss_lost_wall_threshold_s": -1.0},
+            {"rss_lost_probability": 2.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultConfig(**kwargs)
+
+
+class TestInjectorSemantics:
+    def test_disabled_config_is_identity_and_draws_nothing(self):
+        rng = np.random.default_rng(0)
+        state_before = rng.bit_generator.state
+        out = FaultInjector(FaultConfig()).inspect(make_record(), rng)
+        assert out.fault is None and out.record == make_record()
+        assert rng.bit_generator.state == state_before
+
+    def test_enabled_config_draws_fixed_count(self):
+        """3 draws per inspection, no matter which fault fires."""
+        for cfg in (
+            FaultConfig(crash_probability=1.0),
+            FaultConfig(straggler_probability=1.0),
+            FaultConfig(oom_memory_limit_MB=1.0),
+            FaultConfig(crash_probability=1e-12),  # nothing fires
+        ):
+            rng = np.random.default_rng(1)
+            ref = np.random.default_rng(1)
+            FaultInjector(cfg).inspect(make_record(), rng)
+            ref.random(3)
+            assert rng.bit_generator.state == ref.bit_generator.state
+
+    def test_crash_marks_failed_and_charges_partial_wall(self):
+        cfg = FaultConfig(crash_probability=1.0, crash_wall_fraction=0.25)
+        out = FaultInjector(cfg).inspect(make_record(wall=800.0), np.random.default_rng(0))
+        assert out.fault is FaultKind.CRASH and out.fatal
+        assert out.record.failed
+        assert out.record.wall_seconds == pytest.approx(200.0)
+        assert out.record.state == "NODE_FAIL"
+
+    def test_oom_fires_at_limit(self):
+        cfg = FaultConfig(oom_memory_limit_MB=100.0)
+        out = FaultInjector(cfg).inspect(make_record(rss=150.0), np.random.default_rng(0))
+        assert out.fault is FaultKind.OOM and out.fatal
+        assert out.record.state == "OUT_OF_MEMORY"
+        ok = FaultInjector(cfg).inspect(make_record(rss=50.0), np.random.default_rng(0))
+        assert ok.fault is None
+
+    def test_timeout_caps_wall(self):
+        cfg = FaultConfig(timeout_wall_seconds=300.0)
+        out = FaultInjector(cfg).inspect(make_record(wall=500.0), np.random.default_rng(0))
+        assert out.fault is FaultKind.TIMEOUT and out.fatal
+        assert out.record.wall_seconds == 300.0
+        assert out.record.state == "TIMEOUT"
+
+    def test_straggler_slows_but_completes(self):
+        cfg = FaultConfig(straggler_probability=1.0, straggler_slowdown=3.0)
+        out = FaultInjector(cfg).inspect(make_record(wall=100.0), np.random.default_rng(0))
+        assert out.fault is FaultKind.STRAGGLER and not out.fatal
+        assert not out.record.failed
+        assert out.record.wall_seconds == pytest.approx(300.0)
+
+    def test_straggler_can_push_into_timeout(self):
+        cfg = FaultConfig(
+            straggler_probability=1.0, straggler_slowdown=3.0, timeout_wall_seconds=250.0
+        )
+        out = FaultInjector(cfg).inspect(make_record(wall=100.0), np.random.default_rng(0))
+        assert out.fault is FaultKind.TIMEOUT
+        assert out.record.wall_seconds == 250.0
+
+    def test_rss_lost_only_below_threshold(self):
+        cfg = FaultConfig(rss_lost_wall_threshold_s=139.0, rss_lost_probability=1.0)
+        inj = FaultInjector(cfg)
+        short = inj.inspect(make_record(wall=100.0), np.random.default_rng(0))
+        assert short.fault is FaultKind.RSS_LOST and not short.fatal
+        assert short.record.max_rss_MB == 0.0 and not short.record.failed
+        long = inj.inspect(make_record(wall=200.0), np.random.default_rng(0))
+        assert long.fault is None
+        assert long.record.max_rss_MB == 100.0
+
+    def test_crash_preempts_everything(self):
+        cfg = FaultConfig(
+            crash_probability=1.0,
+            oom_memory_limit_MB=1.0,
+            timeout_wall_seconds=1.0,
+            straggler_probability=1.0,
+        )
+        out = FaultInjector(cfg).inspect(make_record(), np.random.default_rng(0))
+        assert out.fault is FaultKind.CRASH
+
+
+class TestJobRecordState:
+    def test_state_derived_from_failed(self):
+        assert make_record().state == "COMPLETED"
+        assert make_record().evolve(failed=True).state == "FAILED"
+
+    def test_explicit_exit_state_wins(self):
+        r = make_record().evolve(failed=True, exit_state="OUT_OF_MEMORY")
+        assert r.state == "OUT_OF_MEMORY"

@@ -1,0 +1,153 @@
+"""Tests for RetryPolicy math and ResilientJobRunner retry behavior."""
+
+import numpy as np
+import pytest
+
+from repro.faults.model import FaultConfig, FaultKind
+from repro.faults.resilient import ResilientJobRunner, RetryPolicy
+from repro.machine.accounting import JobRecord
+from repro.machine.runner import JobConfig
+
+
+class StubRunner:
+    """A JobRunner double returning canned (truthful) records.
+
+    Wall/RSS are functions of the config so p-escalation is observable.
+    """
+
+    def __init__(self, wall=500.0, rss=100.0):
+        self.wall = wall
+        self.rss = rss
+        self.calls = 0
+
+    def run(self, config, rng, job_id=0):
+        self.calls += 1
+        # Wider allocations run faster and use less memory per process.
+        return JobRecord(
+            job_id=job_id,
+            features=(float(config.p), float(config.mx), 3.0, 0.3, 0.1),
+            wall_seconds=self.wall / config.p,
+            nodes=config.p,
+            max_rss_MB=self.rss / config.p,
+        )
+
+
+CONFIG = JobConfig(p=4, mx=8, maxlevel=3, r0=0.3, rhoin=0.1)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_capped_exponential(self):
+        pol = RetryPolicy(backoff_base_s=30.0, backoff_factor=2.0, backoff_cap_s=200.0)
+        assert pol.backoff_seconds(1) == 30.0
+        assert pol.backoff_seconds(2) == 60.0
+        assert pol.backoff_seconds(3) == 120.0
+        assert pol.backoff_seconds(4) == 200.0  # capped
+        assert pol.backoff_seconds(0) == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"backoff_base_s": -1.0},
+            {"backoff_factor": 0.5},
+            {"p_max": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestResilientJobRunner:
+    def test_disabled_faults_is_single_passthrough_call(self):
+        stub = StubRunner()
+        rr = ResilientJobRunner(stub, FaultConfig.disabled())
+        rng = np.random.default_rng(0)
+        out = rr.run(CONFIG, rng, job_id=3)
+        assert stub.calls == 1
+        assert out.succeeded and out.attempts == 1 and out.events == ()
+        assert out.wasted_node_hours == 0.0
+
+    def test_clean_run_under_enabled_faults(self):
+        stub = StubRunner()
+        rr = ResilientJobRunner(stub, FaultConfig(crash_probability=1e-9))
+        out = rr.run(CONFIG, np.random.default_rng(0))
+        assert out.succeeded and out.attempts == 1 and out.events == ()
+
+    def test_crash_always_gives_up_after_budget(self):
+        stub = StubRunner()
+        retry = RetryPolicy(max_retries=2)
+        rr = ResilientJobRunner(stub, FaultConfig(crash_probability=1.0), retry)
+        out = rr.run(CONFIG, np.random.default_rng(0), job_id=9)
+        assert stub.calls == 3  # first attempt + 2 retries
+        assert not out.succeeded and out.attempts == 3
+        assert len(out.events) == 3
+        assert all(e.kind is FaultKind.CRASH for e in out.events)
+        assert [e.attempt for e in out.events] == [0, 1, 2]
+        assert out.events[-1].detail == "gave up"
+        assert out.events[-1].backoff_seconds == 0.0
+        assert out.record.failed and out.record.state == "NODE_FAIL"
+        # Both discarded attempts charged; the final one is the record itself.
+        per_attempt = out.events[0].lost_wall_seconds * 4 / 3600.0
+        assert out.wasted_node_hours == pytest.approx(2 * per_attempt)
+        assert out.queue_wait_seconds == pytest.approx(30.0 + 60.0)
+
+    def test_oom_escalates_p_until_it_fits(self):
+        # p=4 -> 25 MB/proc (over the 20 MB limit); p=8 -> 12.5 MB (fits).
+        stub = StubRunner(rss=100.0)
+        rr = ResilientJobRunner(
+            stub, FaultConfig(oom_memory_limit_MB=20.0), RetryPolicy(p_max=32)
+        )
+        out = rr.run(CONFIG, np.random.default_rng(0))
+        assert out.succeeded and out.attempts == 2
+        assert out.events[0].kind is FaultKind.OOM
+        assert out.events[0].detail == "resubmitted at p=8"
+        assert out.record.nodes == 8
+
+    def test_oom_escalation_respects_p_max(self):
+        stub = StubRunner(rss=1e9)  # never fits
+        rr = ResilientJobRunner(
+            stub,
+            FaultConfig(oom_memory_limit_MB=20.0),
+            RetryPolicy(max_retries=4, p_max=8),
+        )
+        out = rr.run(CONFIG, np.random.default_rng(0))
+        assert not out.succeeded
+        assert max(e.nodes for e in out.events) <= 8
+        assert out.record.state == "OUT_OF_MEMORY"
+
+    def test_oom_without_escalation_repeats_shape(self):
+        stub = StubRunner(rss=1e9)
+        rr = ResilientJobRunner(
+            stub,
+            FaultConfig(oom_memory_limit_MB=20.0),
+            RetryPolicy(max_retries=2, escalate_p_on_oom=False),
+        )
+        out = rr.run(CONFIG, np.random.default_rng(0))
+        assert all(e.nodes == 4 for e in out.events)
+        assert all(e.detail in ("resubmitted", "gave up") for e in out.events)
+
+    def test_straggler_is_kept_not_retried(self):
+        stub = StubRunner()
+        rr = ResilientJobRunner(stub, FaultConfig(straggler_probability=1.0))
+        out = rr.run(CONFIG, np.random.default_rng(0))
+        assert stub.calls == 1
+        assert out.succeeded
+        assert out.events[0].kind is FaultKind.STRAGGLER
+        assert out.events[0].detail == "kept"
+        assert out.events[0].lost_wall_seconds == 0.0  # job completed
+        assert out.record.wall_seconds == pytest.approx(500.0 / 4 * 4.0)
+
+    def test_rss_lost_kept_by_default_but_retryable(self):
+        cfg = FaultConfig(rss_lost_wall_threshold_s=1e9, rss_lost_probability=1.0)
+        kept = ResilientJobRunner(StubRunner(), cfg).run(CONFIG, np.random.default_rng(0))
+        assert kept.succeeded and kept.record.max_rss_MB == 0.0
+        assert kept.events[0].detail == "kept"
+
+        retried = ResilientJobRunner(
+            StubRunner(), cfg, RetryPolicy(max_retries=2, retry_rss_lost=True)
+        ).run(CONFIG, np.random.default_rng(0))
+        # Every re-run loses RSS again, so the budget runs out.
+        assert retried.attempts == 3
+        assert retried.events[-1].detail == "gave up"
+        assert retried.wasted_node_hours > 0.0  # completed re-runs cost real hours

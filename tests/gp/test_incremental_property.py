@@ -1,0 +1,235 @@
+"""Property-based tests for the incremental Cholesky path (hypothesis).
+
+``tests/gp/test_incremental.py`` pins the contract on hand-picked cases;
+here hypothesis drives random *sequences* of appends, hyperparameter
+refits, and duplicate-row injections against a from-scratch twin, checking
+the factors and predictions stay within 1e-8 at every step.  Deterministic
+companions force each fallback branch — initial-fit jitter, prefix change,
+non-positive-definite Schur complement — at least once.
+
+All runs are seeded (``derandomize=True``): no flaky shrinking in CI.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gp.gpr import GPRegressor
+from repro.gp.kernels import RBF, ConstantKernel, WhiteKernel, default_kernel
+
+
+def _data(n, d=3, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, (n, d))
+    y = np.sin(X @ np.linspace(1.0, 3.0, d)) + 0.05 * rng.standard_normal(n)
+    return X, y
+
+
+def _pair(seed=1, **kw):
+    fast = GPRegressor(rng=np.random.default_rng(seed), **kw)
+    slow = GPRegressor(rng=np.random.default_rng(seed), incremental=False, **kw)
+    return fast, slow
+
+
+def _assert_twins_match(fast, slow, Xq, rtol=1e-8):
+    # Relative 1e-8: on ill-conditioned draws alpha reaches O(1e3) and an
+    # absolute bound would flag pure floating-point noise.  Walks that
+    # inject duplicate rows pass a looser rtol — the alpha *split* between
+    # twin rows is poorly determined, though their sum (the prediction)
+    # stays tight.
+    assert np.allclose(fast._L, slow._L, rtol=rtol, atol=1e-8)
+    assert np.allclose(fast._alpha, slow._alpha, rtol=rtol, atol=1e-8)
+    mu_f, sd_f = fast.predict(Xq, return_std=True)
+    mu_s, sd_s = slow.predict(Xq, return_std=True)
+    assert np.allclose(mu_f, mu_s, rtol=rtol, atol=1e-8)
+    assert np.allclose(sd_f, sd_s, rtol=max(rtol, 1e-7), atol=1e-7)
+
+
+# One step of the random walk: how many rows to append, and whether this
+# step re-fits hyperparameters (mimicking hyper_refit_interval > 1) or
+# appends a duplicate of an already-seen row (near-singular Schur).
+steps = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=4),  # append chunk size
+        st.sampled_from(["append", "refit", "dup"]),
+    ),
+    min_size=3,
+    max_size=8,
+)
+
+
+class TestRandomWalks:
+    @settings(deadline=None, max_examples=20, derandomize=True)
+    @given(seed=st.integers(min_value=0, max_value=2**16), ops=steps)
+    def test_append_refit_dup_walk_matches_from_scratch_twin(self, seed, ops):
+        """Any mix of appends, refits and duplicate rows stays within 1e-8."""
+        X, y = _data(64, seed=seed)
+        Xq = np.random.default_rng(seed + 1).uniform(0, 1, (16, 3))
+        fast, slow = _pair(seed=seed, n_restarts=0)
+        n = 12
+        fast.fit(X[:n], y[:n])
+        slow.fit(X[:n], y[:n])
+        Xc, yc = X[:n].copy(), y[:n].copy()
+        modes = set()
+        for chunk, op in ops:
+            if op == "refit":
+                # Hyperparameter refit: both twins re-optimize; the stored
+                # factor is rebuilt and the fast path re-arms behind it.
+                fast.fit(Xc, yc)
+                slow.fit(Xc, yc)
+            elif op == "dup":
+                # Duplicate of an existing row: with the default kernel's
+                # noise diagonal the Schur complement stays PD, so this
+                # must remain exact whether or not the fast path engaged.
+                Xc = np.vstack([Xc, Xc[0]])
+                yc = np.append(yc, yc[0])
+                fast.refactor(Xc, yc)
+                slow.refactor(Xc, yc)
+            else:
+                if n + chunk > X.shape[0]:
+                    continue
+                Xc = np.vstack([Xc, X[n : n + chunk]])
+                yc = np.append(yc, y[n : n + chunk])
+                n += chunk
+                fast.refactor(Xc, yc)
+                slow.refactor(Xc, yc)
+            modes.add(fast.last_factor_mode_)
+            assert slow.last_factor_mode_ != "rank1"
+            # Duplicate rows drive the condition number to ~1/noise (the
+            # LML optimizer floors WhiteKernel at 1e-8), so the alpha split
+            # between twin rows is only loosely determined — compare the
+            # factors coarsely and the predictions (whose cancellation is
+            # benign) tightly.
+            assert np.allclose(fast._L, slow._L, rtol=1e-4, atol=1e-8)
+            assert np.allclose(fast._alpha, slow._alpha, rtol=1e-4, atol=1e-6)
+            mu_f, sd_f = fast.predict(Xq, return_std=True)
+            mu_s, sd_s = slow.predict(Xq, return_std=True)
+            assert np.allclose(mu_f, mu_s, rtol=1e-6, atol=1e-8)
+            assert np.allclose(sd_f, sd_s, rtol=1e-6, atol=1e-6)
+        # The walk exercised at least one non-trivial factorization mode.
+        assert modes & {"rank1", "full", "fit"}
+
+    @settings(deadline=None, max_examples=15, derandomize=True)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_pure_append_walk_stays_on_fast_path(self, seed):
+        """With frozen theta and distinct rows, every step must be rank1."""
+        X, y = _data(48, seed=seed)
+        fast, slow = _pair(seed=seed, n_restarts=0)
+        fast.fit(X[:16], y[:16])
+        slow.fit(X[:16], y[:16])
+        for n in range(17, 49):
+            fast.refactor(X[:n], y[:n])
+            slow.refactor(X[:n], y[:n])
+            assert fast.last_factor_mode_ == "rank1"
+        Xq = np.random.default_rng(seed + 1).uniform(0, 1, (16, 3))
+        _assert_twins_match(fast, slow, Xq)
+
+
+class TestEveryFallbackBranch:
+    """Each guard of the fast path, forced deterministically."""
+
+    def test_initial_fit_jitter_blocks_fast_path(self):
+        """Duplicate rows + noise-free kernel make the *initial* factor need
+        jitter; the next refactor must take the full path and stay correct."""
+        X, y = _data(20, seed=0)
+        Xd = np.vstack([X[:10], X[0]])  # duplicate row: singular K
+        yd = np.append(y[:10], y[0])
+        gp = GPRegressor(kernel=RBF(0.7), rng=np.random.default_rng(0), n_restarts=0)
+        gp.fit(Xd, yd)
+        assert gp._factor_jitter > 0.0  # the ladder engaged
+        Xa = np.vstack([Xd, X[11]])
+        ya = np.append(yd, y[11])
+        gp.refactor(Xa, ya)
+        assert gp.last_factor_mode_ == "full"
+
+    def test_non_pd_schur_falls_back_to_full(self):
+        """Appending an exact duplicate of an existing row under a
+        noise-free kernel makes the Schur complement numerically
+        non-positive: _extend_factorization must refuse and the full path
+        must produce a usable (jittered) factor."""
+        X, y = _data(20, seed=0)
+        gp = GPRegressor(kernel=RBF(0.7), rng=np.random.default_rng(0), n_restarts=0)
+        gp.fit(X[:10], y[:10])
+        assert gp._factor_jitter == 0.0  # fast path armed...
+        Xd = np.vstack([X[:10], X[0]])
+        yd = np.append(y[:10], y[0])
+        assert gp._can_extend(Xd)  # ...and the guard would take it
+        gp.refactor(Xd, yd)
+        assert gp.last_factor_mode_ == "full"  # Schur chol refused
+        assert np.isfinite(gp.predict(X[:5])).all()
+
+    def test_theta_change_goes_through_fit_not_extension(self):
+        """A hyperparameter refit must rebuild the factor from scratch even
+        when the data is the old set plus appended rows."""
+        X, y = _data(30, seed=2)
+        gp = GPRegressor(rng=np.random.default_rng(2), n_restarts=0)
+        gp.fit(X[:20], y[:20])
+        theta_before = gp.kernel_.theta.copy()
+        gp.fit(X[:25], y[:25])  # refit: theta moves, mode is "fit"
+        assert gp.last_factor_mode_ == "fit"
+        # The refit re-armed the fast path for the *new* theta.
+        gp.refactor(X[:28], y[:28])
+        assert gp.last_factor_mode_ == "rank1"
+        ref = GPRegressor(
+            kernel=gp.kernel_, rng=np.random.default_rng(2), n_restarts=0,
+            incremental=False,
+        )
+        ref.fit(X[:25], y[:25])
+        ref.kernel_ = gp.kernel_  # same frozen theta
+        ref.refactor(X[:28], y[:28])
+        assert np.allclose(gp.predict(X), ref.predict(X), atol=1e-8)
+        del theta_before
+
+    def test_prefix_change_falls_back(self):
+        X, y = _data(30, seed=3)
+        gp = GPRegressor(rng=np.random.default_rng(3), n_restarts=0)
+        gp.fit(X[:20], y[:20])
+        X_shuffled = X[:25][::-1].copy()
+        gp.refactor(X_shuffled, y[:25][::-1].copy())
+        assert gp.last_factor_mode_ == "full"
+
+    def test_noisy_default_kernel_survives_duplicates_on_fast_path(self):
+        """default_kernel's WhiteKernel keeps duplicates PD: the extension
+        may stay on the fast path, and must match the from-scratch twin."""
+        X, y = _data(25, seed=4)
+        fast, slow = _pair(seed=4, kernel=default_kernel(), n_restarts=0)
+        fast.fit(X[:20], y[:20])
+        slow.fit(X[:20], y[:20])
+        Xd = np.vstack([X[:20], X[3], X[3]])  # twin duplicates
+        yd = np.append(y[:20], [y[3], y[3]])
+        fast.refactor(Xd, yd)
+        slow.refactor(Xd, yd)
+        _assert_twins_match(fast, slow, X[20:])
+
+    def test_modes_observed_across_the_suite(self):
+        """Meta-check: one walk that provably hits both rank1 and full."""
+        X, y = _data(40, seed=9)
+        gp = GPRegressor(
+            kernel=ConstantKernel(1.0) * RBF(0.7)
+            + WhiteKernel(1e-8, bounds=(1e-8, 1e-4)),
+            rng=np.random.default_rng(9),
+            n_restarts=0,
+        )
+        gp.fit(X[:15], y[:15])
+        seen = set()
+        gp.refactor(X[:20], y[:20])
+        seen.add(gp.last_factor_mode_)
+        gp.refactor(X[:18], y[:18])  # shrink: full
+        seen.add(gp.last_factor_mode_)
+        assert {"rank1", "full"} <= seen
+
+
+class TestBufferReuse:
+    def test_capacity_buffer_extends_in_place(self):
+        """Repeated single appends reuse the headroom buffer."""
+        X, y = _data(60, seed=6)
+        gp = GPRegressor(rng=np.random.default_rng(6), n_restarts=0)
+        gp.fit(X[:20], y[:20])
+        gp.refactor(X[:21], y[:21])
+        buf = gp._L_buf
+        assert buf is not None and buf.shape[0] > 21  # headroom allocated
+        for n in range(22, min(buf.shape[0], 40)):
+            gp.refactor(X[:n], y[:n])
+            assert gp._L_buf is buf  # no reallocation within capacity
+            assert gp.last_factor_mode_ == "rank1"
