@@ -1,0 +1,102 @@
+"""Perf baseline: batched (shape-stacked) AMR stepping vs per-patch loop.
+
+Times a medium shock-bubble run (mx=16, max_level=4, serial) through both
+stepping backends.  The batched path stacks the hierarchy into one
+``(P, 4, n, n)`` array, runs cache-blocked axis-aware sweeps over it,
+executes a ghost-exchange plan precomputed at regrid time, and vectorizes
+the dt/tagging reductions — it is bit-identical to the per-patch reference
+(enforced by ``tests/amr/test_batch.py``), just faster.  The acceptance
+bar is a >= 3x wall-clock speedup.
+
+Results: a rendered table in ``benchmarks/results/perf_amr.txt`` plus a
+machine-readable ``BENCH_amr.json`` at the repo root (steps/sec, cells/sec,
+speedup) for trend tracking in CI.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.amr import AmrConfig, AmrDriver
+from repro.solver import ShockBubbleProblem
+
+MX = 16
+MAX_LEVEL = 4
+NSTEPS = 24
+#: Timed repetitions per backend; best-of damps scheduler noise.
+REPEATS = 2
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_amr.json"
+
+
+def _run(batched):
+    """One full run; returns (elapsed_seconds, cells_advanced, num_steps)."""
+    cfg = AmrConfig(mx=MX, min_level=1, max_level=MAX_LEVEL, batched=batched)
+    driver = AmrDriver(ShockBubbleProblem(), cfg)
+    t0 = time.perf_counter()
+    for k in range(NSTEPS):
+        dt = driver.compute_dt()
+        driver.step(dt)
+        if (k + 1) % cfg.regrid_interval == 0:
+            driver.regrid()
+    elapsed = time.perf_counter() - t0
+    cells = sum(rec.cells_advanced for rec in driver.stats.steps)
+    return elapsed, cells, NSTEPS
+
+
+def _best_of(batched):
+    best = None
+    for _ in range(REPEATS):
+        run = _run(batched)
+        if best is None or run[0] < best[0]:
+            best = run
+    return best
+
+
+def test_perf_batched_vs_per_patch(report):
+    t_batch, cells, steps = _best_of(batched=True)
+    t_patch, cells_ref, _ = _best_of(batched=False)
+    assert cells == cells_ref, "backends must advance identical hierarchies"
+    speedup = t_patch / t_batch
+
+    rows = [
+        f"{'backend':>10}  {'wall_s':>8}  {'steps/s':>8}  {'Mcells/s':>9}",
+        f"{'per-patch':>10}  {t_patch:>8.3f}  {steps / t_patch:>8.2f}  "
+        f"{1e-6 * cells / t_patch:>9.3f}",
+        f"{'batched':>10}  {t_batch:>8.3f}  {steps / t_batch:>8.2f}  "
+        f"{1e-6 * cells / t_batch:>9.3f}",
+        f"speedup: {speedup:.2f}x  (mx={MX}, max_level={MAX_LEVEL}, "
+        f"{steps} steps, serial)",
+    ]
+    report("perf_amr", "\n".join(rows))
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "benchmark": "amr_batched_stepping",
+                "config": {
+                    "mx": MX,
+                    "max_level": MAX_LEVEL,
+                    "nsteps": steps,
+                    "workers": 1,
+                },
+                "per_patch": {
+                    "wall_s": round(t_patch, 4),
+                    "steps_per_s": round(steps / t_patch, 3),
+                    "cells_per_s": round(cells / t_patch, 1),
+                },
+                "batched": {
+                    "wall_s": round(t_batch, 4),
+                    "steps_per_s": round(steps / t_batch, 3),
+                    "cells_per_s": round(cells / t_batch, 1),
+                },
+                "speedup": round(speedup, 3),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert speedup >= 3.0, (
+        f"batched stepping must be >= 3x faster (got {speedup:.2f}x)"
+    )

@@ -6,6 +6,20 @@ sweeps, and the hierarchy is regridded every ``regrid_interval`` steps.
 Solution transfer on refinement/coarsening uses the conservative operators
 of :mod:`repro.amr.transfer`; the 2:1 constraint is re-established after
 every regrid by ripple refinement.
+
+Two stepping backends are provided (``AmrConfig.batched``):
+
+- **batched** (default): the hierarchy's state lives in one shape-stacked
+  ``(P, 4, n, n)`` array (:class:`repro.amr.batch.PatchStack`), sweeps run
+  once over the whole stack, ghost exchange executes a plan precomputed at
+  regrid time, and the CFL / physicality / conservation reductions are
+  vectorized.
+- **per-patch**: the original patch-by-patch loop, kept as the bit-identical
+  reference implementation.
+
+Both backends produce bit-for-bit identical states and statistics; the
+phases of either path are timed through :mod:`repro.perf` (``amr_plan``,
+``amr_exchange``, ``amr_sweep``, ``amr_dt``, ``amr_regrid``).
 """
 
 from __future__ import annotations
@@ -15,10 +29,12 @@ from typing import Callable
 
 import numpy as np
 
+from repro import perf
+from repro.amr.batch import PatchStack
 from repro.amr.ghost import exchange_ghosts
 from repro.amr.patch import Patch
 from repro.amr.stats import RunStats, StepRecord
-from repro.amr.tagging import tag_for_refinement
+from repro.amr.tagging import tag_for_refinement, tag_stack
 from repro.amr.transfer import prolong_child, restrict_patch
 from repro.mesh.balance import balance_deficits
 from repro.mesh.forest import BrickTopology, Forest
@@ -35,6 +51,8 @@ class AmrConfig:
     The three grid-shape fields correspond to features of the paper's input
     space: ``mx`` is the box size and ``max_level`` the maximum refinement
     level (Table I); ``min_level`` sets the coarsest allowed mesh.
+    ``batched`` selects the shape-stacked stepping backend (bit-identical to
+    the per-patch reference, just faster).
     """
 
     mx: int = 8
@@ -49,6 +67,7 @@ class AmrConfig:
     regrid_interval: int = 4
     gamma: float = GAMMA_AIR
     bcs: tuple = ("outflow", "outflow", "reflect", "reflect")
+    batched: bool = True
 
     def __post_init__(self) -> None:
         if self.min_level < 0 or self.max_level < self.min_level:
@@ -83,6 +102,7 @@ class AmrDriver:
         self.patches: dict[tuple[int, Quadrant], Patch] = {}
         self.t = 0.0
         self.stats = RunStats()
+        self._stack: PatchStack | None = None
         self._build_initial_hierarchy()
 
     # ------------------------------------------------------------------ setup
@@ -109,6 +129,7 @@ class AmrDriver:
         self.patches = {
             (t, q): self._new_patch(t, q) for t, q in self.forest.iter_leaves()
         }
+        self._invalidate_stack()
         for p in self.patches.values():
             self._fill_initial(p)
         for _ in range(cfg.max_level - cfg.min_level):
@@ -127,6 +148,22 @@ class AmrDriver:
                 self._refine_patch(tree, quad, from_initial=True)
             self._rebalance(from_initial=True)
 
+    # --------------------------------------------------------- stacked storage
+
+    def _invalidate_stack(self) -> None:
+        """Drop the stacked storage and exchange plan (hierarchy changed)."""
+        self._stack = None
+
+    def stack(self) -> PatchStack:
+        """The current :class:`PatchStack`, (re)built if the hierarchy changed."""
+        if self._stack is None or not self._stack.covers(self.patches):
+            cfg = self.config
+            with perf.timer("amr_plan"):
+                self._stack = PatchStack(
+                    self.forest, self.patches, cfg.mx, cfg.ng, cfg.bcs
+                )
+        return self._stack
+
     # ------------------------------------------------------------- regridding
 
     def _refine_patch(self, tree: int, quad: Quadrant, from_initial: bool) -> None:
@@ -140,6 +177,7 @@ class AmrDriver:
                 cp.interior[...] = prolong_child(parent.interior, child.child_id)
             self.patches[(tree, child)] = cp
         self.stats.num_refinements += 1
+        self._invalidate_stack()
 
     def _coarsen_family(self, tree: int, quad: Quadrant) -> None:
         """Coarsen the complete family containing leaf ``quad``."""
@@ -156,6 +194,7 @@ class AmrDriver:
             parent.interior[:, ox : ox + h, oy : oy + h] = restrict_patch(cp.interior)
         self.patches[(tree, parent_quad)] = parent
         self.stats.num_coarsenings += 1
+        self._invalidate_stack()
 
     def _rebalance(self, from_initial: bool = False) -> None:
         """Ripple-refine until 2:1 balanced, transferring the solution."""
@@ -170,30 +209,46 @@ class AmrDriver:
     def regrid(self) -> None:
         """One full regrid pass: tag, refine, coarsen, rebalance."""
         cfg = self.config
-        tags = {
-            key: tag_for_refinement(
-                p.interior, cfg.refine_threshold, cfg.coarsen_threshold
-            )
-            for key, p in self.patches.items()
-        }
-        for (tree, quad), tag in tags.items():
-            if tag > 0 and quad.level < cfg.max_level and (tree, quad) in self.patches:
-                self._refine_patch(tree, quad, from_initial=False)
+        with perf.timer("amr_regrid"):
+            if cfg.batched:
+                # One vectorized pass over the stacked interiors.  stack.keys
+                # preserves the patches-dict iteration order, and the batched
+                # indicator is bit-identical to the scalar one, so the regrid
+                # decisions below are unchanged.
+                stack = self.stack()
+                tags = dict(
+                    zip(
+                        stack.keys,
+                        tag_stack(
+                            stack.interior, cfg.refine_threshold, cfg.coarsen_threshold
+                        ),
+                    )
+                )
+            else:
+                tags = {
+                    key: tag_for_refinement(
+                        p.interior, cfg.refine_threshold, cfg.coarsen_threshold
+                    )
+                    for key, p in self.patches.items()
+                }
+            for (tree, quad), tag in tags.items():
+                if tag > 0 and quad.level < cfg.max_level and (tree, quad) in self.patches:
+                    self._refine_patch(tree, quad, from_initial=False)
 
-        # Coarsen complete families whose members all voted -1 and still exist.
-        by_parent: dict[tuple[int, Quadrant], int] = {}
-        for (tree, quad), tag in tags.items():
-            if quad.level <= cfg.min_level or (tree, quad) not in self.patches:
-                continue
-            if tag < 0:
-                pk = (tree, quadrant_parent(quad))
-                by_parent[pk] = by_parent.get(pk, 0) + 1
-        for (tree, parent_quad), votes in by_parent.items():
-            children = quadrant_children(parent_quad)
-            if votes == 4 and all((tree, c) in self.patches for c in children):
-                self._coarsen_family(tree, children[0])
+            # Coarsen complete families whose members all voted -1 and still exist.
+            by_parent: dict[tuple[int, Quadrant], int] = {}
+            for (tree, quad), tag in tags.items():
+                if quad.level <= cfg.min_level or (tree, quad) not in self.patches:
+                    continue
+                if tag < 0:
+                    pk = (tree, quadrant_parent(quad))
+                    by_parent[pk] = by_parent.get(pk, 0) + 1
+            for (tree, parent_quad), votes in by_parent.items():
+                children = quadrant_children(parent_quad)
+                if votes == 4 and all((tree, c) in self.patches for c in children):
+                    self._coarsen_family(tree, children[0])
 
-        self._rebalance()
+            self._rebalance()
         self.stats.num_regrids += 1
 
     # ---------------------------------------------------------------- stepping
@@ -204,26 +259,47 @@ class AmrDriver:
     def compute_dt(self, dt_max: float = np.inf) -> float:
         """Global CFL step: finest-level constraint dominates."""
         cfg = self.config
-        dt = float(dt_max)
-        for p in self.patches.values():
-            smax = max_wave_speed(p.interior, cfg.gamma)
-            if smax > 0:
-                dt = min(dt, cfg.cfl * p.dx / smax)
-        return dt
+        with perf.timer("amr_dt"):
+            if cfg.batched:
+                return self.stack().compute_dt(cfg.cfl, cfg.gamma, dt_max)
+            dt = float(dt_max)
+            for p in self.patches.values():
+                smax = max_wave_speed(p.interior, cfg.gamma)
+                if smax > 0:
+                    dt = min(dt, cfg.cfl * p.dx / smax)
+            return dt
 
     def total_bytes(self) -> int:
+        if self.config.batched:
+            return self.stack().total_bytes()
         return sum(p.nbytes for p in self.patches.values())
 
     def step(self, dt: float, regridded: bool = False) -> None:
         """Advance every patch by ``dt`` with Godunov-split sweeps."""
         cfg = self.config
         kw = dict(riemann=cfg.riemann, limiter=cfg.limiter, gamma=cfg.gamma)
-        self._exchange()
-        for p in self.patches.values():
-            sweep_x(p.q, dt / p.dx, cfg.ng, **kw)
-        self._exchange()
-        for p in self.patches.values():
-            sweep_y(p.q, dt / p.dx, cfg.ng, **kw)
+        if cfg.batched:
+            stack = self.stack()
+            dt_dx = dt / stack.dx
+            with perf.timer("amr_exchange"):
+                stack.exchange()
+            with perf.timer("amr_sweep"):
+                sweep_x(stack.q, dt_dx, cfg.ng, **kw)
+            with perf.timer("amr_exchange"):
+                stack.exchange()
+            with perf.timer("amr_sweep"):
+                sweep_y(stack.q, dt_dx, cfg.ng, **kw)
+        else:
+            with perf.timer("amr_exchange"):
+                self._exchange()
+            with perf.timer("amr_sweep"):
+                for p in self.patches.values():
+                    sweep_x(p.q, dt / p.dx, cfg.ng, **kw)
+            with perf.timer("amr_exchange"):
+                self._exchange()
+            with perf.timer("amr_sweep"):
+                for p in self.patches.values():
+                    sweep_y(p.q, dt / p.dx, cfg.ng, **kw)
         self.t += dt
         cells = len(self.patches) * cfg.mx * cfg.mx
         self.stats.record_step(
@@ -236,6 +312,12 @@ class AmrDriver:
                 regridded=regridded,
             )
         )
+
+    def _all_physical(self) -> bool:
+        cfg = self.config
+        if cfg.batched:
+            return self.stack().check_physical(cfg.gamma)
+        return all(check_physical(p.interior, cfg.gamma) for p in self.patches.values())
 
     def run(
         self,
@@ -268,29 +350,44 @@ class AmrDriver:
             steps_since_regrid += 1
             if callback is not None:
                 callback(self)
-            if not all(check_physical(p.interior, cfg.gamma) for p in self.patches.values()):
+            if not self._all_physical():
                 raise RuntimeError(f"unphysical state at t={self.t}")
         raise RuntimeError(f"max_steps={max_steps} exhausted at t={self.t} < {t_end}")
 
     # ---------------------------------------------------------------- output
 
     def sample_uniform(self, nx: int, ny: int, field: int = 0) -> np.ndarray:
-        """Sample one field onto a uniform grid (nearest-cell, for plots)."""
+        """Sample one field onto a uniform grid (nearest-cell, for plots).
+
+        Vectorized over patches: the leaves partition the domain into exact
+        dyadic boxes, so each patch covers a contiguous run of the sorted
+        sample coordinates (found by ``searchsorted``, matching
+        :meth:`repro.mesh.forest.Forest.locate`'s half-open convention) and
+        fills its block of the output with one fancy-indexed gather.
+        """
         w, h = self.forest.domain_extent()
         out = np.empty((nx, ny), dtype=np.float64)
         xs = (np.arange(nx) + 0.5) * (w / nx)
         ys = (np.arange(ny) + 0.5) * (h / ny)
-        for i, x in enumerate(xs):
-            for j, y in enumerate(ys):
-                tree, quad = self.forest.locate(float(x), float(y))
-                p = self.patches[(tree, quad)]
-                ci = min(int((x - p.x0) / p.dx), p.mx - 1)
-                cj = min(int((y - p.y0) / p.dx), p.mx - 1)
-                out[i, j] = p.interior[field, ci, cj]
+        for p in self.patches.values():
+            ext = p.quad.size
+            i0, i1 = np.searchsorted(xs, (p.x0, p.x0 + ext))
+            j0, j1 = np.searchsorted(ys, (p.y0, p.y0 + ext))
+            if i0 == i1 or j0 == j1:
+                continue
+            ci = np.minimum(
+                ((xs[i0:i1] - p.x0) / p.dx).astype(np.int64), p.mx - 1
+            )
+            cj = np.minimum(
+                ((ys[j0:j1] - p.y0) / p.dx).astype(np.int64), p.mx - 1
+            )
+            out[i0:i1, j0:j1] = p.interior[field][np.ix_(ci, cj)]
         return out
 
     def conserved_totals(self) -> tuple[float, float]:
         """(total mass, total energy) integrated over the hierarchy."""
+        if self.config.batched:
+            return self.stack().conserved_totals()
         mass = 0.0
         energy = 0.0
         for p in self.patches.values():

@@ -86,11 +86,15 @@ def _physical_strip(patch: Patch, face: int, bc: BoundaryCondition) -> np.ndarra
     raise ValueError(f"unsupported physical BC {bc} (periodic needs a torus brick)")
 
 
-def _tangential_half(patch_quad: Quadrant, face: int) -> int:
+def tangential_half(patch_quad: Quadrant, face: int) -> int:
     """Which half (0=low, 1=high) of a coarse neighbor's face we touch."""
     if face < 2:  # x-face: tangential coordinate is y
         return patch_quad.y & 1
     return patch_quad.x & 1
+
+
+#: Backwards-compatible alias (pre-batching name).
+_tangential_half = tangential_half
 
 
 def exchange_ghosts(
@@ -132,6 +136,11 @@ def exchange_ghosts(
             write_ghost(patch, face, _from_fine(patch, patches, ntree, nq, opp))
 
 
+# NOTE: the per-step classification above is also resolved *once per regrid*
+# into a batched gather/scatter program by repro.amr.batch.ExchangePlan; this
+# per-patch routine is the bit-identical reference implementation.
+
+
 def _from_coarse(
     patch: Patch, coarse: Patch, quad: Quadrant, face: int, opp: int
 ) -> np.ndarray:
@@ -139,7 +148,7 @@ def _from_coarse(
     ng, mx = patch.ng, patch.mx
     if ng % 2:
         raise ValueError("coarse-fine ghost exchange requires even ng")
-    half = _tangential_half(quad, face)
+    half = tangential_half(quad, face)
     wide = take_strip(coarse, opp, ng // 2)
     block = wide[:, :, half * (mx // 2) : (half + 1) * (mx // 2)]
     return prolong_patch(np.ascontiguousarray(block))

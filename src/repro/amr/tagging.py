@@ -61,3 +61,34 @@ def tag_for_refinement(
     if g < coarsen_threshold:
         return -1
     return 0
+
+
+def tag_stack(
+    interior: np.ndarray,
+    refine_threshold: float,
+    coarsen_threshold: float | None = None,
+    field: int = IRHO,
+) -> np.ndarray:
+    """Vectorized :func:`tag_for_refinement` over a stacked hierarchy.
+
+    Parameters
+    ----------
+    interior : ndarray, shape (P, 4, mx, my)
+        All patch interiors of a :class:`repro.amr.PatchStack`.
+
+    Returns
+    -------
+    ndarray of int, shape (P,)
+        Per-patch tags, identical to calling :func:`tag_for_refinement` on
+        each patch (differences and max reductions are exact, so the
+        batched indicator is bit-identical to the scalar one).
+    """
+    if coarsen_threshold is None:
+        coarsen_threshold = refine_threshold / 4.0
+    if coarsen_threshold > refine_threshold:
+        raise ValueError("coarsen_threshold must not exceed refine_threshold")
+    w = interior[:, field]
+    gx = np.abs(np.diff(w, axis=-2)).max(axis=(-2, -1), initial=0.0)
+    gy = np.abs(np.diff(w, axis=-1)).max(axis=(-2, -1), initial=0.0)
+    g = np.maximum(gx, gy)
+    return np.where(g > refine_threshold, 1, np.where(g < coarsen_threshold, -1, 0))

@@ -36,31 +36,32 @@ def restrict_patch(fine_interior: np.ndarray) -> np.ndarray:
 
 
 def _limited_slopes_2d(coarse: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Minmod slopes of ``coarse`` (4, nx, ny) in x and y, zero at borders."""
+    """Minmod slopes of ``coarse`` (..., nx, ny) in x and y, zero at borders."""
     sx = np.zeros_like(coarse)
     sy = np.zeros_like(coarse)
-    ax = coarse[:, 1:-1, :] - coarse[:, :-2, :]
-    bx = coarse[:, 2:, :] - coarse[:, 1:-1, :]
-    sx[:, 1:-1, :] = minmod(ax, bx)
-    ay = coarse[:, :, 1:-1] - coarse[:, :, :-2]
-    by = coarse[:, :, 2:] - coarse[:, :, 1:-1]
-    sy[:, :, 1:-1] = minmod(ay, by)
+    ax = coarse[..., 1:-1, :] - coarse[..., :-2, :]
+    bx = coarse[..., 2:, :] - coarse[..., 1:-1, :]
+    sx[..., 1:-1, :] = minmod(ax, bx)
+    ay = coarse[..., :, 1:-1] - coarse[..., :, :-2]
+    by = coarse[..., :, 2:] - coarse[..., :, 1:-1]
+    sy[..., :, 1:-1] = minmod(ay, by)
     return sx, sy
 
 
 def prolong_patch(coarse: np.ndarray) -> np.ndarray:
-    """Prolong ``(4, nx, ny)`` to ``(4, 2*nx, 2*ny)`` by limited linear interp.
+    """Prolong ``(..., nx, ny)`` to ``(..., 2*nx, 2*ny)`` by limited linear interp.
 
     Each coarse cell value ``c`` with slopes ``(sx, sy)`` produces the four
     sub-cell values ``c ± sx/4 ± sy/4``, whose mean is exactly ``c`` — the
-    transfer conserves every field regardless of the limiter.
+    transfer conserves every field regardless of the limiter.  Leading axes
+    (fields, and optionally a patch batch) pass through unchanged.
     """
-    nf, nx, ny = coarse.shape
+    *lead, nx, ny = coarse.shape
     sx, sy = _limited_slopes_2d(coarse)
-    fine = np.empty((nf, 2 * nx, 2 * ny), dtype=coarse.dtype)
+    fine = np.empty((*lead, 2 * nx, 2 * ny), dtype=coarse.dtype)
     for di, fx in ((0, -0.25), (1, 0.25)):
         for dj, fy in ((0, -0.25), (1, 0.25)):
-            fine[:, di::2, dj::2] = coarse + fx * sx + fy * sy
+            fine[..., di::2, dj::2] = coarse + fx * sx + fy * sy
     return fine
 
 
@@ -71,10 +72,10 @@ def prolong_child(coarse_interior: np.ndarray, child_id: int) -> np.ndarray:
     :attr:`repro.mesh.quadrant.Quadrant.child_id`: bit 0 is x, bit 1 is y.
     The returned array has the same shape as ``coarse_interior``.
     """
-    nf, mx, my = coarse_interior.shape
+    *lead, mx, my = coarse_interior.shape
     if mx % 2 or my % 2:
         raise ValueError("prolongation to a child requires even patch size")
     cx = (child_id & 1) * (mx // 2)
     cy = ((child_id >> 1) & 1) * (my // 2)
-    sub = coarse_interior[:, cx : cx + mx // 2, cy : cy + my // 2]
+    sub = coarse_interior[..., cx : cx + mx // 2, cy : cy + my // 2]
     return prolong_patch(sub)

@@ -85,6 +85,9 @@ class JobRunner:
         Log-normal sigma of MaxRSS variability.
     t_end : float
         Physical end time of the canonical campaign run.
+    amr_batched : bool
+        Use the shape-stacked AMR stepping backend for ``mode="simulate"``
+        runs (bit-identical to the per-patch reference, just faster).
     """
 
     spec: MachineSpec = EDISON
@@ -94,6 +97,7 @@ class JobRunner:
     wall_noise_sigma: float = 0.04
     rss_noise_sigma: float = 0.015
     t_end: float = 2.0
+    amr_batched: bool = True
 
     def _perf(self) -> PerformanceModel:
         return self.perf if self.perf is not None else PerformanceModel(
@@ -131,7 +135,12 @@ class JobRunner:
         from repro.solver import ShockBubbleProblem
 
         problem = ShockBubbleProblem(r0=config.r0, rhoin=config.rhoin)
-        amr_cfg = AmrConfig(mx=config.mx, min_level=1, max_level=config.maxlevel)
+        amr_cfg = AmrConfig(
+            mx=config.mx,
+            min_level=1,
+            max_level=config.maxlevel,
+            batched=self.amr_batched,
+        )
         driver = AmrDriver(problem, amr_cfg)
         stats = driver.run(t_end=self.t_end if t_end is None else t_end)
         hist = driver.forest.level_histogram()

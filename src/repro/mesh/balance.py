@@ -38,8 +38,8 @@ def _neighbor_leaf_levels(forest: Forest, tree: int, q: Quadrant, face: int):
         if anc in neigh_tree:
             yield anc.level
             return
-    # Finer: scan leaves descending from nq (Morton-contiguous block).
-    for leaf in neigh_tree.leaves:
+    # Finer: leaves descending from nq are a Morton-contiguous block.
+    for leaf in neigh_tree.descendants(nq):
         if is_ancestor(nq, leaf):
             yield leaf.level
 

@@ -40,20 +40,50 @@ def _spread_bits(v: np.ndarray) -> np.ndarray:
     return v
 
 
-def _compact_bits(v: np.ndarray) -> np.ndarray:
-    """Inverse of :func:`_spread_bits`: gather every other bit of ``v``."""
-    v = v.astype(np.uint64) & np.uint64(0x5555555555555555)
-    for mask, shift in reversed(_MASKS_SPREAD[1:]):
-        v = (v | (v >> np.uint64(shift))) & np.uint64(_prev_mask(mask, shift))
-    # Final gather down to 32 contiguous bits.
-    v = (v | (v >> np.uint64(32))) & np.uint64(0x00000000FFFFFFFF)
+#: Mask of the low 64 bits — the scalar fast paths emulate uint64 wraparound
+#: with plain Python ints so they stay bit-compatible with the array paths.
+_U64 = (1 << 64) - 1
+
+
+def _spread_bits_int(v: int) -> int:
+    """Scalar :func:`_spread_bits` on plain Python ints (no array overhead)."""
+    for mask, shift in _MASKS_SPREAD:
+        v = (v | (v << shift)) & mask
     return v
 
 
-def _prev_mask(mask: int, shift: int) -> int:
-    """Mask used at the step *before* (mask, shift) in the spread sequence."""
-    idx = [m for m, _ in _MASKS_SPREAD].index(mask)
-    return _MASKS_SPREAD[idx - 1][0]
+def _compact_bits_int(v: int) -> int:
+    """Scalar :func:`_compact_bits` on plain Python ints."""
+    v &= 0x5555555555555555
+    for mask, shift in _MASKS_COMPACT_INT:
+        v = (v | (v >> shift)) & mask
+    return (v | (v >> 32)) & 0x00000000FFFFFFFF
+
+
+# The inverse (mask, shift) sequence for _compact_bits: each gather step
+# undoes one spread step, landing the bits under the mask of the *previous*
+# spread step.  Precomputed (as uint64) so the hot path never searches the
+# spread table.
+_MASKS_COMPACT = tuple(
+    (np.uint64(_MASKS_SPREAD[i - 1][0]), np.uint64(_MASKS_SPREAD[i][1]))
+    for i in range(len(_MASKS_SPREAD) - 1, 0, -1)
+)
+
+#: Same sequence as plain Python ints, for the scalar fast path.
+_MASKS_COMPACT_INT = tuple(
+    (_MASKS_SPREAD[i - 1][0], _MASKS_SPREAD[i][1])
+    for i in range(len(_MASKS_SPREAD) - 1, 0, -1)
+)
+
+
+def _compact_bits(v: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_spread_bits`: gather every other bit of ``v``."""
+    v = v.astype(np.uint64) & np.uint64(0x5555555555555555)
+    for mask, shift in _MASKS_COMPACT:
+        v = (v | (v >> shift)) & mask
+    # Final gather down to 32 contiguous bits.
+    v = (v | (v >> np.uint64(32))) & np.uint64(0x00000000FFFFFFFF)
+    return v
 
 
 def interleave2(x, y):
@@ -71,13 +101,16 @@ def interleave2(x, y):
     -------
     int or ndarray of uint64
     """
-    scalar = np.isscalar(x) and np.isscalar(y)
+    if np.isscalar(x) and np.isscalar(y):
+        xi, yi = int(x), int(y)
+        if xi < 0 or yi < 0 or (xi >> COORD_BITS) or (yi >> COORD_BITS):
+            raise ValueError(f"coordinates must be < 2**{COORD_BITS}")
+        return _spread_bits_int(xi) | (_spread_bits_int(yi) << 1)
     xa = np.asarray(x, dtype=np.uint64)
     ya = np.asarray(y, dtype=np.uint64)
     if np.any(xa >> np.uint64(COORD_BITS)) or np.any(ya >> np.uint64(COORD_BITS)):
         raise ValueError(f"coordinates must be < 2**{COORD_BITS}")
-    out = _spread_bits(xa) | (_spread_bits(ya) << np.uint64(1))
-    return int(out) if scalar else out
+    return _spread_bits(xa) | (_spread_bits(ya) << np.uint64(1))
 
 
 def deinterleave2(code):
@@ -89,13 +122,11 @@ def deinterleave2(code):
     -------
     (x, y) : pair of int or ndarray of uint64
     """
-    scalar = np.isscalar(code)
+    if np.isscalar(code):
+        c = int(code) & _U64
+        return _compact_bits_int(c), _compact_bits_int(c >> 1)
     c = np.asarray(code, dtype=np.uint64)
-    x = _compact_bits(c)
-    y = _compact_bits(c >> np.uint64(1))
-    if scalar:
-        return int(x), int(y)
-    return x, y
+    return _compact_bits(c), _compact_bits(c >> np.uint64(1))
 
 
 def morton_encode(level, x, y, max_level: int):
@@ -119,7 +150,14 @@ def morton_encode(level, x, y, max_level: int):
     -------
     int or ndarray of uint64
     """
-    scalar = np.isscalar(level) and np.isscalar(x) and np.isscalar(y)
+    if np.isscalar(level) and np.isscalar(x) and np.isscalar(y):
+        lv, xi, yi = int(level), int(x), int(y)
+        if lv < 0 or lv > max_level:
+            raise ValueError("level out of range")
+        if not (0 <= xi < (1 << lv)) or not (0 <= yi < (1 << lv)):
+            raise ValueError("coordinates out of range for level")
+        shift = max_level - lv
+        return interleave2(xi << shift, yi << shift)
     lv = np.asarray(level, dtype=np.int64)
     xa = np.asarray(x, dtype=np.uint64)
     ya = np.asarray(y, dtype=np.uint64)
@@ -130,8 +168,7 @@ def morton_encode(level, x, y, max_level: int):
     ):
         raise ValueError("coordinates out of range for level")
     shift = (np.int64(max_level) - lv).astype(np.uint64)
-    out = interleave2(xa << shift, ya << shift)
-    return int(out) if scalar else np.asarray(out, dtype=np.uint64)
+    return np.asarray(interleave2(xa << shift, ya << shift), dtype=np.uint64)
 
 
 def morton_decode(code, level, max_level: int):
@@ -139,13 +176,13 @@ def morton_decode(code, level, max_level: int):
 
     Inverse of :func:`morton_encode` for a known ``level``.
     """
-    scalar = np.isscalar(code)
     x, y = deinterleave2(code)
+    if np.isscalar(code):
+        shift = max_level - int(level)
+        return x >> shift, y >> shift
     shift = np.uint64(max_level) - np.asarray(level, dtype=np.uint64)
     x = np.asarray(x, dtype=np.uint64) >> shift
     y = np.asarray(y, dtype=np.uint64) >> shift
-    if scalar:
-        return int(x), int(y)
     return x, y
 
 
@@ -162,8 +199,9 @@ def morton_key(level, x, y, max_level: int):
         A single composite key ``code * (max_level + 1) + level`` usable with
         ``np.argsort``; scalar int when all inputs are scalars.
     """
-    scalar = np.isscalar(level) and np.isscalar(x) and np.isscalar(y)
     code = morton_encode(level, x, y, max_level)
+    if np.isscalar(code):
+        # Emulate uint64 wraparound so scalar keys match the array path.
+        return (code * (max_level + 1) + int(level)) & _U64
     lv = np.asarray(level, dtype=np.uint64)
-    key = np.asarray(code, dtype=np.uint64) * np.uint64(max_level + 1) + lv
-    return int(key) if scalar else key
+    return np.asarray(code, dtype=np.uint64) * np.uint64(max_level + 1) + lv

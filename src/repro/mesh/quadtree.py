@@ -91,6 +91,23 @@ class Quadtree:
         """Shallowest refinement level present among the leaves."""
         return min(q.level for q in self._leaves)
 
+    def descendants(self, q: Quadrant) -> Sequence[Quadrant]:
+        """Leaves equal to or descending from ``q``, in Morton order.
+
+        Descendants occupy a contiguous Morton-key range, so this is two
+        bisections and a slice — O(log n + k) instead of scanning all
+        leaves.  An ancestor *leaf* covering ``q`` shares the key prefix of
+        ``q``'s first descendant and may appear in the slice; callers that
+        need strict descendants filter with
+        :func:`~repro.mesh.quadrant.is_ancestor`.
+        """
+        code = _key(q) // (MAX_LEVEL + 1)
+        k0 = code * (MAX_LEVEL + 1)
+        k1 = (code + 4 ** (MAX_LEVEL - q.level)) * (MAX_LEVEL + 1)
+        i0 = bisect_left(self._keys, k0)
+        i1 = bisect_left(self._keys, k1)
+        return tuple(self._leaves[i0:i1])
+
     def index_of(self, q: Quadrant) -> int:
         """Position of leaf ``q`` in Morton order; raises if absent."""
         i = bisect_left(self._keys, _key(q))

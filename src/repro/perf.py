@@ -1,12 +1,15 @@
-"""Lightweight per-phase timing registry for the AL hot loop.
+"""Lightweight per-phase timing registry for the AL and AMR hot loops.
 
 The AL loop and the GP layer report how long they spend in each phase —
 ``fit`` (LML optimization), ``refactor`` (from-scratch re-factorization),
 ``rank1_update`` (incremental Cholesky extension), ``predict`` and
-``select`` — so that optimizations of the hot loop are measurable rather
-than anecdotal.  The registry is deliberately tiny: a dict of
-``phase -> (calls, seconds)`` guarded by a lock, fed by a context-manager
-timer whose overhead is two ``perf_counter()`` calls.
+``select`` — and the AMR driver reports its stepping phases —
+``amr_plan`` (stack + exchange-plan build), ``amr_exchange``,
+``amr_sweep``, ``amr_dt`` and ``amr_regrid`` — so that optimizations of
+the hot loops are measurable rather than anecdotal.  The registry is
+deliberately tiny: a dict of ``phase -> (calls, seconds)`` guarded by a
+lock, fed by a context-manager timer whose overhead is two
+``perf_counter()`` calls.
 
 Every process owns its own registry (worker processes spawned by
 :mod:`repro.core.parallel` start fresh); aggregate across processes by
@@ -31,7 +34,18 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 
 #: Canonical phase names used by the built-in instrumentation.
-PHASES = ("fit", "refactor", "rank1_update", "predict", "select")
+PHASES = (
+    "fit",
+    "refactor",
+    "rank1_update",
+    "predict",
+    "select",
+    "amr_plan",
+    "amr_exchange",
+    "amr_sweep",
+    "amr_dt",
+    "amr_regrid",
+)
 
 
 @dataclass(frozen=True)

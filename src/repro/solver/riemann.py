@@ -20,9 +20,18 @@ import numpy as np
 from repro.solver.state import GAMMA_AIR, primitive_from_conserved
 
 
-def physical_flux_x(q: np.ndarray, gamma: float = GAMMA_AIR) -> np.ndarray:
-    """Exact Euler flux in the x direction of conserved states ``q``."""
-    prim = primitive_from_conserved(q, gamma)
+def physical_flux_x(
+    q: np.ndarray, gamma: float = GAMMA_AIR, prim: np.ndarray | None = None
+) -> np.ndarray:
+    """Exact Euler flux in the x direction of conserved states ``q``.
+
+    ``prim`` may carry the precomputed primitives of ``q`` to skip the
+    (deterministic, hence bit-identical) conversion — the batched sweep path
+    computes them once per side and reuses them across the wave-speed
+    estimate and both flux evaluations.
+    """
+    if prim is None:
+        prim = primitive_from_conserved(q, gamma)
     rho, u, v, p = prim[0], prim[1], prim[2], prim[3]
     f = np.empty_like(q)
     f[0] = rho * u
@@ -33,11 +42,17 @@ def physical_flux_x(q: np.ndarray, gamma: float = GAMMA_AIR) -> np.ndarray:
 
 
 def _wave_speeds_davis(
-    ql: np.ndarray, qr: np.ndarray, gamma: float
+    ql: np.ndarray,
+    qr: np.ndarray,
+    gamma: float,
+    pl: np.ndarray | None = None,
+    pr: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Davis estimates: ``sl = min(ul - cl, ur - cr)``, ``sr = max(...)``."""
-    pl = primitive_from_conserved(ql, gamma)
-    pr = primitive_from_conserved(qr, gamma)
+    if pl is None:
+        pl = primitive_from_conserved(ql, gamma)
+    if pr is None:
+        pr = primitive_from_conserved(qr, gamma)
     cl = np.sqrt(gamma * pl[3] / pl[0])
     cr = np.sqrt(gamma * pr[3] / pr[0])
     sl = np.minimum(pl[1] - cl, pr[1] - cr)
@@ -45,23 +60,41 @@ def _wave_speeds_davis(
     return sl, sr
 
 
-def rusanov_flux(ql: np.ndarray, qr: np.ndarray, gamma: float = GAMMA_AIR) -> np.ndarray:
+def rusanov_flux(
+    ql: np.ndarray,
+    qr: np.ndarray,
+    gamma: float = GAMMA_AIR,
+    pl: np.ndarray | None = None,
+    pr: np.ndarray | None = None,
+) -> np.ndarray:
     """Local Lax–Friedrichs flux ``0.5*(F(ql)+F(qr)) - 0.5*smax*(qr-ql)``."""
-    pl = primitive_from_conserved(ql, gamma)
-    pr = primitive_from_conserved(qr, gamma)
+    if pl is None:
+        pl = primitive_from_conserved(ql, gamma)
+    if pr is None:
+        pr = primitive_from_conserved(qr, gamma)
     cl = np.sqrt(gamma * pl[3] / pl[0])
     cr = np.sqrt(gamma * pr[3] / pr[0])
     smax = np.maximum(np.abs(pl[1]) + cl, np.abs(pr[1]) + cr)
-    fl = physical_flux_x(ql, gamma)
-    fr = physical_flux_x(qr, gamma)
+    fl = physical_flux_x(ql, gamma, prim=pl)
+    fr = physical_flux_x(qr, gamma, prim=pr)
     return 0.5 * (fl + fr) - 0.5 * smax * (qr - ql)
 
 
-def hll_flux(ql: np.ndarray, qr: np.ndarray, gamma: float = GAMMA_AIR) -> np.ndarray:
+def hll_flux(
+    ql: np.ndarray,
+    qr: np.ndarray,
+    gamma: float = GAMMA_AIR,
+    pl: np.ndarray | None = None,
+    pr: np.ndarray | None = None,
+) -> np.ndarray:
     """Two-wave HLL flux with Davis wave-speed estimates."""
-    sl, sr = _wave_speeds_davis(ql, qr, gamma)
-    fl = physical_flux_x(ql, gamma)
-    fr = physical_flux_x(qr, gamma)
+    if pl is None:
+        pl = primitive_from_conserved(ql, gamma)
+    if pr is None:
+        pr = primitive_from_conserved(qr, gamma)
+    sl, sr = _wave_speeds_davis(ql, qr, gamma, pl=pl, pr=pr)
+    fl = physical_flux_x(ql, gamma, prim=pl)
+    fr = physical_flux_x(qr, gamma, prim=pr)
     # HLL average flux in the star region; guard the degenerate sr == sl case.
     denom = np.where(sr - sl == 0.0, 1.0, sr - sl)
     fstar = (sr * fl - sl * fr + sl * sr * (qr - ql)) / denom
@@ -69,17 +102,25 @@ def hll_flux(ql: np.ndarray, qr: np.ndarray, gamma: float = GAMMA_AIR) -> np.nda
     return out
 
 
-def hllc_flux(ql: np.ndarray, qr: np.ndarray, gamma: float = GAMMA_AIR) -> np.ndarray:
+def hllc_flux(
+    ql: np.ndarray,
+    qr: np.ndarray,
+    gamma: float = GAMMA_AIR,
+    pl: np.ndarray | None = None,
+    pr: np.ndarray | None = None,
+) -> np.ndarray:
     """HLLC flux (Toro, Spruce & Speares): HLL plus a restored contact wave.
 
     Resolves the middle (contact/shear) wave exactly for isolated contacts,
     which matters for the density interface of the shock–bubble problem.
     """
-    pl = primitive_from_conserved(ql, gamma)
-    pr = primitive_from_conserved(qr, gamma)
+    if pl is None:
+        pl = primitive_from_conserved(ql, gamma)
+    if pr is None:
+        pr = primitive_from_conserved(qr, gamma)
     rl, ul, vl, prl = pl[0], pl[1], pl[2], pl[3]
     rr, ur, vr, prr = pr[0], pr[1], pr[2], pr[3]
-    sl, sr = _wave_speeds_davis(ql, qr, gamma)
+    sl, sr = _wave_speeds_davis(ql, qr, gamma, pl=pl, pr=pr)
 
     # Contact wave speed (Toro eq. 10.37).
     num = prr - prl + rl * ul * (sl - ul) - rr * ur * (sr - ur)
@@ -87,8 +128,8 @@ def hllc_flux(ql: np.ndarray, qr: np.ndarray, gamma: float = GAMMA_AIR) -> np.nd
     den = np.where(den == 0.0, 1e-300, den)
     sm = num / den
 
-    fl = physical_flux_x(ql, gamma)
-    fr = physical_flux_x(qr, gamma)
+    fl = physical_flux_x(ql, gamma, prim=pl)
+    fr = physical_flux_x(qr, gamma, prim=pr)
 
     def star_state(q, r, u, v, p, s, sm):
         """Conserved state in the star region behind wave ``s``."""

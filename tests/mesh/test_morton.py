@@ -106,3 +106,47 @@ class TestMortonKey:
                 for y in range(n):
                     seen.add(morton_key(level, x, y, max_level=3))
         assert len(seen) == sum(4**lv for lv in range(4))
+
+
+class TestScalarVectorEquivalence:
+    """The pure-int scalar fast paths must agree with the numpy paths.
+
+    morton_key is the Quadtree hot path (one call per bisect), so it takes
+    a scalar branch that never touches numpy; these tests pin it to the
+    vectorized implementation, including uint64 wraparound semantics.
+    """
+
+    @given(st.lists(st.tuples(coords, coords), min_size=1, max_size=30))
+    @settings(max_examples=25)
+    def test_interleave_deinterleave(self, pts):
+        xs = np.array([p[0] for p in pts], dtype=np.uint64)
+        ys = np.array([p[1] for p in pts], dtype=np.uint64)
+        codes = interleave2(xs, ys)
+        for (x, y), code in zip(pts, codes):
+            assert interleave2(x, y) == int(code)
+            dx, dy = deinterleave2(int(code))
+            vdx, vdy = deinterleave2(np.asarray([code]))
+            assert (dx, dy) == (int(vdx[0]), int(vdy[0])) == (x, y)
+
+    @given(
+        st.integers(min_value=0, max_value=6),
+        st.data(),
+    )
+    @settings(max_examples=25)
+    def test_morton_key_and_codec(self, level, data):
+        n = 2**level
+        x = data.draw(st.integers(min_value=0, max_value=n - 1))
+        y = data.draw(st.integers(min_value=0, max_value=n - 1))
+        max_level = 6
+        k_scalar = morton_key(level, x, y, max_level)
+        k_vec = morton_key(
+            np.asarray([level]), np.asarray([x]), np.asarray([y]), max_level
+        )
+        assert k_scalar == int(k_vec[0])
+        code = morton_encode(level, x, y, max_level)
+        assert code == int(morton_encode([level], [x], [y], max_level)[0])
+        assert morton_decode(code, level, max_level) == (x, y)
+
+    def test_scalar_rejects_coords_outside_level(self):
+        with pytest.raises(ValueError):
+            morton_encode(1, 2, 0, max_level=4)

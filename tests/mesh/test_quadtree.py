@@ -4,7 +4,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.mesh.quadrant import Quadrant, quadrant_children, root_quadrant
+from repro.mesh.quadrant import (
+    Quadrant,
+    is_ancestor,
+    quadrant_children,
+    root_quadrant,
+)
 from repro.mesh.quadtree import Quadtree
 
 
@@ -130,3 +135,30 @@ class TestQueries:
         children = t.refine(root_quadrant())
         t.refine(children[2])
         assert t.level_histogram() == {1: 3, 2: 4}
+
+
+class TestDescendants:
+    def test_descendant_range_matches_scan(self):
+        t = Quadtree()
+        children = t.refine(root_quadrant())
+        t.refine(children[0])
+        t.refine(children[3])
+        for q in [root_quadrant(), *children]:
+            got = [leaf for leaf in t.descendants(q) if is_ancestor(q, leaf)]
+            want = [leaf for leaf in t.leaves if is_ancestor(q, leaf)]
+            assert got == want
+
+    def test_leaf_is_its_own_descendant_range(self):
+        t = Quadtree.uniform(2)
+        q = Quadrant(2, 1, 3)
+        assert t.descendants(q) == (q,)
+
+    def test_unrelated_quadrant_yields_nothing(self):
+        t = Quadtree()
+        children = t.refine(root_quadrant())
+        t.refine(children[0])
+        # children[3] is still a leaf; descendants of a *child of* children[3]
+        # reduces to that covering leaf only (callers filter by ancestry).
+        sub = quadrant_children(children[3])[0]
+        got = [leaf for leaf in t.descendants(sub) if is_ancestor(sub, leaf)]
+        assert got == []
