@@ -1,0 +1,122 @@
+"""Perf baseline: kernel-workspace hyperparameter refit vs the direct path.
+
+Times ``GPRegressor.fit`` in the AL loop's steady state: the training set
+grows one row per iteration, so each refit extends a cached kernel
+workspace (theta-independent distance structure), runs every L-BFGS-B
+objective evaluation as scale-exp-Cholesky over preallocated buffers with
+the fused symmetry-aware gradient, and reuses the optimizer's best
+factorization instead of refactorizing.  The direct path rebuilds the
+kernel matrix and its dense ``(n, n, k)`` gradient stack per evaluation.
+Both paths take identical optimizer trajectories (parity is enforced by
+``tests/gp/test_workspace.py``); the acceptance bar is a >= 3x wall-clock
+speedup at n=600.
+
+Protocol per checkpoint: warm fits at ``n/2`` and ``n-4 .. n-1`` establish
+the steady state (workspace extended, buffers sized), then the fit at
+``n`` is timed; best-of-``REPEATS`` with a fresh model per repeat.
+
+Results: a rendered table (including the fast path's perf counters) in
+``benchmarks/results/perf_gpfit.txt`` plus a machine-readable
+``BENCH_gpfit.json`` at the repo root for trend tracking in CI.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import perf
+from repro.gp import GPRegressor
+
+#: Training-set sizes at which the steady-state refit is timed.
+CHECKPOINTS = (100, 200, 400, 600)
+DIMS = 4
+#: Timed repetitions per (checkpoint, path); best-of damps scheduler noise.
+REPEATS = 3
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_gpfit.json"
+
+
+def _dataset():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 1, (CHECKPOINTS[-1] + 10, DIMS))
+    y = np.sin(X @ np.linspace(1.0, 3.0, DIMS)) + 0.05 * rng.standard_normal(
+        X.shape[0]
+    )
+    return X, y
+
+
+def _timed_fit(X, y, n, use_workspace):
+    """One steady-state refit at size ``n``: warm, then time the last fit."""
+    gp = GPRegressor(n_restarts=0, use_workspace=use_workspace)
+    for m in (n // 2, n - 4, n - 3, n - 2, n - 1):
+        gp.fit(X[:m], y[:m])
+    t0 = time.perf_counter()
+    gp.fit(X[:n], y[:n])
+    return time.perf_counter() - t0
+
+
+def _best_of(X, y, n, use_workspace):
+    return min(_timed_fit(X, y, n, use_workspace) for _ in range(REPEATS))
+
+
+def test_perf_workspace_vs_direct(report):
+    X, y = _dataset()
+    perf.reset()
+    ws_times = {n: _best_of(X, y, n, use_workspace=True) for n in CHECKPOINTS}
+    counters = perf.counters()
+    perf.reset()
+    direct_times = {
+        n: _best_of(X, y, n, use_workspace=False) for n in CHECKPOINTS
+    }
+
+    rows = [f"{'n_train':>8}  {'direct_ms':>10}  {'workspace_ms':>12}  "
+            f"{'speedup':>8}"]
+    checkpoints_json = []
+    for n in CHECKPOINTS:
+        speedup = direct_times[n] / ws_times[n]
+        rows.append(
+            f"{n:>8}  {1e3 * direct_times[n]:>10.1f}  "
+            f"{1e3 * ws_times[n]:>12.1f}  {speedup:>7.2f}x"
+        )
+        checkpoints_json.append(
+            {
+                "n_train": n,
+                "direct_ms": round(1e3 * direct_times[n], 2),
+                "workspace_ms": round(1e3 * ws_times[n], 2),
+                "speedup": round(speedup, 3),
+            }
+        )
+    rows.append("")
+    rows.append("fast-path counters (full workspace sweep):")
+    width = max(len(c) for c in counters)
+    for counter, count in counters.items():
+        rows.append(f"  {counter:<{width}}  {count:>8d}")
+    report("perf_gpfit", "\n".join(rows))
+
+    n_final = CHECKPOINTS[-1]
+    final_speedup = direct_times[n_final] / ws_times[n_final]
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "benchmark": "gp_fit_workspace",
+                "config": {
+                    "dims": DIMS,
+                    "repeats": REPEATS,
+                    "warm_fits": 5,
+                    "n_restarts": 0,
+                },
+                "checkpoints": checkpoints_json,
+                "counters": counters,
+                "speedup": round(final_speedup, 3),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert final_speedup >= 3.0, (
+        f"workspace refit must be >= 3x faster at n={n_final} "
+        f"(got {final_speedup:.2f}x)"
+    )

@@ -188,6 +188,12 @@ class ActiveLearner:
         - ``"impute"`` — train on the GP posterior mean at the point
           instead of the lost observation (censored acquisitions impute
           only the memory response; the observed cost is kept).
+    use_workspace : bool
+        Forwarded to both default :class:`GPRegressor` models: evaluate
+        hyperparameter refits through the cached kernel workspace
+        (:class:`repro.gp.kernels.KernelWorkspace`) extended across
+        acquisitions.  Ignored when ``model_factory`` is given.  Disable
+        to force the direct reference LML path (parity tests).
     """
 
     def __init__(
@@ -207,6 +213,7 @@ class ActiveLearner:
         cache_candidates: bool = True,
         acquisition_faults: AcquisitionFaultModel | None = None,
         on_failure: FailurePolicy | str = FailurePolicy.NEXT_BEST,
+        use_workspace: bool = True,
     ) -> None:
         if hyper_refit_interval < 1:
             raise ValueError("hyper_refit_interval must be >= 1")
@@ -229,11 +236,17 @@ class ActiveLearner:
             self.gpr_mem = model_factory()
         else:
             base_kernel = kernel if kernel is not None else default_kernel()
-            self.gpr_cost = GPRegressor(kernel=base_kernel, n_restarts=n_restarts, rng=rng)
+            self.gpr_cost = GPRegressor(
+                kernel=base_kernel,
+                n_restarts=n_restarts,
+                rng=rng,
+                use_workspace=use_workspace,
+            )
             self.gpr_mem = GPRegressor(
                 kernel=base_kernel.with_theta(base_kernel.theta),
                 n_restarts=n_restarts,
                 rng=rng,
+                use_workspace=use_workspace,
             )
 
         self.acquisition_faults = acquisition_faults

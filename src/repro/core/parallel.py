@@ -15,9 +15,13 @@ across policies).
 
 Spawn-safety: workers are started with the ``spawn`` method (fresh
 interpreters, no inherited locks or BLAS thread state); everything a
-worker needs — the dataset, a module-level worker function, and picklable
-policy factories (classes or :func:`functools.partial`, not lambdas) —
-crosses the process boundary by pickling.
+worker needs — a module-level worker function and picklable policy
+factories (classes or :func:`functools.partial`, not lambdas) — crosses
+the process boundary by pickling.  The shared read-only dataset is
+shipped **once per worker** through the pool initializer
+(:func:`_pool_init`) instead of riding along with every submitted spec,
+so submitting ``S`` specs to ``W`` workers pickles the dataset ``W``
+times, not ``S`` times.
 
 Failure isolation: exceptions are caught *inside* the worker and returned
 as :class:`TrajectoryFailure` values, so one trajectory that raises (or a
@@ -139,6 +143,24 @@ def _run_spec_guarded(
         )
 
 
+#: Dataset installed by :func:`_pool_init` in each worker process.
+_POOL_DATASET: Dataset | None = None
+
+
+def _pool_init(dataset: Dataset) -> None:
+    """Pool initializer: receive the shared dataset once per worker."""
+    global _POOL_DATASET
+    _POOL_DATASET = dataset
+
+
+def _run_spec_pooled(
+    spec: TrajectorySpec,
+) -> tuple[str, Trajectory | TrajectoryFailure]:
+    """Worker entry point reading the dataset shipped by :func:`_pool_init`."""
+    assert _POOL_DATASET is not None, "pool initializer did not run"
+    return _run_spec_guarded(_POOL_DATASET, spec)
+
+
 def default_workers(n_jobs: int) -> int:
     """Worker count capped by the job count and the machine's cores."""
     return max(1, min(n_jobs, os.cpu_count() or 1))
@@ -179,11 +201,12 @@ def run_trajectories(
         results = [_run_spec_guarded(dataset, s) for s in spec_list]
     else:
         with ProcessPoolExecutor(
-            max_workers=max_workers, mp_context=get_context("spawn")
+            max_workers=max_workers,
+            mp_context=get_context("spawn"),
+            initializer=_pool_init,
+            initargs=(dataset,),
         ) as pool:
-            futures = [
-                pool.submit(_run_spec_guarded, dataset, s) for s in spec_list
-            ]
+            futures = [pool.submit(_run_spec_pooled, s) for s in spec_list]
             results = []
             for spec, fut in zip(spec_list, futures):
                 try:

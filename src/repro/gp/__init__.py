@@ -13,10 +13,14 @@ Public API
   :class:`WhiteKernel`, :class:`Sum`, :class:`Product` (also via ``+``/``*``).
 - :class:`GPRegressor` — fit / predict with mean and standard deviation.
 - :func:`default_kernel` — the paper's model: amplitude * RBF + noise.
+- :class:`KernelWorkspace` / :func:`workspace_signature` — cached
+  theta-independent kernel structure backing the hyperparameter-refit
+  fast path (``Kernel.prepare``).
 """
 
 from repro.gp.kernels import (
     Kernel,
+    KernelWorkspace,
     RBF,
     Matern,
     ConstantKernel,
@@ -24,6 +28,7 @@ from repro.gp.kernels import (
     Sum,
     Product,
     default_kernel,
+    workspace_signature,
 )
 from repro.gp.gpr import GPRegressor
 from repro.gp.local import LocalGPRegressor, kmeans
@@ -46,4 +51,6 @@ __all__ = [
     "Product",
     "default_kernel",
     "GPRegressor",
+    "KernelWorkspace",
+    "workspace_signature",
 ]

@@ -24,10 +24,12 @@ from __future__ import annotations
 import numpy as np
 import scipy.linalg
 from scipy.linalg import cho_solve, cholesky, solve_triangular
+from scipy.linalg.blas import dger
+from scipy.linalg.lapack import dpotrf, dpotri, dpotrs
 from scipy.optimize import minimize
 
 from repro import perf
-from repro.gp.kernels import Kernel, default_kernel
+from repro.gp.kernels import Kernel, KernelWorkspace, default_kernel
 
 #: Jitter ladder tried when the covariance is numerically indefinite.
 _JITTERS = (0.0, 1e-10, 1e-8, 1e-6, 1e-4)
@@ -59,6 +61,14 @@ class GPRegressor:
         Allow :meth:`refactor` to extend the stored Cholesky factor in
         O(n^2) when the new training set appends rows to the old one.
         Disable to force from-scratch factorization (equivalence tests).
+    use_workspace : bool
+        Evaluate the LML objective through a :class:`KernelWorkspace`
+        (cached theta-independent kernel structure, fused symmetry-aware
+        gradient traces via LAPACK ``dpotri`` instead of a dense
+        ``cho_solve``-built inverse and an ``(n, n, k)`` gradient stack).
+        The workspace is kept across fits and *extended* when the AL loop
+        appends acquisitions.  Exact to floating-point roundoff; disable
+        to force the direct reference path (parity tests).
 
     Attributes
     ----------
@@ -80,6 +90,7 @@ class GPRegressor:
         restart_every_fit: bool = False,
         rng: np.random.Generator | None = None,
         incremental: bool = True,
+        use_workspace: bool = True,
     ) -> None:
         self.kernel = kernel if kernel is not None else default_kernel()
         self.normalize_y = normalize_y
@@ -87,6 +98,19 @@ class GPRegressor:
         self.restart_every_fit = restart_every_fit
         self.rng = rng
         self.incremental = bool(incremental)
+        self.use_workspace = bool(use_workspace)
+        self._ws: KernelWorkspace | None = None
+        #: Flat capacity buffers viewed as contiguous (n, n) scratch for the
+        #: fused gradient and the in-place LAPACK factorization; sized with
+        #: headroom so the AL loop's one-sample growth reshapes instead of
+        #: reallocating per fit.
+        self._grad_flat: np.ndarray | None = None
+        self._chol_flat: np.ndarray | None = None
+        #: Best (lml, theta, L, alpha, jitter) seen during the current
+        #: fit's LML evaluations; lets :meth:`_factorize` reuse the
+        #: optimizer's own factorization instead of rebuilding it.
+        self._eval_stash: tuple | None = None
+        self._stash_armed = False
         if self.n_restarts > 0 and rng is None:
             raise ValueError("n_restarts > 0 requires an rng")
         self.kernel_: Kernel | None = None
@@ -111,7 +135,12 @@ class GPRegressor:
         """Eq. (8) (and its theta-gradient) at the stored training data."""
         if self.X_train_ is None:
             raise RuntimeError("call fit() first (or use _lml_for_data)")
-        return self._lml(theta, self.X_train_, self._centered_y(), eval_gradient)
+        ws = self._ws
+        if not self.use_workspace or ws is None or ws.n != self.X_train_.shape[0]:
+            ws = None
+        return self._lml(
+            theta, self.X_train_, self._centered_y(), eval_gradient, ws=ws
+        )
 
     def _centered_y(self) -> np.ndarray:
         assert self.y_train_ is not None
@@ -123,7 +152,13 @@ class GPRegressor:
         X: np.ndarray,
         y: np.ndarray,
         eval_gradient: bool,
+        ws: KernelWorkspace | None = None,
     ):
+        perf.incr("lml_eval")
+        if eval_gradient:
+            perf.incr("lml_grad")
+        if ws is not None and ws.n == X.shape[0]:
+            return self._lml_ws(theta, ws, y, eval_gradient)
         kernel = self.kernel.with_theta(theta)
         if eval_gradient:
             K, K_grad = kernel(X, eval_gradient=True)
@@ -149,6 +184,102 @@ class GPRegressor:
         grad = 0.5 * np.einsum("ij,ijk->k", inner, K_grad)
         return lml, grad
 
+    def _lml_ws(
+        self,
+        theta: np.ndarray,
+        ws: KernelWorkspace,
+        y: np.ndarray,
+        eval_gradient: bool,
+    ):
+        """Workspace fast path for :meth:`_lml` — same math, fused.
+
+        The kernel matrix comes out of the workspace's preallocated
+        buffers (no pairwise-distance rebuild), ``K^{-1}`` comes from
+        LAPACK ``dpotri`` on the already-computed Cholesky factor (n³/3
+        flops on one triangle instead of the ~2n³ dense ``cho_solve``
+        against the identity), and the gradient trace is evaluated
+        per-component by :meth:`KernelWorkspace.grad_dot` without the
+        ``(n, n, n_theta)`` stack.
+        """
+        n = y.shape[0]
+        # Factorize onto a persistent buffer with raw LAPACK: the kernel
+        # tree writes K straight into the buffer (no copy for the common
+        # structures) and dpotrf on the transposed (Fortran-contiguous)
+        # view overwrites it in place -- no scipy wrapper allocations.  Lw
+        # ends up holding the lower factor, zeros above.  Jitter retries
+        # re-evaluate the workspace value (rare: the ladder's first rung
+        # succeeds whenever the kernel carries a noise term).
+        flat = self._chol_flat
+        if flat is None or flat.size < n * n:
+            cap = max(int(1.5 * n) + 8, 64)
+            flat = np.empty(cap * cap)
+            self._chol_flat = flat
+        Lw = flat[: n * n].reshape(n, n)
+        L = None
+        for jitter in _JITTERS:
+            ws.kernel_matrix(theta, out=Lw)
+            if jitter:
+                np.einsum("ii->i", Lw)[...] += jitter
+            _, info = dpotrf(Lw.T, lower=0, clean=1, overwrite_a=1)
+            if info == 0:
+                L = Lw
+                break
+            if info < 0:  # pragma: no cover - malformed input, not indefinite
+                raise ValueError(f"dpotrf: illegal argument {-info}")
+        if L is None:
+            if eval_gradient:
+                return -np.inf, np.zeros_like(theta)
+            return -np.inf
+        alpha, info = dpotrs(L.T, y, lower=0)
+        if info != 0:  # pragma: no cover - factor is valid by construction
+            raise ValueError(f"dpotrs: illegal argument {-info}")
+        lml = (
+            -0.5 * float(y @ alpha)
+            - float(np.log(np.einsum("ii->i", L)).sum())
+            - 0.5 * n * np.log(2.0 * np.pi)
+        )
+        if self._stash_armed and (
+            self._eval_stash is None or lml > self._eval_stash[0]
+        ):
+            # Keep the factorization of the best theta seen so far; if the
+            # optimizer settles on it, _factorize() reuses it for free.
+            # Copied before dpotri destroys L below.
+            self._eval_stash = (lml, theta.copy(), L.copy(), alpha, jitter)
+        if not eval_gradient:
+            return lml
+        flat = self._grad_flat
+        if flat is None or flat.size < n * n:
+            cap = max(int(1.5 * n) + 8, 64)
+            flat = np.empty(cap * cap)
+            self._grad_flat = flat
+        inner = flat[: n * n].reshape(n, n)
+        # In-place inverse from the factor: ``dpotri`` on the transposed
+        # view overwrites L's memory (n^3/2 flops on one triangle, no
+        # wrapper copy) instead of the ~2n^3 dense ``cho_solve`` against
+        # the identity.  ``tri`` ends up holding the lower triangle of
+        # K^{-1} with zeros above, C-contiguous.
+        _, info = dpotri(L.T, lower=0, overwrite_c=1)
+        tri = L
+        if info != 0:  # pragma: no cover - dpotri cannot fail on a chol factor
+            L2 = self._chol(ws.kernel_matrix(theta))
+            Kinv = cho_solve((L2, True), np.eye(n), check_finite=False)
+            np.multiply(alpha[:, None], alpha[None, :], out=inner)
+            inner -= Kinv
+        else:
+            # grad_dot only consumes the symmetric part and the diagonal of
+            # ``inner`` (symmetric-weight sums, total sums, traces), so pass
+            # A = alpha alpha^T - 2*tri + diag(tri) whose symmetrization is
+            # alpha alpha^T - K^{-1} -- no mirror pass, no second buffer.
+            # BLAS dger folds the rank-1 alpha alpha^T into the scaled
+            # triangle in one read-modify-write pass (inner.T is the
+            # Fortran-ordered view dger updates in place; x == y makes the
+            # transpose immaterial).
+            np.multiply(tri, -2.0, out=inner)
+            inner = dger(1.0, alpha, alpha, a=inner.T, overwrite_a=1).T
+            np.einsum("ii->i", inner)[...] += np.einsum("ii->i", tri)
+        grad = 0.5 * ws.grad_dot(inner, theta)
+        return lml, grad
+
     @staticmethod
     def _chol_jitter(K: np.ndarray) -> tuple[np.ndarray, float] | None:
         """Cholesky with a jitter ladder; None if hopeless.
@@ -160,10 +291,9 @@ class GPRegressor:
         """
         n = K.shape[0]
         for jitter in _JITTERS:
+            Kj = K if jitter == 0.0 else K + jitter * np.eye(n)
             try:
-                L = cholesky(
-                    K + jitter * np.eye(n), lower=True, check_finite=False
-                )
+                L = cholesky(Kj, lower=True, check_finite=False)
                 return L, jitter
             except _CHOL_ERRORS:
                 continue
@@ -200,8 +330,12 @@ class GPRegressor:
         if start.n_theta == 0 or X.shape[0] == 1:
             # Nothing to optimize (or degenerate data): keep the prior.
             self.kernel_ = start
+            self._eval_stash = None
         else:
-            best_theta, best_lml = self._optimize(start.theta, X, yc, bounds)
+            ws = self._ensure_workspace(start, X)
+            self._eval_stash = None
+            self._stash_armed = ws is not None
+            best_theta, best_lml = self._optimize(start.theta, X, yc, bounds, ws)
             restarts = (
                 self.n_restarts
                 if (self._fit_count == 0 or self.restart_every_fit)
@@ -210,19 +344,50 @@ class GPRegressor:
             for _ in range(restarts):
                 assert self.rng is not None
                 theta0 = self.rng.uniform(bounds[:, 0], bounds[:, 1])
-                theta, lml = self._optimize(theta0, X, yc, bounds)
+                theta, lml = self._optimize(theta0, X, yc, bounds, ws)
                 if lml > best_lml:
                     best_theta, best_lml = theta, lml
+            self._stash_armed = False
             self.kernel_ = start.with_theta(best_theta)
+            # Validate the stash against the optimizer's raw theta: the
+            # kernel_ roundtrip through exp/log may perturb the last ulp,
+            # but the stashed factorization is for exactly this optimum.
+            if self._eval_stash is not None and not np.array_equal(
+                self._eval_stash[1], best_theta
+            ):
+                self._eval_stash = None
 
         self._factorize(X, yc)
+        self._eval_stash = None
         self.last_factor_mode_ = "fit"
         self._fit_count += 1
         return self
 
+    def _stashed_factors(self, n: int):
+        """The optimizer's own ``(L, alpha, jitter)`` for ``kernel_``, or None.
+
+        Valid only when the best LML evaluation of the fit that just ran
+        used exactly the theta the optimizer settled on (the common case:
+        L-BFGS-B returns its best evaluated point) and matches the current
+        training-set size; otherwise :meth:`_factorize` rebuilds directly.
+        """
+        stash = self._eval_stash
+        if stash is None or self.kernel_ is None:
+            return None
+        _, _, L, alpha, jitter = stash
+        if L.shape[0] != n:
+            return None
+        return L, alpha, jitter
+
     def _factorize(self, X: np.ndarray, yc: np.ndarray) -> None:
         """From-scratch factorization of the covariance at ``kernel_``."""
         assert self.kernel_ is not None
+        stashed = self._stashed_factors(X.shape[0])
+        if stashed is not None:
+            self._L, self._alpha, self._factor_jitter = stashed
+            self._L_buf = self._L
+            self._eval_stash = None
+            return
         K = self.kernel_(X)
         out = self._chol_jitter(K)
         if out is None:
@@ -327,9 +492,30 @@ class GPRegressor:
         self._fit_count += 1
         return True
 
-    def _optimize(self, theta0, X, yc, bounds) -> tuple[np.ndarray, float]:
+    def _ensure_workspace(self, kernel: Kernel, X: np.ndarray):
+        """The (possibly extended) workspace for ``X``, or None.
+
+        Reuses the stored workspace when its kernel structure still
+        matches — extending it in place when ``X`` appends rows to the
+        previous training set, the AL loop's steady state.  Unsupported
+        kernel structures disable the fast path for this model.
+        """
+        if not self.use_workspace:
+            return None
+        if self._ws is not None and self._ws.matches(kernel):
+            perf.incr(f"ws_{self._ws.update(X)}")
+            return self._ws
+        try:
+            self._ws = kernel.prepare(X)
+        except NotImplementedError:
+            self.use_workspace = False
+            return None
+        perf.incr("ws_rebuild")
+        return self._ws
+
+    def _optimize(self, theta0, X, yc, bounds, ws=None) -> tuple[np.ndarray, float]:
         def objective(theta):
-            lml, grad = self._lml(theta, X, yc, eval_gradient=True)
+            lml, grad = self._lml(theta, X, yc, eval_gradient=True, ws=ws)
             return -lml, -grad
 
         theta0 = np.clip(theta0, bounds[:, 0], bounds[:, 1])

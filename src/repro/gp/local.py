@@ -82,6 +82,9 @@ class LocalGPRegressor:
         Drives clustering and local LML restarts.
     n_restarts : int
         Restarts of each local model's first fit.
+    use_workspace : bool
+        Forwarded to every per-region :class:`GPRegressor` (kernel-workspace
+        LML fast path).
     """
 
     def __init__(
@@ -91,6 +94,7 @@ class LocalGPRegressor:
         blend: int = 2,
         rng: np.random.Generator | None = None,
         n_restarts: int = 1,
+        use_workspace: bool = True,
     ) -> None:
         if n_regions < 1:
             raise ValueError("n_regions must be >= 1")
@@ -102,6 +106,7 @@ class LocalGPRegressor:
         self.blend = int(blend)
         self.rng = rng
         self.n_restarts = int(n_restarts)
+        self.use_workspace = bool(use_workspace)
         self._template = kernel if kernel is not None else default_kernel()
         self.centroids_: np.ndarray | None = None
         self.models_: list[GPRegressor] = []
@@ -128,6 +133,7 @@ class LocalGPRegressor:
                 kernel=self._template.with_theta(self._template.theta),
                 rng=self.rng,
                 n_restarts=self.n_restarts,
+                use_workspace=self.use_workspace,
             )
             gp.fit(X[members], y[members])
             self.models_.append(gp)

@@ -54,6 +54,9 @@ class SparseGPRegressor:
         training points in an exact GP.
     normalize_y : bool
         Center targets before fitting (restored at prediction).
+    use_workspace : bool
+        Forwarded to the inner exact :class:`GPRegressor` doing the
+        subset-of-data hyperparameter fit (kernel-workspace LML fast path).
     """
 
     def __init__(
@@ -63,6 +66,7 @@ class SparseGPRegressor:
         rng: np.random.Generator | None = None,
         sod_factor: int = 3,
         normalize_y: bool = True,
+        use_workspace: bool = True,
     ) -> None:
         if n_inducing < 1:
             raise ValueError("n_inducing must be >= 1")
@@ -75,6 +79,7 @@ class SparseGPRegressor:
         self.rng = rng
         self.sod_factor = int(sod_factor)
         self.normalize_y = normalize_y
+        self.use_workspace = bool(use_workspace)
 
         self.kernel_: Kernel | None = None
         self.inducing_: np.ndarray | None = None
@@ -111,6 +116,7 @@ class SparseGPRegressor:
             ),
             rng=self.rng,
             n_restarts=1 if self.kernel_ is None else 0,
+            use_workspace=self.use_workspace,
         )
         exact.fit(X[sod], y[sod])
         self.kernel_ = exact.kernel_

@@ -58,6 +58,9 @@ class TreedGPRegressor:
     rng : numpy.random.Generator
     n_restarts : int
         LML restarts for each leaf's first fit.
+    use_workspace : bool
+        Forwarded to every leaf :class:`GPRegressor` (kernel-workspace LML
+        fast path).
     """
 
     def __init__(
@@ -67,6 +70,7 @@ class TreedGPRegressor:
         kernel: Kernel | None = None,
         rng: np.random.Generator | None = None,
         n_restarts: int = 1,
+        use_workspace: bool = True,
     ) -> None:
         if max_leaf_size < 2 * min_leaf_size:
             raise ValueError("max_leaf_size must be >= 2 * min_leaf_size")
@@ -79,6 +83,7 @@ class TreedGPRegressor:
         self._template = kernel if kernel is not None else default_kernel()
         self.rng = rng
         self.n_restarts = int(n_restarts)
+        self.use_workspace = bool(use_workspace)
         self.root_: _Node | None = None
 
     # ------------------------------------------------------------------- fit
@@ -104,6 +109,7 @@ class TreedGPRegressor:
             kernel=self._template.with_theta(self._template.theta),
             rng=self.rng,
             n_restarts=self.n_restarts,
+            use_workspace=self.use_workspace,
         )
         gp.fit(X, y)
         return _Node(depth=depth, model=gp, n_points=X.shape[0])

@@ -47,6 +47,20 @@ PHASES = (
     "amr_regrid",
 )
 
+#: Canonical event-counter names (no wall time attached): the GP layer
+#: counts LML objective/gradient evaluations and how each fit obtained its
+#: kernel workspace (``ws_hit`` — already covering the training set,
+#: ``ws_extend`` — appended rows only, ``ws_rebuild`` — from scratch), so
+#: hyperparameter-refit cost regressions show up as counter shifts rather
+#: than having to be inferred from wall time.
+COUNTERS = (
+    "lml_eval",
+    "lml_grad",
+    "ws_hit",
+    "ws_extend",
+    "ws_rebuild",
+)
+
 
 @dataclass(frozen=True)
 class PhaseStat:
@@ -67,12 +81,18 @@ class PerfRegistry:
         self._lock = threading.Lock()
         self._calls: dict[str, int] = {}
         self._seconds: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
 
     def add(self, phase: str, seconds: float, calls: int = 1) -> None:
         """Record ``calls`` invocations of ``phase`` totalling ``seconds``."""
         with self._lock:
             self._calls[phase] = self._calls.get(phase, 0) + calls
             self._seconds[phase] = self._seconds.get(phase, 0.0) + seconds
+
+    def incr(self, counter: str, n: int = 1) -> None:
+        """Bump an event counter (see :data:`COUNTERS`) by ``n``."""
+        with self._lock:
+            self._counts[counter] = self._counts.get(counter, 0) + n
 
     @contextmanager
     def timer(self, phase: str):
@@ -91,23 +111,41 @@ class PerfRegistry:
                 for p in sorted(self._calls)
             }
 
+    def counters(self) -> dict[str, int]:
+        """Immutable copy of the event counters."""
+        with self._lock:
+            return dict(sorted(self._counts.items()))
+
     def reset(self) -> None:
         with self._lock:
             self._calls.clear()
             self._seconds.clear()
+            self._counts.clear()
 
     def report(self) -> str:
-        """Render the counters as an aligned text table."""
+        """Render timers and event counters as aligned text tables."""
         snap = self.snapshot()
-        if not snap:
+        counts = self.counters()
+        if not snap and not counts:
             return "(no phases recorded)"
-        width = max(len(p) for p in snap)
-        lines = [f"{'phase':<{width}}  {'calls':>7}  {'total_s':>9}  {'mean_ms':>8}"]
-        for phase, stat in snap.items():
+        lines = []
+        if snap:
+            width = max(len(p) for p in snap)
             lines.append(
-                f"{phase:<{width}}  {stat.calls:>7d}  {stat.seconds:>9.4f}  "
-                f"{stat.mean_ms:>8.3f}"
+                f"{'phase':<{width}}  {'calls':>7}  {'total_s':>9}  {'mean_ms':>8}"
             )
+            for phase, stat in snap.items():
+                lines.append(
+                    f"{phase:<{width}}  {stat.calls:>7d}  {stat.seconds:>9.4f}  "
+                    f"{stat.mean_ms:>8.3f}"
+                )
+        if counts:
+            if lines:
+                lines.append("")
+            width = max(len(c) for c in counts)
+            lines.append(f"{'counter':<{width}}  {'events':>8}")
+            for counter, n in counts.items():
+                lines.append(f"{counter:<{width}}  {n:>8d}")
         return "\n".join(lines)
 
 
@@ -124,8 +162,17 @@ def add(phase: str, seconds: float, calls: int = 1) -> None:
     REGISTRY.add(phase, seconds, calls)
 
 
+def incr(counter: str, n: int = 1) -> None:
+    """``perf.incr("lml_eval")`` against the default registry."""
+    REGISTRY.incr(counter, n)
+
+
 def snapshot() -> dict[str, PhaseStat]:
     return REGISTRY.snapshot()
+
+
+def counters() -> dict[str, int]:
+    return REGISTRY.counters()
 
 
 def reset() -> None:

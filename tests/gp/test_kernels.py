@@ -189,3 +189,45 @@ class TestDefaultKernel:
     def test_anisotropic_matern_rejected(self):
         with pytest.raises(ValueError):
             default_kernel(anisotropic_dims=3, matern_nu=1.5)
+
+
+class TestAnisotropicGradientVectorization:
+    """The single-einsum ARD gradient must equal the per-dimension loop."""
+
+    def _loop_reference(self, kernel, X):
+        """Pre-vectorization reference: one slice per dimension."""
+        ls = kernel.length_scale
+        K = kernel(X)
+        grads = np.empty(K.shape + (ls.shape[0],))
+        for k in range(ls.shape[0]):
+            diff_k = (X[:, k][:, None] - X[:, k][None, :]) / ls[k]
+            grads[:, :, k] = K * diff_k**2
+        return K, grads
+
+    def test_einsum_matches_scalar_loop(self):
+        X = random_X(n=15, d=4, seed=9)
+        kernel = RBF([0.3, 0.7, 1.1, 2.0])
+        K_vec, G_vec = kernel(X, eval_gradient=True)
+        K_ref, G_ref = self._loop_reference(kernel, X)
+        assert np.allclose(K_vec, K_ref, rtol=1e-12, atol=1e-14)
+        assert np.allclose(G_vec, G_ref, rtol=1e-12, atol=1e-14)
+
+    def test_equal_scales_match_isotropic(self):
+        """ARD with all scales equal reduces to the isotropic kernel: the
+        iso gradient is the sum of the per-dimension ARD slices."""
+        X = random_X(n=12, d=3, seed=10)
+        iso = RBF(0.6)
+        ard = RBF([0.6, 0.6, 0.6])
+        K_iso, G_iso = iso(X, eval_gradient=True)
+        K_ard, G_ard = ard(X, eval_gradient=True)
+        assert np.allclose(K_iso, K_ard, rtol=1e-12, atol=1e-14)
+        assert np.allclose(
+            G_iso[:, :, 0], G_ard.sum(axis=2), rtol=1e-10, atol=1e-12
+        )
+
+    def test_einsum_matches_numeric_gradient(self):
+        X = random_X(n=10, d=3, seed=12)
+        kernel = RBF([0.4, 0.9, 1.6])
+        _, G = kernel(X, eval_gradient=True)
+        G_num = numeric_gradient(kernel, X)
+        assert np.allclose(G, G_num, rtol=1e-5, atol=1e-7)
