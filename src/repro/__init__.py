@@ -33,8 +33,9 @@ Quickstart::
     print(trajectory.final_rmse_cost, trajectory.total_regret)
 """
 
-from repro import perf
+from repro import obs
 from repro.core import (
+    ALConfig,
     ActiveLearner,
     BatchConfig,
     BatchResult,
@@ -72,6 +73,7 @@ from repro.machine import EDISON, JobConfig, JobRunner
 __version__ = "1.0.0"
 
 __all__ = [
+    "ALConfig",
     "ActiveLearner",
     "BatchConfig",
     "BatchResult",
@@ -87,7 +89,7 @@ __all__ = [
     "random_partition",
     "run_batch",
     "run_trajectories",
-    "perf",
+    "obs",
     "Dataset",
     "ParameterSpace",
     "TABLE1_SPACE",

@@ -18,7 +18,7 @@ Two stepping backends are provided (``AmrConfig.batched``):
   reference implementation.
 
 Both backends produce bit-for-bit identical states and statistics; the
-phases of either path are timed through :mod:`repro.perf` (``amr_plan``,
+phases of either path are timed through :mod:`repro.obs` (``amr_plan``,
 ``amr_exchange``, ``amr_sweep``, ``amr_dt``, ``amr_regrid``).
 """
 
@@ -29,7 +29,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro import perf
+from repro import obs
 from repro.amr.batch import PatchStack
 from repro.amr.ghost import exchange_ghosts
 from repro.amr.patch import Patch
@@ -158,7 +158,7 @@ class AmrDriver:
         """The current :class:`PatchStack`, (re)built if the hierarchy changed."""
         if self._stack is None or not self._stack.covers(self.patches):
             cfg = self.config
-            with perf.timer("amr_plan"):
+            with obs.timed("amr_plan", cat="amr"):
                 self._stack = PatchStack(
                     self.forest, self.patches, cfg.mx, cfg.ng, cfg.bcs
                 )
@@ -209,7 +209,7 @@ class AmrDriver:
     def regrid(self) -> None:
         """One full regrid pass: tag, refine, coarsen, rebalance."""
         cfg = self.config
-        with perf.timer("amr_regrid"):
+        with obs.timed("amr_regrid", cat="amr"):
             if cfg.batched:
                 # One vectorized pass over the stacked interiors.  stack.keys
                 # preserves the patches-dict iteration order, and the batched
@@ -259,7 +259,7 @@ class AmrDriver:
     def compute_dt(self, dt_max: float = np.inf) -> float:
         """Global CFL step: finest-level constraint dominates."""
         cfg = self.config
-        with perf.timer("amr_dt"):
+        with obs.timed("amr_dt", cat="amr"):
             if cfg.batched:
                 return self.stack().compute_dt(cfg.cfl, cfg.gamma, dt_max)
             dt = float(dt_max)
@@ -281,23 +281,23 @@ class AmrDriver:
         if cfg.batched:
             stack = self.stack()
             dt_dx = dt / stack.dx
-            with perf.timer("amr_exchange"):
+            with obs.timed("amr_exchange", cat="amr"):
                 stack.exchange()
-            with perf.timer("amr_sweep"):
+            with obs.timed("amr_sweep", cat="amr"):
                 sweep_x(stack.q, dt_dx, cfg.ng, **kw)
-            with perf.timer("amr_exchange"):
+            with obs.timed("amr_exchange", cat="amr"):
                 stack.exchange()
-            with perf.timer("amr_sweep"):
+            with obs.timed("amr_sweep", cat="amr"):
                 sweep_y(stack.q, dt_dx, cfg.ng, **kw)
         else:
-            with perf.timer("amr_exchange"):
+            with obs.timed("amr_exchange", cat="amr"):
                 self._exchange()
-            with perf.timer("amr_sweep"):
+            with obs.timed("amr_sweep", cat="amr"):
                 for p in self.patches.values():
                     sweep_x(p.q, dt / p.dx, cfg.ng, **kw)
-            with perf.timer("amr_exchange"):
+            with obs.timed("amr_exchange", cat="amr"):
                 self._exchange()
-            with perf.timer("amr_sweep"):
+            with obs.timed("amr_sweep", cat="amr"):
                 for p in self.patches.values():
                     sweep_y(p.q, dt / p.dx, cfg.ng, **kw)
         self.t += dt
@@ -335,23 +335,28 @@ class AmrDriver:
         """
         cfg = self.config
         steps_since_regrid = 0
-        for _ in range(max_steps):
-            if self.t >= t_end - 1e-14:
-                return self.stats
-            regridded = False
-            if steps_since_regrid >= cfg.regrid_interval:
-                self.regrid()
-                steps_since_regrid = 0
-                regridded = True
-            dt = self.compute_dt(dt_max=t_end - self.t)
-            if not np.isfinite(dt) or dt <= 0:
-                raise RuntimeError(f"invalid time step dt={dt} at t={self.t}")
-            self.step(dt, regridded=regridded)
-            steps_since_regrid += 1
-            if callback is not None:
-                callback(self)
-            if not self._all_physical():
-                raise RuntimeError(f"unphysical state at t={self.t}")
+        with obs.span(
+            "amr_run", cat="amr", t_end=t_end, batched=cfg.batched
+        ) as run_span:
+            for k in range(max_steps):
+                if self.t >= t_end - 1e-14:
+                    run_span.annotate(steps=k, num_patches=len(self.patches))
+                    return self.stats
+                with obs.span("amr_step", cat="amr", step=k):
+                    regridded = False
+                    if steps_since_regrid >= cfg.regrid_interval:
+                        self.regrid()
+                        steps_since_regrid = 0
+                        regridded = True
+                    dt = self.compute_dt(dt_max=t_end - self.t)
+                    if not np.isfinite(dt) or dt <= 0:
+                        raise RuntimeError(f"invalid time step dt={dt} at t={self.t}")
+                    self.step(dt, regridded=regridded)
+                    steps_since_regrid += 1
+                    if callback is not None:
+                        callback(self)
+                    if not self._all_physical():
+                        raise RuntimeError(f"unphysical state at t={self.t}")
         raise RuntimeError(f"max_steps={max_steps} exhausted at t={self.t} < {t_end}")
 
     # ---------------------------------------------------------------- output

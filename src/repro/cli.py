@@ -11,6 +11,13 @@ Three subcommands cover the paper's workflow end to end:
   loop's response.
 - ``simulate`` — run one real AMR shock-bubble simulation and report the
   measured work plus the machine model's cost/memory predictions.
+- ``trace`` — exercise every instrumented subsystem once with span
+  tracing enabled and export a Perfetto-loadable Chrome trace (plus an
+  optional metrics JSON): a real AMR job, a fault-retrying resilient
+  execution, and a short Active-Learning run with acquisition faults.
+
+``run`` also accepts ``--trace-out``/``--metrics-out`` to trace a plain
+trajectory.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ import sys
 
 import numpy as np
 
+from repro import obs
 from repro.core import ActiveLearner, POLICIES, RGMA, random_partition
 from repro.data import load_csv, load_npz, render_table1, run_campaign, save_csv, save_npz
 from repro.faults import AcquisitionFaultModel, FaultConfig, RetryPolicy
@@ -130,6 +138,11 @@ def _add_run_cmd(sub: argparse._SubParsersAction) -> None:
                    help="probability an acquisition loses its MaxRSS")
     g.add_argument("--on-failure", choices=["drop", "next_best", "impute"],
                    default="next_best", help="loop response to a failed acquisition")
+    t = p.add_argument_group("observability")
+    t.add_argument("--trace-out", type=str, default=None,
+                   help="enable span tracing; write Chrome-trace JSON here")
+    t.add_argument("--metrics-out", type=str, default=None,
+                   help="write the metrics registry as JSON here")
     p.set_defaults(func=cmd_run)
 
 
@@ -144,6 +157,8 @@ def _load_dataset(path: str | None, rng: np.random.Generator):
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.trace_out:
+        obs.enable_tracing()
     rng = np.random.default_rng(args.seed)
     dataset = _load_dataset(args.dataset, rng)
     if args.policy == "rgma":
@@ -185,6 +200,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"cumulative cost   : {traj.total_cost:.3f} node-hours")
     print(f"cumulative regret : {traj.total_regret:.3f} node-hours")
     print(f"median selection  : {np.median(traj.costs):.4f} node-hours")
+    if args.trace_out:
+        obs.export_chrome_trace(args.trace_out, metadata={"al_config": traj.config})
+        print(f"trace             : {args.trace_out} (load in ui.perfetto.dev)")
+    if args.metrics_out:
+        obs.write_metrics_json(args.metrics_out, obs.METRICS)
+        print(f"metrics           : {args.metrics_out}")
     return 0
 
 
@@ -219,6 +240,92 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_trace_cmd(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "trace",
+        help="demo every instrumented subsystem and export a Chrome trace",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--dataset", type=str, default=None,
+                   help=".csv/.npz (default: generate)")
+    p.add_argument("--iterations", type=int, default=15,
+                   help="AL iterations in the traced trajectory")
+    p.add_argument("--t-end", type=float, default=0.05,
+                   help="simulated end time of the traced AMR job")
+    p.add_argument("--trace-out", type=str, default="trace.json",
+                   help="Chrome-trace JSON output path")
+    p.add_argument("--metrics-out", type=str, default=None,
+                   help="write the metrics registry as JSON here")
+    p.set_defaults(func=cmd_trace)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """One traced pass through every instrumented subsystem.
+
+    The exported trace contains, on one timeline: AMR ``amr_run`` /
+    ``amr_step`` spans with plan/exchange/sweep/dt/regrid phases (from the
+    simulate-mode job), machine ``job_run`` spans, ``resilient_run`` spans
+    with fault/retry instants (crash faults are forced on), and an AL
+    ``trajectory`` with per-iteration ``al_iteration`` / ``gp_fit`` /
+    ``predict`` / ``select`` spans plus acquisition-fault annotations.
+    """
+    from repro.faults import FaultConfig, ResilientJobRunner
+    from repro.machine import JobConfig, JobRunner
+
+    obs.enable_tracing()
+    rng = np.random.default_rng(args.seed)
+    job = JobConfig(p=4, mx=8, maxlevel=3, r0=0.3, rhoin=0.1)
+
+    # 1. One real AMR solve through the machine model: amr_run/amr_step
+    #    span trees nested under a job_run span.
+    record = JobRunner(t_end=args.t_end).run(job, rng, job_id=1, mode="simulate")
+    print(
+        f"simulate job      : wall={record.wall_seconds:.2f} s  "
+        f"rss={record.max_rss_MB:.1f} MB"
+    )
+
+    # 2. Resilient executions with forced crash faults: retry/backoff
+    #    events under resilient_run spans.  Several jobs, so some retries
+    #    land in the trace at any seed.
+    resilient = ResilientJobRunner(
+        runner=JobRunner(),
+        faults=FaultConfig(crash_probability=0.6),
+        retry=RetryPolicy(max_retries=3, backoff_base_s=1.0),
+    )
+    attempts = events = 0
+    for job_id in range(2, 8):
+        rr = resilient.run(job, rng, job_id=job_id)
+        attempts += rr.attempts
+        events += len(rr.events)
+    print(f"resilient jobs    : 6 jobs  attempts={attempts}  fault events={events}")
+
+    # 3. A short AL trajectory with acquisition faults.
+    dataset = _load_dataset(args.dataset, rng)
+    partition = random_partition(rng, len(dataset), n_init=30, n_test=100)
+    learner = ActiveLearner(
+        dataset,
+        partition,
+        policy=POLICIES["rand_goodness"](),
+        rng=rng,
+        max_iterations=args.iterations,
+        acquisition_faults=AcquisitionFaultModel(crash_probability=0.2),
+    )
+    traj = learner.run()
+    print(
+        f"AL trajectory     : {len(traj)} iterations  "
+        f"{len(traj.fault_events)} acquisition faults"
+    )
+
+    obs.export_chrome_trace(args.trace_out, metadata={"al_config": traj.config})
+    print(f"trace             : {args.trace_out} (load in ui.perfetto.dev)")
+    if args.metrics_out:
+        obs.write_metrics_json(args.metrics_out, obs.METRICS)
+        print(f"metrics           : {args.metrics_out}")
+    print()
+    print(obs.report())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -228,6 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_cmd(sub)
     _add_run_cmd(sub)
     _add_simulate_cmd(sub)
+    _add_trace_cmd(sub)
     return parser
 
 

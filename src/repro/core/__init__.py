@@ -41,6 +41,7 @@ from repro.core.metrics import (
     individual_regrets,
 )
 from repro.core.trajectory import IterationRecord, Trajectory, StopReason
+from repro.core.config import ALConfig
 from repro.core.loop import ActiveLearner, CandidateCovarianceCache
 from repro.core.batch import BatchConfig, BatchResult, run_batch
 from repro.core.parallel import TrajectoryFailure, TrajectorySpec, run_trajectories
@@ -55,6 +56,7 @@ from repro.core.stopping import (
 )
 
 __all__ = [
+    "ALConfig",
     "DesignTransform",
     "FeatureScaler",
     "log10_response",

@@ -1,0 +1,107 @@
+"""ALConfig: the resolved configuration of one Active-Learning run.
+
+:class:`~repro.core.loop.ActiveLearner` grew a dozen keyword arguments;
+this dataclass consolidates every knob that is *configuration* (as opposed
+to the run's data inputs — dataset, partition, policy, rng, which remain
+positional on the learner).  Benefits over loose kwargs:
+
+- one value to validate, log, and pass around (``ActiveLearner(...,
+  config=cfg)``; the legacy keywords still work and are mapped onto a
+  config internally);
+- :meth:`ALConfig.describe` renders the resolved configuration as a
+  JSON-able dict, which the learner embeds in its
+  :class:`~repro.core.trajectory.Trajectory` and the CLI embeds in
+  exported Chrome traces — runs are self-describing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Callable
+
+from repro.core.stopping import StoppingRule
+from repro.faults.acquisition import AcquisitionFaultModel, FailurePolicy
+from repro.gp.kernels import Kernel
+
+
+@dataclass(frozen=True)
+class ALConfig:
+    """Every tuning knob of Algorithm 1, in one validated value.
+
+    Field semantics are documented on :class:`~repro.core.loop.ActiveLearner`
+    (they are the learner's former keyword arguments, unchanged).
+    """
+
+    kernel: Kernel | None = None
+    n_restarts: int = 2
+    hyper_refit_interval: int = 1
+    stopping_rule: StoppingRule | None = None
+    max_iterations: int | None = None
+    log2_features: tuple[int, ...] = ()
+    weight_rmse_by_cost: bool = False
+    model_factory: Callable[[], Any] | None = None
+    cache_candidates: bool = True
+    acquisition_faults: AcquisitionFaultModel | None = None
+    on_failure: FailurePolicy = FailurePolicy.NEXT_BEST
+    use_workspace: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_restarts < 0:
+            raise ValueError("n_restarts must be non-negative")
+        if self.hyper_refit_interval < 1:
+            raise ValueError("hyper_refit_interval must be >= 1")
+        if self.max_iterations is not None and self.max_iterations < 0:
+            raise ValueError("max_iterations must be non-negative")
+        # Normalize loosely-typed inputs (frozen, so via object.__setattr__).
+        object.__setattr__(
+            self, "log2_features", tuple(int(c) for c in self.log2_features)
+        )
+        object.__setattr__(self, "on_failure", FailurePolicy(self.on_failure))
+        object.__setattr__(
+            self, "weight_rmse_by_cost", bool(self.weight_rmse_by_cost)
+        )
+        object.__setattr__(self, "cache_candidates", bool(self.cache_candidates))
+        object.__setattr__(self, "use_workspace", bool(self.use_workspace))
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-able summary of the resolved configuration.
+
+        Object-valued fields collapse to names: the kernel to its ``repr``,
+        the stopping rule and model factory to their type/function names,
+        the fault model to its enabled flag.  Embedded in
+        :class:`~repro.core.trajectory.Trajectory` metadata and in exported
+        trace files, so a trajectory (or trace) carries the configuration
+        that produced it.
+        """
+        faults = self.acquisition_faults
+        return {
+            "kernel": None if self.kernel is None else repr(self.kernel),
+            "n_restarts": self.n_restarts,
+            "hyper_refit_interval": self.hyper_refit_interval,
+            "stopping_rule": (
+                None
+                if self.stopping_rule is None
+                else type(self.stopping_rule).__name__
+            ),
+            "max_iterations": self.max_iterations,
+            "log2_features": list(self.log2_features),
+            "weight_rmse_by_cost": self.weight_rmse_by_cost,
+            "model_factory": (
+                None
+                if self.model_factory is None
+                else getattr(
+                    self.model_factory, "__name__", type(self.model_factory).__name__
+                )
+            ),
+            "cache_candidates": self.cache_candidates,
+            "acquisition_faults": (
+                None if faults is None else {"enabled": bool(faults.enabled)}
+            ),
+            "on_failure": self.on_failure.value,
+            "use_workspace": self.use_workspace,
+        }
+
+
+#: Names of the legacy ``ActiveLearner`` keyword arguments that map 1:1
+#: onto :class:`ALConfig` fields (everything except the data inputs).
+LEGACY_KWARGS: tuple[str, ...] = tuple(f.name for f in fields(ALConfig))

@@ -11,8 +11,12 @@ every iteration.
 
 from __future__ import annotations
 
+from dataclasses import replace as _dc_replace
+
 import numpy as np
 
+from repro import obs
+from repro.core.config import ALConfig
 from repro.core.metrics import individual_regret, rmse_nonlog
 from repro.core.partitions import Partition
 from repro.core.policies import CandidateView, RGMA, SelectionPolicy
@@ -28,6 +32,12 @@ from repro.faults.acquisition import (
 from repro.faults.model import FaultEvent, FaultKind
 from repro.gp.gpr import GPRegressor
 from repro.gp.kernels import Kernel, default_kernel
+from repro.gp.surrogate import supports_cross
+
+#: Sentinel distinguishing "legacy kwarg not passed" from any real value,
+#: so explicitly passed legacy kwargs override an ``ALConfig`` while
+#: omitted ones defer to it.
+_UNSET = object()
 
 
 class CandidateCovarianceCache:
@@ -64,9 +74,7 @@ class CandidateCovarianceCache:
 
     @property
     def _cacheable(self) -> bool:
-        return hasattr(self.model, "predict_from_cross") and getattr(
-            self.model, "is_fitted", False
-        )
+        return supports_cross(self.model) and getattr(self.model, "is_fitted", False)
 
     def _fresh(self) -> bool:
         kernel = getattr(self.model, "kernel_", None)
@@ -194,6 +202,12 @@ class ActiveLearner:
         (:class:`repro.gp.kernels.KernelWorkspace`) extended across
         acquisitions.  Ignored when ``model_factory`` is given.  Disable
         to force the direct reference LML path (parity tests).
+    config : ALConfig, optional
+        All of the above knobs as one validated value
+        (:class:`repro.core.config.ALConfig`).  Legacy keywords passed
+        explicitly override the corresponding config fields; the resolved
+        configuration is available as ``self.config`` and embedded in the
+        returned :class:`~repro.core.trajectory.Trajectory`.
     """
 
     def __init__(
@@ -202,55 +216,80 @@ class ActiveLearner:
         partition: Partition,
         policy: SelectionPolicy,
         rng: np.random.Generator,
-        kernel: Kernel | None = None,
-        n_restarts: int = 2,
-        hyper_refit_interval: int = 1,
-        stopping_rule: StoppingRule | None = None,
-        max_iterations: int | None = None,
-        log2_features=(),
-        weight_rmse_by_cost: bool = False,
-        model_factory=None,
-        cache_candidates: bool = True,
-        acquisition_faults: AcquisitionFaultModel | None = None,
-        on_failure: FailurePolicy | str = FailurePolicy.NEXT_BEST,
-        use_workspace: bool = True,
+        kernel: Kernel | None = _UNSET,
+        n_restarts: int = _UNSET,
+        hyper_refit_interval: int = _UNSET,
+        stopping_rule: StoppingRule | None = _UNSET,
+        max_iterations: int | None = _UNSET,
+        log2_features=_UNSET,
+        weight_rmse_by_cost: bool = _UNSET,
+        model_factory=_UNSET,
+        cache_candidates: bool = _UNSET,
+        acquisition_faults: AcquisitionFaultModel | None = _UNSET,
+        on_failure: FailurePolicy | str = _UNSET,
+        use_workspace: bool = _UNSET,
+        config: ALConfig | None = None,
     ) -> None:
-        if hyper_refit_interval < 1:
-            raise ValueError("hyper_refit_interval must be >= 1")
+        overrides = {
+            name: value
+            for name, value in (
+                ("kernel", kernel),
+                ("n_restarts", n_restarts),
+                ("hyper_refit_interval", hyper_refit_interval),
+                ("stopping_rule", stopping_rule),
+                ("max_iterations", max_iterations),
+                ("log2_features", log2_features),
+                ("weight_rmse_by_cost", weight_rmse_by_cost),
+                ("model_factory", model_factory),
+                ("cache_candidates", cache_candidates),
+                ("acquisition_faults", acquisition_faults),
+                ("on_failure", on_failure),
+                ("use_workspace", use_workspace),
+            )
+            if value is not _UNSET
+        }
+        base = config if config is not None else ALConfig()
+        # replace() re-runs ALConfig.__post_init__, so overrides are
+        # validated and normalized exactly like direct construction.
+        cfg = _dc_replace(base, **overrides) if overrides else base
+        self.config = cfg
+
         self.dataset = dataset
         self.partition = partition
         self.policy = policy
         self.rng = rng
-        self.hyper_refit_interval = int(hyper_refit_interval)
-        self.stopping_rule = stopping_rule if stopping_rule is not None else NoEarlyStopping()
-        self.max_iterations = max_iterations
-        self.weight_rmse_by_cost = weight_rmse_by_cost
+        self.hyper_refit_interval = cfg.hyper_refit_interval
+        self.stopping_rule = (
+            cfg.stopping_rule if cfg.stopping_rule is not None else NoEarlyStopping()
+        )
+        self.max_iterations = cfg.max_iterations
+        self.weight_rmse_by_cost = cfg.weight_rmse_by_cost
 
-        self.scaler = DesignTransform(dataset.bounds, log2_columns=log2_features)
+        self.scaler = DesignTransform(dataset.bounds, log2_columns=cfg.log2_features)
         self._U = self.scaler.transform(dataset.X)  # all features, unit cube
         self._log_cost = dataset.log_cost()
         self._log_mem = dataset.log_mem()
 
-        if model_factory is not None:
-            self.gpr_cost = model_factory()
-            self.gpr_mem = model_factory()
+        if cfg.model_factory is not None:
+            self.gpr_cost = cfg.model_factory()
+            self.gpr_mem = cfg.model_factory()
         else:
-            base_kernel = kernel if kernel is not None else default_kernel()
+            base_kernel = cfg.kernel if cfg.kernel is not None else default_kernel()
             self.gpr_cost = GPRegressor(
                 kernel=base_kernel,
-                n_restarts=n_restarts,
+                n_restarts=cfg.n_restarts,
                 rng=rng,
-                use_workspace=use_workspace,
+                use_workspace=cfg.use_workspace,
             )
             self.gpr_mem = GPRegressor(
                 kernel=base_kernel.with_theta(base_kernel.theta),
-                n_restarts=n_restarts,
+                n_restarts=cfg.n_restarts,
                 rng=rng,
-                use_workspace=use_workspace,
+                use_workspace=cfg.use_workspace,
             )
 
-        self.acquisition_faults = acquisition_faults
-        self.on_failure = FailurePolicy(on_failure)
+        self.acquisition_faults = cfg.acquisition_faults
+        self.on_failure = cfg.on_failure
 
         # Mutable AL state.  The cost and memory models keep separate
         # learned lists because a censored acquisition (MaxRSS lost) feeds
@@ -261,7 +300,7 @@ class ActiveLearner:
         self._targets_cost: list[float] = []
         self._learned_mem: list[int] = []
         self._targets_mem: list[float] = []
-        self.cache_candidates = bool(cache_candidates)
+        self.cache_candidates = cfg.cache_candidates
         self._cache_cost = CandidateCovarianceCache(self.gpr_cost)
         self._cache_mem = CandidateCovarianceCache(self.gpr_mem)
 
@@ -296,12 +335,13 @@ class ActiveLearner:
         y_m = np.concatenate(
             [self._log_mem[init], np.asarray(self._targets_mem, dtype=np.float64)]
         )
-        if optimize:
-            self.gpr_cost.fit(self._U[idx_c], y_c)
-            self.gpr_mem.fit(self._U[idx_m], y_m)
-        else:
-            self.gpr_cost.refactor(self._U[idx_c], y_c)
-            self.gpr_mem.refactor(self._U[idx_m], y_m)
+        with obs.span("gp_fit", cat="al", optimize=optimize, n=int(idx_c.shape[0])):
+            if optimize:
+                self.gpr_cost.fit(self._U[idx_c], y_c)
+                self.gpr_mem.fit(self._U[idx_m], y_m)
+            else:
+                self.gpr_cost.refactor(self._U[idx_c], y_c)
+                self.gpr_mem.refactor(self._U[idx_m], y_m)
 
     def _test_rmse(self) -> tuple[float, float, float]:
         t = self.partition.test_idx
@@ -343,6 +383,19 @@ class ActiveLearner:
         incremental-Cholesky fast path (lost samples are *dropped* from
         the cached cross-covariance, never appended) and never aborts.
         """
+        with obs.span(
+            "trajectory",
+            cat="al",
+            policy=self.policy.name,
+            n_init=self.partition.n_init,
+        ) as traj_span:
+            trajectory = self._run()
+            traj_span.annotate(
+                iterations=len(trajectory), stop_reason=trajectory.stop_reason.value
+            )
+            return trajectory
+
+    def _run(self) -> Trajectory:
         self.stopping_rule.reset()
         self._fit_models(optimize=True)
         rmse_c0, rmse_m0, _ = self._test_rmse()
@@ -364,126 +417,146 @@ class ActiveLearner:
 
         iteration = 0
         while self._remaining:
-            if self.max_iterations is not None and iteration >= self.max_iterations:
-                stop = StopReason.MAX_ITERATIONS
-                break
-            view = self._candidate_view()
-            if self.stopping_rule.update(view.mu_cost, view.sigma_cost):
-                stop = StopReason.STOPPING_RULE
-                break
-            pos = self.policy.select(view, self.rng)
-            if pos is None:
-                stop = StopReason.MEMORY_CONSTRAINED
-                break
-            ds_index = self._remaining.pop(pos)
-            outcome = faults.strike(self.rng) if faults_on else AcquisitionOutcome.OK
+            with obs.span(
+                "al_iteration",
+                cat="al",
+                iteration=iteration,
+                pool=len(self._remaining),
+            ):
+                if self.max_iterations is not None and iteration >= self.max_iterations:
+                    stop = StopReason.MAX_ITERATIONS
+                    break
+                view = self._candidate_view()
+                if self.stopping_rule.update(view.mu_cost, view.sigma_cost):
+                    stop = StopReason.STOPPING_RULE
+                    break
+                pos = self.policy.select(view, self.rng)
+                if pos is None:
+                    stop = StopReason.MEMORY_CONSTRAINED
+                    break
+                ds_index = self._remaining.pop(pos)
+                outcome = faults.strike(self.rng) if faults_on else AcquisitionOutcome.OK
 
-            # The experiment ran (or died trying): its node-hours are
-            # spent regardless of whether the observation is usable.
-            cost = float(self.dataset.cost[ds_index])
-            mem = float(self.dataset.mem[ds_index])
-            cum_cost += cost
-            if memory_limit is not None:
-                cum_regret += individual_regret(cost, mem, memory_limit)
+                # The experiment ran (or died trying): its node-hours are
+                # spent regardless of whether the observation is usable.
+                cost = float(self.dataset.cost[ds_index])
+                mem = float(self.dataset.mem[ds_index])
+                cum_cost += cost
+                if memory_limit is not None:
+                    cum_regret += individual_regret(cost, mem, memory_limit)
 
-            crashed = outcome is AcquisitionOutcome.CRASHED
-            censored = outcome is AcquisitionOutcome.CENSORED
-            if crashed and self.on_failure is not FailurePolicy.IMPUTE:
-                # The sample is lost entirely: remove it from the cached
-                # cross-covariances (row only — it never joins the kernel)
-                # and leave both models untouched.
-                if self.cache_candidates:
-                    self._cache_cost.drop(pos)
-                    self._cache_mem.drop(pos)
-                fault_events.append(
-                    FaultEvent(
-                        job_id=int(ds_index),
-                        attempt=iteration,
-                        kind=FaultKind.CRASH,
-                        lost_wall_seconds=float(self.dataset.wall[ds_index]),
-                        nodes=int(self.dataset.X[ds_index, 0]),
-                        detail=f"acquisition crashed ({self.on_failure.value})",
+                crashed = outcome is AcquisitionOutcome.CRASHED
+                censored = outcome is AcquisitionOutcome.CENSORED
+                if crashed and self.on_failure is not FailurePolicy.IMPUTE:
+                    # The sample is lost entirely: remove it from the cached
+                    # cross-covariances (row only — it never joins the kernel)
+                    # and leave both models untouched.
+                    if self.cache_candidates:
+                        self._cache_cost.drop(pos)
+                        self._cache_mem.drop(pos)
+                    obs.event(
+                        "acquisition_fault",
+                        cat="al",
+                        kind="crash",
+                        dataset_index=int(ds_index),
+                        handled=self.on_failure.value,
                     )
-                )
+                    fault_events.append(
+                        FaultEvent(
+                            job_id=int(ds_index),
+                            attempt=iteration,
+                            kind=FaultKind.CRASH,
+                            lost_wall_seconds=float(self.dataset.wall[ds_index]),
+                            nodes=int(self.dataset.X[ds_index, 0]),
+                            detail=f"acquisition crashed ({self.on_failure.value})",
+                        )
+                    )
+                    records.append(
+                        IterationRecord(
+                            iteration=iteration,
+                            dataset_index=int(ds_index),
+                            cost=cost,
+                            mem=mem,
+                            rmse_cost=prev_rmse[0],
+                            rmse_mem=prev_rmse[1],
+                            cumulative_cost=cum_cost,
+                            cumulative_regret=cum_regret,
+                            rmse_cost_weighted=prev_rmse[2],
+                            failed=True,
+                        )
+                    )
+                    if self.on_failure is FailurePolicy.NEXT_BEST:
+                        continue  # replacement selected within the same iteration
+                    iteration += 1  # DROP: the iteration is consumed
+                    continue
+
+                # The sample (or an imputation of it) joins the training sets.
+                u_new = self._U[ds_index]
+                target_cost = float(self._log_cost[ds_index])
+                target_mem = float(self._log_mem[ds_index])
+                learn_mem = True
+                if crashed:  # IMPUTE policy: both observations were lost
+                    target_cost = float(self.gpr_cost.predict(u_new[None, :])[0])
+                    target_mem = float(self.gpr_mem.predict(u_new[None, :])[0])
+                elif censored:  # cost observed, MaxRSS lost
+                    if self.on_failure is FailurePolicy.IMPUTE:
+                        target_mem = float(self.gpr_mem.predict(u_new[None, :])[0])
+                    else:
+                        learn_mem = False
+
+                self._learned.append(ds_index)
+                self._targets_cost.append(target_cost)
+                if learn_mem:
+                    self._learned_mem.append(ds_index)
+                    self._targets_mem.append(target_mem)
+                if self.cache_candidates:
+                    U_rem = self._U[np.asarray(self._remaining, dtype=np.int64)]
+                    self._cache_cost.acquire(pos, U_rem, u_new)
+                    if learn_mem:
+                        self._cache_mem.acquire(pos, U_rem, u_new)
+                    else:
+                        self._cache_mem.drop(pos)
+                if crashed or censored:
+                    obs.event(
+                        "acquisition_fault",
+                        cat="al",
+                        kind="crash" if crashed else "rss_lost",
+                        dataset_index=int(ds_index),
+                        handled=self.on_failure.value,
+                    )
+                    fault_events.append(
+                        FaultEvent(
+                            job_id=int(ds_index),
+                            attempt=iteration,
+                            kind=FaultKind.CRASH if crashed else FaultKind.RSS_LOST,
+                            lost_wall_seconds=(
+                                float(self.dataset.wall[ds_index]) if crashed else 0.0
+                            ),
+                            nodes=int(self.dataset.X[ds_index, 0]),
+                            detail=f"handled via {self.on_failure.value}",
+                        )
+                    )
+
+                optimize = (iteration % self.hyper_refit_interval) == 0
+                self._fit_models(optimize=optimize)
+                rmse_c, rmse_m, rmse_w = self._test_rmse()
+                prev_rmse = (rmse_c, rmse_m, rmse_w)
                 records.append(
                     IterationRecord(
                         iteration=iteration,
                         dataset_index=int(ds_index),
                         cost=cost,
                         mem=mem,
-                        rmse_cost=prev_rmse[0],
-                        rmse_mem=prev_rmse[1],
+                        rmse_cost=rmse_c,
+                        rmse_mem=rmse_m,
                         cumulative_cost=cum_cost,
                         cumulative_regret=cum_regret,
-                        rmse_cost_weighted=prev_rmse[2],
-                        failed=True,
+                        rmse_cost_weighted=rmse_w,
+                        failed=crashed,
+                        censored=censored,
                     )
                 )
-                if self.on_failure is FailurePolicy.NEXT_BEST:
-                    continue  # replacement selected within the same iteration
-                iteration += 1  # DROP: the iteration is consumed
-                continue
-
-            # The sample (or an imputation of it) joins the training sets.
-            u_new = self._U[ds_index]
-            target_cost = float(self._log_cost[ds_index])
-            target_mem = float(self._log_mem[ds_index])
-            learn_mem = True
-            if crashed:  # IMPUTE policy: both observations were lost
-                target_cost = float(self.gpr_cost.predict(u_new[None, :])[0])
-                target_mem = float(self.gpr_mem.predict(u_new[None, :])[0])
-            elif censored:  # cost observed, MaxRSS lost
-                if self.on_failure is FailurePolicy.IMPUTE:
-                    target_mem = float(self.gpr_mem.predict(u_new[None, :])[0])
-                else:
-                    learn_mem = False
-
-            self._learned.append(ds_index)
-            self._targets_cost.append(target_cost)
-            if learn_mem:
-                self._learned_mem.append(ds_index)
-                self._targets_mem.append(target_mem)
-            if self.cache_candidates:
-                U_rem = self._U[np.asarray(self._remaining, dtype=np.int64)]
-                self._cache_cost.acquire(pos, U_rem, u_new)
-                if learn_mem:
-                    self._cache_mem.acquire(pos, U_rem, u_new)
-                else:
-                    self._cache_mem.drop(pos)
-            if crashed or censored:
-                fault_events.append(
-                    FaultEvent(
-                        job_id=int(ds_index),
-                        attempt=iteration,
-                        kind=FaultKind.CRASH if crashed else FaultKind.RSS_LOST,
-                        lost_wall_seconds=(
-                            float(self.dataset.wall[ds_index]) if crashed else 0.0
-                        ),
-                        nodes=int(self.dataset.X[ds_index, 0]),
-                        detail=f"handled via {self.on_failure.value}",
-                    )
-                )
-
-            optimize = (iteration % self.hyper_refit_interval) == 0
-            self._fit_models(optimize=optimize)
-            rmse_c, rmse_m, rmse_w = self._test_rmse()
-            prev_rmse = (rmse_c, rmse_m, rmse_w)
-            records.append(
-                IterationRecord(
-                    iteration=iteration,
-                    dataset_index=int(ds_index),
-                    cost=cost,
-                    mem=mem,
-                    rmse_cost=rmse_c,
-                    rmse_mem=rmse_m,
-                    cumulative_cost=cum_cost,
-                    cumulative_regret=cum_regret,
-                    rmse_cost_weighted=rmse_w,
-                    failed=crashed,
-                    censored=censored,
-                )
-            )
-            iteration += 1
+                iteration += 1
 
         return Trajectory(
             policy_name=self.policy.name,
@@ -493,4 +566,5 @@ class ActiveLearner:
             initial_rmse_cost=rmse_c0,
             initial_rmse_mem=rmse_m0,
             fault_events=tuple(fault_events),
+            config=self.config.describe(),
         )

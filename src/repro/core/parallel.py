@@ -40,6 +40,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.loop import ActiveLearner
 from repro.core.partitions import random_partition
 from repro.core.trajectory import Trajectory
@@ -147,18 +148,32 @@ def _run_spec_guarded(
 _POOL_DATASET: Dataset | None = None
 
 
-def _pool_init(dataset: Dataset) -> None:
-    """Pool initializer: receive the shared dataset once per worker."""
+def _pool_init(dataset: Dataset, trace_enabled: bool = False) -> None:
+    """Pool initializer: receive the shared dataset once per worker.
+
+    ``trace_enabled`` propagates the parent's tracing switch, so spans
+    recorded inside workers ship home with each result (fresh ``spawn``
+    interpreters start with tracing off regardless of the parent).
+    """
     global _POOL_DATASET
     _POOL_DATASET = dataset
+    if trace_enabled:
+        obs.enable_tracing()
 
 
 def _run_spec_pooled(
     spec: TrajectorySpec,
-) -> tuple[str, Trajectory | TrajectoryFailure]:
-    """Worker entry point reading the dataset shipped by :func:`_pool_init`."""
+) -> tuple[str, Trajectory | TrajectoryFailure, dict]:
+    """Worker entry point reading the dataset shipped by :func:`_pool_init`.
+
+    Returns the guarded result plus this task's observability payload
+    (:func:`repro.obs.snapshot_state` with ``reset_after``, so a worker
+    running several specs ships each spec's metrics and spans exactly
+    once).  The parent merges payloads in spec order.
+    """
     assert _POOL_DATASET is not None, "pool initializer did not run"
-    return _run_spec_guarded(_POOL_DATASET, spec)
+    name, result = _run_spec_guarded(_POOL_DATASET, spec)
+    return name, result, obs.snapshot_state(reset_after=True)
 
 
 def default_workers(n_jobs: int) -> int:
@@ -204,22 +219,34 @@ def run_trajectories(
             max_workers=max_workers,
             mp_context=get_context("spawn"),
             initializer=_pool_init,
-            initargs=(dataset,),
+            initargs=(dataset, obs.tracing_enabled()),
         ) as pool:
             futures = [pool.submit(_run_spec_pooled, s) for s in spec_list]
             results = []
+            payloads: list[dict | None] = []
             for spec, fut in zip(spec_list, futures):
                 try:
-                    results.append(fut.result())
+                    name, result, payload = fut.result()
+                    results.append((name, result))
+                    payloads.append(payload)
                 except Exception as exc:  # noqa: BLE001
                     # The worker process itself died (BrokenProcessPool,
-                    # unpicklable result, ...): report, don't hang.
+                    # unpicklable result, ...): report, don't hang.  Its
+                    # observability payload died with it.
                     results.append(
                         (
                             spec.name,
                             TrajectoryFailure(name=spec.name, error=repr(exc)),
                         )
                     )
+                    payloads.append(None)
+            # Fold worker metrics/spans into this process, in spec order —
+            # metric merging is order-independent (sums; gauges keep the
+            # max) and spans land on lane ``spec_index + 1``, so the merged
+            # state is identical for any worker count or completion order.
+            for i, payload in enumerate(payloads):
+                if payload is not None:
+                    obs.merge_state(payload, track=i + 1)
 
     failures = [t for _, t in results if isinstance(t, TrajectoryFailure)]
     if failures and on_error == "raise":

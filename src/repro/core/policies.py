@@ -19,20 +19,22 @@ from typing import Protocol
 
 import numpy as np
 
-from repro import perf
+from repro import obs
 
 
 def timed_select(select):
-    """Credit a policy's ``select`` to the ``select`` perf phase.
+    """Credit a policy's ``select`` to the ``select`` metrics phase.
 
-    Applied to every built-in policy so :func:`repro.perf.report` breaks
+    Applied to every built-in policy so :func:`repro.obs.report` breaks
     the AL hot loop down into fit / refactor / predict / select without
-    the loop having to wrap each call site.
+    the loop having to wrap each call site.  When tracing is enabled the
+    same region also becomes a ``select`` span (annotated with the policy
+    name) nested under the current AL iteration.
     """
 
     @functools.wraps(select)
     def wrapper(self, view: "CandidateView", rng: np.random.Generator):
-        with perf.timer("select"):
+        with obs.timed("select", cat="al", policy=getattr(self, "name", "?")):
             return select(self, view, rng)
 
     return wrapper

@@ -87,6 +87,10 @@ class Trajectory:
     fault_events : tuple of FaultEvent
         Acquisition-level faults struck during the run (empty without an
         enabled fault model).
+    config : dict, optional
+        JSON-able :meth:`~repro.core.config.ALConfig.describe` of the
+        learner configuration that produced this run — trajectories (and
+        the traces exported from them) are self-describing.
     """
 
     policy_name: str
@@ -96,6 +100,7 @@ class Trajectory:
     initial_rmse_cost: float
     initial_rmse_mem: float
     fault_events: tuple[FaultEvent, ...] = field(default=())
+    config: dict | None = field(default=None)
 
     def __len__(self) -> int:
         return len(self.records)

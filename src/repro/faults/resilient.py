@@ -20,6 +20,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro import obs
 from repro.faults.model import FaultConfig, FaultEvent, FaultInjector, FaultKind
 from repro.machine.accounting import JobRecord
 from repro.machine.runner import JobConfig, JobRunner
@@ -142,26 +143,76 @@ class ResilientJobRunner:
         queue_wait = 0.0
         current = config
         attempt = 0
-        while True:
-            record = self.runner.run(current, rng, job_id=job_id)
-            outcome = self._injector.inspect(record, rng)
-            record = outcome.record
-            if outcome.fault is None:
-                return ResilientRun(
-                    record=record,
-                    events=tuple(events),
-                    attempts=attempt + 1,
-                    wasted_node_hours=wasted,
-                    queue_wait_seconds=queue_wait,
-                )
+        with obs.span("resilient_run", cat="faults", job_id=job_id) as run_span:
+            while True:
+                with obs.span("attempt", cat="faults", attempt=attempt, p=current.p):
+                    record = self.runner.run(current, rng, job_id=job_id)
+                    outcome = self._injector.inspect(record, rng)
+                record = outcome.record
+                if outcome.fault is None:
+                    run_span.annotate(attempts=attempt + 1, wasted_node_hours=wasted)
+                    return ResilientRun(
+                        record=record,
+                        events=tuple(events),
+                        attempts=attempt + 1,
+                        wasted_node_hours=wasted,
+                        queue_wait_seconds=queue_wait,
+                    )
 
-            retryable = outcome.fatal or (
-                outcome.fault is FaultKind.RSS_LOST and self.retry.retry_rss_lost
-            )
-            out_of_budget = attempt >= self.retry.max_retries
-            if not retryable or out_of_budget:
-                # Survivable degradation (straggler, kept RSS_LOST) or
-                # retries exhausted: this attempt is the final record.
+                retryable = outcome.fatal or (
+                    outcome.fault is FaultKind.RSS_LOST and self.retry.retry_rss_lost
+                )
+                out_of_budget = attempt >= self.retry.max_retries
+                if not retryable or out_of_budget:
+                    # Survivable degradation (straggler, kept RSS_LOST) or
+                    # retries exhausted: this attempt is the final record.
+                    detail = "gave up" if (retryable and out_of_budget) else "kept"
+                    obs.event(
+                        "fault",
+                        cat="faults",
+                        kind=outcome.fault.name,
+                        attempt=attempt,
+                        detail=detail,
+                    )
+                    events.append(
+                        FaultEvent(
+                            job_id=job_id,
+                            attempt=attempt,
+                            kind=outcome.fault,
+                            lost_wall_seconds=record.wall_seconds if outcome.fatal else 0.0,
+                            nodes=record.nodes,
+                            detail=detail,
+                        )
+                    )
+                    run_span.annotate(attempts=attempt + 1, wasted_node_hours=wasted)
+                    return ResilientRun(
+                        record=record,
+                        events=tuple(events),
+                        attempts=attempt + 1,
+                        wasted_node_hours=wasted,
+                        queue_wait_seconds=queue_wait,
+                    )
+
+                # The attempt is discarded and resubmitted: charge its cost
+                # (an RSS_LOST re-run also spent real node-hours — the job
+                # completed, only its measurement was unusable).
+                wasted += record.cost_node_hours
+                backoff = self.retry.backoff_seconds(attempt + 1)
+                queue_wait += backoff
+                detail = "resubmitted"
+                if outcome.fault is FaultKind.OOM and self.retry.escalate_p_on_oom:
+                    new_p = min(current.p * 2, self.retry.p_max)
+                    if new_p > current.p:
+                        current = replace(current, p=new_p)
+                        detail = f"resubmitted at p={new_p}"
+                obs.event(
+                    "retry",
+                    cat="faults",
+                    kind=outcome.fault.name,
+                    attempt=attempt,
+                    backoff_seconds=backoff,
+                    detail=detail,
+                )
                 events.append(
                     FaultEvent(
                         job_id=job_id,
@@ -169,38 +220,8 @@ class ResilientJobRunner:
                         kind=outcome.fault,
                         lost_wall_seconds=record.wall_seconds if outcome.fatal else 0.0,
                         nodes=record.nodes,
-                        detail="gave up" if (retryable and out_of_budget) else "kept",
+                        backoff_seconds=backoff,
+                        detail=detail,
                     )
                 )
-                return ResilientRun(
-                    record=record,
-                    events=tuple(events),
-                    attempts=attempt + 1,
-                    wasted_node_hours=wasted,
-                    queue_wait_seconds=queue_wait,
-                )
-
-            # The attempt is discarded and resubmitted: charge its cost
-            # (an RSS_LOST re-run also spent real node-hours — the job
-            # completed, only its measurement was unusable).
-            wasted += record.cost_node_hours
-            backoff = self.retry.backoff_seconds(attempt + 1)
-            queue_wait += backoff
-            detail = "resubmitted"
-            if outcome.fault is FaultKind.OOM and self.retry.escalate_p_on_oom:
-                new_p = min(current.p * 2, self.retry.p_max)
-                if new_p > current.p:
-                    current = replace(current, p=new_p)
-                    detail = f"resubmitted at p={new_p}"
-            events.append(
-                FaultEvent(
-                    job_id=job_id,
-                    attempt=attempt,
-                    kind=outcome.fault,
-                    lost_wall_seconds=record.wall_seconds if outcome.fatal else 0.0,
-                    nodes=record.nodes,
-                    backoff_seconds=backoff,
-                    detail=detail,
-                )
-            )
-            attempt += 1
+                attempt += 1

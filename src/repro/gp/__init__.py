@@ -16,6 +16,9 @@ Public API
 - :class:`KernelWorkspace` / :func:`workspace_signature` — cached
   theta-independent kernel structure backing the hyperparameter-refit
   fast path (``Kernel.prepare``).
+- :class:`Surrogate` / :func:`supports_cross` — the protocol every model
+  family satisfies (the surface the AL loop relies on), and the sanctioned
+  probe for the exact-GP cross-covariance fast path.
 """
 
 from repro.gp.kernels import (
@@ -31,6 +34,7 @@ from repro.gp.kernels import (
     workspace_signature,
 )
 from repro.gp.gpr import GPRegressor
+from repro.gp.surrogate import Surrogate, supports_cross
 from repro.gp.local import LocalGPRegressor, kmeans
 from repro.gp.sparse import SparseGPRegressor
 from repro.gp.spectral import SpectralGPRegressor
@@ -38,6 +42,8 @@ from repro.gp.treed import TreedGPRegressor
 
 __all__ = [
     "LocalGPRegressor",
+    "Surrogate",
+    "supports_cross",
     "SparseGPRegressor",
     "SpectralGPRegressor",
     "TreedGPRegressor",

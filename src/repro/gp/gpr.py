@@ -28,7 +28,7 @@ from scipy.linalg.blas import dger
 from scipy.linalg.lapack import dpotrf, dpotri, dpotrs
 from scipy.optimize import minimize
 
-from repro import perf
+from repro import obs
 from repro.gp.kernels import Kernel, KernelWorkspace, default_kernel
 
 #: Jitter ladder tried when the covariance is numerically indefinite.
@@ -111,6 +111,10 @@ class GPRegressor:
         #: optimizer's own factorization instead of rebuilding it.
         self._eval_stash: tuple | None = None
         self._stash_armed = False
+        #: Per-model workspace-acquisition counts (the global obs counters
+        #: aggregate across models; these answer "how did *this* model's
+        #: fits get their workspace" — the Surrogate protocol surface).
+        self._ws_counters = {"ws_hit": 0, "ws_extend": 0, "ws_rebuild": 0}
         if self.n_restarts > 0 and rng is None:
             raise ValueError("n_restarts > 0 requires an rng")
         self.kernel_: Kernel | None = None
@@ -154,35 +158,36 @@ class GPRegressor:
         eval_gradient: bool,
         ws: KernelWorkspace | None = None,
     ):
-        perf.incr("lml_eval")
+        obs.incr("lml_eval")
         if eval_gradient:
-            perf.incr("lml_grad")
-        if ws is not None and ws.n == X.shape[0]:
-            return self._lml_ws(theta, ws, y, eval_gradient)
-        kernel = self.kernel.with_theta(theta)
-        if eval_gradient:
-            K, K_grad = kernel(X, eval_gradient=True)
-        else:
-            K = kernel(X)
-        L = self._chol(K)
-        if L is None:
+            obs.incr("lml_grad")
+        with obs.span("lml_eval", cat="gp", n=y.shape[0], grad=bool(eval_gradient)):
+            if ws is not None and ws.n == X.shape[0]:
+                return self._lml_ws(theta, ws, y, eval_gradient)
+            kernel = self.kernel.with_theta(theta)
             if eval_gradient:
-                return -np.inf, np.zeros_like(theta)
-            return -np.inf
-        alpha = cho_solve((L, True), y, check_finite=False)
-        n = y.shape[0]
-        lml = (
-            -0.5 * float(y @ alpha)
-            - float(np.log(np.diag(L)).sum())
-            - 0.5 * n * np.log(2.0 * np.pi)
-        )
-        if not eval_gradient:
-            return lml
-        # d lml / d theta_j = 0.5 tr((alpha alpha^T - K^-1) dK/dtheta_j)
-        Kinv = cho_solve((L, True), np.eye(n), check_finite=False)
-        inner = np.outer(alpha, alpha) - Kinv
-        grad = 0.5 * np.einsum("ij,ijk->k", inner, K_grad)
-        return lml, grad
+                K, K_grad = kernel(X, eval_gradient=True)
+            else:
+                K = kernel(X)
+            L = self._chol(K)
+            if L is None:
+                if eval_gradient:
+                    return -np.inf, np.zeros_like(theta)
+                return -np.inf
+            alpha = cho_solve((L, True), y, check_finite=False)
+            n = y.shape[0]
+            lml = (
+                -0.5 * float(y @ alpha)
+                - float(np.log(np.diag(L)).sum())
+                - 0.5 * n * np.log(2.0 * np.pi)
+            )
+            if not eval_gradient:
+                return lml
+            # d lml / d theta_j = 0.5 tr((alpha alpha^T - K^-1) dK/dtheta_j)
+            Kinv = cho_solve((L, True), np.eye(n), check_finite=False)
+            inner = np.outer(alpha, alpha) - Kinv
+            grad = 0.5 * np.einsum("ij,ijk->k", inner, K_grad)
+            return lml, grad
 
     def _lml_ws(
         self,
@@ -309,7 +314,7 @@ class GPRegressor:
 
     def fit(self, X, y) -> "GPRegressor":
         """Fit hyperparameters by LML maximization and precompute factors."""
-        with perf.timer("fit"):
+        with obs.timed("fit", cat="gp", n=len(X)):
             return self._fit(X, y)
 
     def _fit(self, X, y) -> "GPRegressor":
@@ -417,10 +422,10 @@ class GPRegressor:
         if X.ndim != 2 or X.shape[0] != y.shape[0]:
             raise ValueError("X must be (n, d) aligned with y (n,)")
         if self._can_extend(X):
-            with perf.timer("rank1_update"):
+            with obs.timed("rank1_update", cat="gp", n=len(X)):
                 if self._extend_factorization(X, y):
                     return self
-        with perf.timer("refactor"):
+        with obs.timed("refactor", cat="gp", n=len(X)):
             self.X_train_ = X
             self.y_train_ = y
             self._y_mean = float(y.mean()) if self.normalize_y else 0.0
@@ -503,14 +508,17 @@ class GPRegressor:
         if not self.use_workspace:
             return None
         if self._ws is not None and self._ws.matches(kernel):
-            perf.incr(f"ws_{self._ws.update(X)}")
+            mode = f"ws_{self._ws.update(X)}"
+            obs.incr(mode)
+            self._ws_counters[mode] += 1
             return self._ws
         try:
             self._ws = kernel.prepare(X)
         except NotImplementedError:
             self.use_workspace = False
             return None
-        perf.incr("ws_rebuild")
+        obs.incr("ws_rebuild")
+        self._ws_counters["ws_rebuild"] += 1
         return self._ws
 
     def _optimize(self, theta0, X, yc, bounds, ws=None) -> tuple[np.ndarray, float]:
@@ -546,7 +554,7 @@ class GPRegressor:
             return mean, np.sqrt(np.maximum(prior.diag(X), 0.0))
         kernel = self.kernel_
         assert kernel is not None and self._alpha is not None
-        with perf.timer("predict"):
+        with obs.timed("predict", cat="gp"):
             Ks = kernel(X, self.X_train_)  # (m, n), no noise (cross-covariance)
             mean = Ks @ self._alpha + self._y_mean
             if not return_std:
@@ -571,7 +579,7 @@ class GPRegressor:
         Ks = np.asarray(Ks, dtype=np.float64)
         if Ks.ndim != 2 or Ks.shape[1] != self._alpha.shape[0]:
             raise ValueError("Ks must be (m, n_train)")
-        with perf.timer("predict"):
+        with obs.timed("predict", cat="gp"):
             mean = Ks @ self._alpha + self._y_mean
             if not return_std:
                 return mean
@@ -586,6 +594,21 @@ class GPRegressor:
     @property
     def is_fitted(self) -> bool:
         return self._L is not None
+
+    @property
+    def supports_cross(self) -> bool:
+        """Exact-GP surface: :meth:`predict_from_cross` is available."""
+        return True
+
+    def workspace_counters(self) -> dict[str, int]:
+        """How this model's fits obtained their kernel workspace.
+
+        ``{"ws_hit", "ws_extend", "ws_rebuild"}`` counts (see
+        :data:`repro.perf.COUNTERS`); all zero when ``use_workspace`` is
+        off or no fit has run.  Part of the
+        :class:`repro.gp.surrogate.Surrogate` protocol.
+        """
+        return dict(self._ws_counters)
 
     def sample_y(self, X, rng: np.random.Generator, n_samples: int = 1) -> np.ndarray:
         """Draw functions from the posterior (or prior) at ``X``.

@@ -83,6 +83,7 @@ class SparseGPRegressor:
 
         self.kernel_: Kernel | None = None
         self.inducing_: np.ndarray | None = None
+        self._sod_exact: GPRegressor | None = None
         self._y_mean = 0.0
         self._noise = 1e-2
         self._L_A: np.ndarray | None = None  # chol of A
@@ -119,6 +120,7 @@ class SparseGPRegressor:
             use_workspace=self.use_workspace,
         )
         exact.fit(X[sod], y[sod])
+        self._sod_exact = exact
         self.kernel_ = exact.kernel_
         # 2. Inducing points at k-means centroids.
         k = min(m, n)
@@ -158,6 +160,20 @@ class SparseGPRegressor:
     @property
     def is_fitted(self) -> bool:
         return self._beta is not None
+
+    @property
+    def supports_cross(self) -> bool:
+        """DTC has no exact cross-covariance surface."""
+        return False
+
+    def predict_from_cross(self, Ks, prior_diag, return_std: bool = False):
+        raise NotImplementedError("SparseGPRegressor has no cross-covariance path")
+
+    def workspace_counters(self) -> dict[str, int]:
+        """Workspace counts of the subset-of-data hyperparameter fit."""
+        if self._sod_exact is None:
+            return {"ws_hit": 0, "ws_extend": 0, "ws_rebuild": 0}
+        return self._sod_exact.workspace_counters()
 
     def predict(self, X, return_std: bool = False):
         """DTC predictive mean (and std) at query points."""

@@ -1,0 +1,95 @@
+"""The ``Surrogate`` protocol: what the AL loop requires of a model.
+
+Historically :class:`~repro.core.loop.ActiveLearner` and
+:class:`~repro.core.loop.CandidateCovarianceCache` duck-typed their models
+with scattered ``hasattr`` checks (``predict_from_cross`` here,
+``is_fitted`` there).  This module names the contract instead:
+
+- :class:`Surrogate` — a :class:`typing.Protocol` (``runtime_checkable``)
+  listing the full surface the loop touches: ``fit`` / ``refactor`` /
+  ``predict`` / ``predict_from_cross``, the ``is_fitted`` /
+  ``supports_cross`` / ``use_workspace`` flags, and the
+  ``workspace_counters()`` introspection hook.
+- :func:`supports_cross` — the single place that decides whether a model
+  offers the exact-GP cross-covariance fast path, replacing the ad-hoc
+  ``hasattr(model, "predict_from_cross")`` probes.
+
+All four built-in model families satisfy the protocol:
+:class:`~repro.gp.gpr.GPRegressor` (exact — the only one with a real
+``predict_from_cross``), :class:`~repro.gp.sparse.SparseGPRegressor`,
+:class:`~repro.gp.local.LocalGPRegressor`, and
+:class:`~repro.gp.treed.TreedGPRegressor` (each declares
+``supports_cross = False`` and raises ``NotImplementedError`` from the
+cross path, which the cache therefore never takes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class Surrogate(Protocol):
+    """Model surface required by the AL loop and its candidate cache.
+
+    ``runtime_checkable``, so conformance is asserted structurally:
+    ``isinstance(model, Surrogate)`` checks that every member below
+    exists (Python cannot check signatures at runtime — the conformance
+    test in ``tests/gp/test_surrogate_protocol.py`` exercises behaviour).
+    """
+
+    #: Route hyperparameter refits through the cached kernel workspace.
+    use_workspace: bool
+
+    @property
+    def is_fitted(self) -> bool:
+        """A prediction-ready factorization exists."""
+        ...
+
+    @property
+    def supports_cross(self) -> bool:
+        """``predict_from_cross`` is a real fast path, not a stub."""
+        ...
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> Any:
+        """Full fit: optimize hyperparameters, then factorize."""
+        ...
+
+    def refactor(self, X: np.ndarray, y: np.ndarray) -> Any:
+        """Refactorize on new data with frozen hyperparameters."""
+        ...
+
+    def predict(self, X: np.ndarray, return_std: bool = False):
+        """Posterior mean (and std) at query points."""
+        ...
+
+    def predict_from_cross(
+        self, Ks: np.ndarray, prior_diag: np.ndarray, return_std: bool = False
+    ):
+        """Posterior from a precomputed cross-covariance (exact GPs only).
+
+        Models with ``supports_cross = False`` raise
+        ``NotImplementedError``; callers must gate on
+        :func:`supports_cross` first.
+        """
+        ...
+
+    def workspace_counters(self) -> dict[str, int]:
+        """``{"ws_hit", "ws_extend", "ws_rebuild"}`` workspace-path counts."""
+        ...
+
+
+def supports_cross(model: Any) -> bool:
+    """Does ``model`` offer the exact-GP cross-covariance fast path?
+
+    The one sanctioned probe (replacing scattered ``hasattr`` checks):
+    honours an explicit ``supports_cross`` attribute when present and
+    falls back to ``hasattr(model, "predict_from_cross")`` for
+    third-party models predating the protocol.
+    """
+    flag = getattr(model, "supports_cross", None)
+    if flag is None:
+        return hasattr(model, "predict_from_cross")
+    return bool(flag)

@@ -22,6 +22,7 @@ from typing import Literal
 
 import numpy as np
 
+from repro import obs
 from repro.machine.accounting import JobRecord, SlurmAccounting
 from repro.machine.memory_model import MemoryModel
 from repro.machine.perf_model import PerformanceModel, WorkEstimate, estimate_work
@@ -177,27 +178,33 @@ class JobRunner:
         apply_accounting_bug : bool
             Pass records through the MaxRSS=0 reporting bug.
         """
-        if mode == "surrogate":
-            work = self.work_estimate(config)
-        elif mode == "simulate":
-            work = self.work_from_simulation(config)
-        else:
-            raise ValueError(f"unknown mode {mode!r}")
+        with obs.span(
+            "job_run", cat="machine", job_id=job_id, p=config.p, mode=mode
+        ) as job_span:
+            if mode == "surrogate":
+                work = self.work_estimate(config)
+            elif mode == "simulate":
+                work = self.work_from_simulation(config)
+            else:
+                raise ValueError(f"unknown mode {mode!r}")
 
-        wall = self._perf().wall_time(work, config.p)
-        rss = self._mem().max_rss_MB(work, config.p)
-        wall *= float(np.exp(rng.normal(0.0, self.wall_noise_sigma)))
-        rss *= float(np.exp(rng.normal(0.0, self.rss_noise_sigma)))
+            wall = self._perf().wall_time(work, config.p)
+            rss = self._mem().max_rss_MB(work, config.p)
+            wall *= float(np.exp(rng.normal(0.0, self.wall_noise_sigma)))
+            rss *= float(np.exp(rng.normal(0.0, self.rss_noise_sigma)))
 
-        failed = memory_limit_MB is not None and rss >= memory_limit_MB
-        record = JobRecord(
-            job_id=job_id,
-            features=config.as_features(),
-            wall_seconds=wall,
-            nodes=config.p,
-            max_rss_MB=rss,
-            failed=failed,
-        )
-        if apply_accounting_bug:
-            record = self._accounting().finalize(record, rng)
-        return record
+            failed = memory_limit_MB is not None and rss >= memory_limit_MB
+            job_span.annotate(
+                wall_seconds=round(wall, 6), max_rss_MB=round(rss, 3), failed=failed
+            )
+            record = JobRecord(
+                job_id=job_id,
+                features=config.as_features(),
+                wall_seconds=wall,
+                nodes=config.p,
+                max_rss_MB=rss,
+                failed=failed,
+            )
+            if apply_accounting_bug:
+                record = self._accounting().finalize(record, rng)
+            return record

@@ -1,0 +1,257 @@
+"""Exporters for the observability layer: Chrome trace, JSONL, metrics JSON.
+
+The span/instant tables of :mod:`repro.obs.spans` serialize into the
+Chrome trace-event format (the JSON object form with a ``traceEvents``
+list), which `Perfetto <https://ui.perfetto.dev>`_ and ``chrome://tracing``
+load directly:
+
+- complete spans become ``ph: "X"`` events with microsecond ``ts``/``dur``;
+- instants become ``ph: "i"`` events with thread scope;
+- each track (process lane) gets a ``process_name`` metadata event so the
+  parent process and every merged worker show up as named rows.
+
+Timestamps inside one track are shifted so the track's earliest event sits
+at ``ts=0`` — tracks from different processes have unrelated monotonic
+epochs, and normalizing per track keeps every lane starting at the origin
+instead of scattered across the timeline.
+
+:func:`validate_chrome_trace` is the schema-sanity gate used by tests and
+CI (``python -m repro.obs.export --check trace.json``): it checks the
+trace-event invariants a viewer actually relies on (types, required keys,
+non-negative times, parentable ids) and returns the violations instead of
+raising, so the CI step can print them all.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Iterable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Instant, Span
+
+#: ph values this exporter emits; validation accepts exactly these.
+_PHASES = {"X", "i", "M", "C"}
+
+
+def _track_offsets(spans: Iterable[Span], instants: Iterable[Instant]) -> dict[int, float]:
+    """Earliest timestamp per track, for per-lane normalization."""
+    t0: dict[int, float] = {}
+    for s in spans:
+        if s.track not in t0 or s.start < t0[s.track]:
+            t0[s.track] = s.start
+    for i in instants:
+        if i.track not in t0 or i.t < t0[i.track]:
+            t0[i.track] = i.t
+    return t0
+
+
+def chrome_trace(
+    spans: Iterable[Span],
+    instants: Iterable[Instant] = (),
+    track_names: dict[int, str] | None = None,
+    metadata: dict | None = None,
+) -> dict:
+    """Build the Chrome trace-event JSON object for ``spans``/``instants``.
+
+    ``track_names`` maps track numbers to display names (track 0 defaults
+    to ``"main"``); ``metadata`` rides along under ``otherData`` — the
+    place the CLI embeds the resolved :class:`~repro.core.config.ALConfig`
+    so exported traces are self-describing.
+    """
+    spans = list(spans)
+    instants = list(instants)
+    offsets = _track_offsets(spans, instants)
+    names = {0: "main"}
+    if track_names:
+        names.update(track_names)
+
+    events: list[dict] = []
+    for track in sorted(offsets):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": track,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": names.get(track, f"worker-{track}")},
+            }
+        )
+    for s in spans:
+        args = {k: v for k, v in s.attrs.items()}
+        args["span_id"] = s.span_id
+        if s.parent_id:
+            args["parent_id"] = s.parent_id
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.cat or "repro",
+                "ph": "X",
+                "ts": round(1e6 * (s.start - offsets[s.track]), 3),
+                "dur": round(1e6 * max(s.duration, 0.0), 3),
+                "pid": s.track,
+                "tid": 0,
+                "args": args,
+            }
+        )
+    for i in instants:
+        args = {k: v for k, v in i.attrs.items()}
+        if i.parent_id:
+            args["parent_id"] = i.parent_id
+        events.append(
+            {
+                "name": i.name,
+                "cat": i.cat or "repro",
+                "ph": "i",
+                "s": "t",
+                "ts": round(1e6 * (i.t - offsets[i.track]), 3),
+                "pid": i.track,
+                "tid": 0,
+                "args": args,
+            }
+        )
+    trace = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if metadata:
+        trace["otherData"] = metadata
+    return trace
+
+
+def write_chrome_trace(
+    path: str,
+    spans: Iterable[Span],
+    instants: Iterable[Instant] = (),
+    track_names: dict[int, str] | None = None,
+    metadata: dict | None = None,
+) -> None:
+    """Serialize :func:`chrome_trace` to ``path`` (Perfetto-loadable)."""
+    trace = chrome_trace(spans, instants, track_names, metadata)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, default=str)
+
+
+def write_jsonl(
+    path: str, spans: Iterable[Span], instants: Iterable[Instant] = ()
+) -> None:
+    """Event log: one JSON object per line, spans then instants, in order.
+
+    The machine-friendly sibling of the Chrome trace — trivially
+    greppable/streamable, no top-level structure to parse.
+    """
+    with open(path, "w", encoding="utf-8") as fh:
+        for s in spans:
+            fh.write(
+                json.dumps(
+                    {
+                        "type": "span",
+                        "name": s.name,
+                        "cat": s.cat,
+                        "start_s": s.start,
+                        "end_s": s.end,
+                        "span_id": s.span_id,
+                        "parent_id": s.parent_id,
+                        "track": s.track,
+                        "attrs": s.attrs,
+                    },
+                    default=str,
+                )
+                + "\n"
+            )
+        for i in instants:
+            fh.write(
+                json.dumps(
+                    {
+                        "type": "instant",
+                        "name": i.name,
+                        "cat": i.cat,
+                        "t_s": i.t,
+                        "parent_id": i.parent_id,
+                        "track": i.track,
+                        "attrs": i.attrs,
+                    },
+                    default=str,
+                )
+                + "\n"
+            )
+
+
+def write_metrics_json(path: str, registry: MetricsRegistry) -> None:
+    """Dump a metrics registry as JSON (phases, counters, gauges, hists)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(registry.to_dict(), fh, indent=2, default=str)
+
+
+# ------------------------------------------------------------- validation
+
+
+def validate_chrome_trace(trace: dict) -> list[str]:
+    """Schema-sanity check of a trace-event JSON object.
+
+    Returns a list of violations (empty = valid).  Checks the invariants
+    a trace viewer relies on: the ``traceEvents`` list, per-event
+    required keys and types, known ``ph`` values, non-negative
+    timestamps/durations, and that every ``parent_id`` refers to a
+    ``span_id`` present in the trace.
+    """
+    errors: list[str] = []
+    if not isinstance(trace, dict):
+        return [f"top level must be an object, got {type(trace).__name__}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    span_ids: set[int] = set()
+    for k, ev in enumerate(events):
+        if isinstance(ev, dict) and ev.get("ph") == "X":
+            sid = ev.get("args", {}).get("span_id")
+            if isinstance(sid, int):
+                span_ids.add(sid)
+    for k, ev in enumerate(events):
+        where = f"traceEvents[{k}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: event must be an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _PHASES:
+            errors.append(f"{where}: unknown ph {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            errors.append(f"{where}: missing/empty name")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                errors.append(f"{where}: {key} must be an int")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where}: ts must be a non-negative number")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: dur must be a non-negative number")
+        if ph == "i" and ev.get("s") not in (None, "t", "p", "g"):
+            errors.append(f"{where}: instant scope s={ev.get('s')!r} invalid")
+        if ph in ("X", "i"):
+            parent = ev.get("args", {}).get("parent_id")
+            if parent is not None and parent not in span_ids:
+                errors.append(f"{where}: parent_id {parent} not a span in this trace")
+    return errors
+
+
+def _main(argv: list[str]) -> int:
+    """``python -m repro.obs.export --check trace.json`` — CI schema gate."""
+    if len(argv) != 2 or argv[0] != "--check":
+        print("usage: python -m repro.obs.export --check <trace.json>", file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as fh:
+        trace = json.load(fh)
+    errors = validate_chrome_trace(trace)
+    if errors:
+        for e in errors:
+            print(f"invalid trace: {e}", file=sys.stderr)
+        return 1
+    n = len(trace.get("traceEvents", []))
+    print(f"{argv[1]}: valid trace-event JSON ({n} events)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via _main in tests
+    raise SystemExit(_main(sys.argv[1:]))

@@ -1,0 +1,267 @@
+"""The tracing half of :mod:`repro.obs`: hierarchical spans and instants.
+
+A :class:`Span` is one timed region of the run — an AL iteration, a GP
+fit, an AMR sweep, a machine job — with a name, a category, wall-clock
+bounds relative to the tracer's epoch, a parent link (so exporters can
+rebuild the call tree), and free-form attributes.  An :class:`Instant` is
+a zero-duration annotation (a fault strike, a retry/backoff decision)
+attached to whatever span was open when it fired.
+
+The :class:`Tracer` owns the span storage and a per-thread context stack
+for parent propagation.  Tracing is *opt-in*: the module-level recorder
+(:mod:`repro.obs.recorder`) holds no tracer by default, and every
+instrumentation helper collapses to a shared no-op in that state, so the
+disabled path costs one attribute load and one branch — unmeasurable
+against the work the spans would wrap — and consumes no RNG, which keeps
+traced and untraced runs bit-identical.
+
+Cross-process story: workers drain their tracer with :meth:`Tracer.drain`
+(closing anything still open as ``truncated``) and ship the picklable
+span lists home; the parent re-ids and re-lanes them with
+:meth:`Tracer.absorb` in a deterministic, caller-chosen order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class Span:
+    """One completed timed region.
+
+    ``start``/``end`` are seconds since the owning tracer's epoch.
+    ``parent_id == 0`` marks a root span; ``track`` is the process lane
+    the span belongs to (0 = this process; worker spans get their lane
+    assigned when the parent absorbs them).
+    """
+
+    name: str
+    cat: str
+    start: float
+    end: float
+    span_id: int
+    parent_id: int = 0
+    track: int = 0
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(slots=True)
+class Instant:
+    """A zero-duration annotation (fault strike, retry, backoff, ...)."""
+
+    name: str
+    cat: str
+    t: float
+    parent_id: int = 0
+    track: int = 0
+    attrs: dict = field(default_factory=dict)
+
+
+class _NoopSpan:
+    """Shared do-nothing span: the disabled path of every helper."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+
+#: The singleton returned by ``obs.span(...)`` while tracing is disabled.
+NOOP_SPAN = _NoopSpan()
+
+
+class _ActiveSpan:
+    """Context manager for one open span on a tracer's stack."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "_attrs", "_id", "_parent", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._attrs = attrs
+
+    def __enter__(self) -> "_ActiveSpan":
+        t = self._tracer
+        self._id = t._new_id()
+        stack = t._stack()
+        self._parent = stack[-1] if stack else 0
+        stack.append(self._id)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        t1 = time.perf_counter()
+        t = self._tracer
+        stack = t._stack()
+        if stack and stack[-1] == self._id:
+            stack.pop()
+        t._record(
+            Span(
+                name=self._name,
+                cat=self._cat,
+                start=self._t0 - t.epoch,
+                end=t1 - t.epoch,
+                span_id=self._id,
+                parent_id=self._parent,
+                attrs=self._attrs,
+            )
+        )
+        return False
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes to the span while it is open."""
+        self._attrs.update(attrs)
+
+
+class Tracer:
+    """Span collector for one process: storage, ids, and context stacks."""
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._instants: list[Instant] = []
+        self._next = 1
+        self._local = threading.local()
+
+    # ------------------------------------------------------------- internals
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _new_id(self) -> int:
+        with self._lock:
+            sid = self._next
+            self._next += 1
+            return sid
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    # ------------------------------------------------------------ recording
+
+    def span(self, name: str, cat: str = "", attrs: dict | None = None) -> _ActiveSpan:
+        """Open a child span of whatever is on this thread's stack."""
+        return _ActiveSpan(self, name, cat, attrs if attrs is not None else {})
+
+    def instant(self, name: str, cat: str = "", attrs: dict | None = None) -> None:
+        """Record a zero-duration annotation under the current span."""
+        stack = self._stack()
+        inst = Instant(
+            name=name,
+            cat=cat,
+            t=time.perf_counter() - self.epoch,
+            parent_id=stack[-1] if stack else 0,
+            attrs=attrs if attrs is not None else {},
+        )
+        with self._lock:
+            self._instants.append(inst)
+
+    # ----------------------------------------------------------- collection
+
+    def drain(self) -> dict:
+        """Remove and return everything recorded so far (picklable).
+
+        Spans still open on the *calling* thread's stack are flushed as
+        zero-duration ``truncated`` markers.  Exception paths unwind
+        their context managers and close spans normally, so this only
+        fires for genuinely abandoned stacks (e.g. a hard kill between
+        statements) — the shipped trace stays loadable either way.
+        """
+        now = time.perf_counter() - self.epoch
+        with self._lock:
+            spans = self._spans
+            instants = self._instants
+            self._spans = []
+            self._instants = []
+        stack = self._stack()
+        if stack:
+            for sid in reversed(stack):
+                spans.append(
+                    Span(
+                        name="(truncated)",
+                        cat="obs",
+                        start=now,
+                        end=now,
+                        span_id=sid,
+                        parent_id=0,
+                        attrs={"truncated": True},
+                    )
+                )
+            stack.clear()
+        return {"spans": spans, "instants": instants}
+
+    def absorb(self, payload: dict, track: int) -> None:
+        """Fold a drained payload from another process into this tracer.
+
+        Span ids are offset past this tracer's id space (preserving the
+        parent links inside the payload) and every span/instant is
+        stamped with ``track`` — the caller-assigned process lane.
+        Deterministic given the payload and the track number: no clocks,
+        no OS pids involved.
+        """
+        spans = payload.get("spans", ())
+        instants = payload.get("instants", ())
+        max_id = max((s.span_id for s in spans), default=0)
+        max_id = max(max_id, max((i.parent_id for i in instants), default=0))
+        with self._lock:
+            offset = self._next
+            self._next += max_id + 1
+
+        def remap(sid: int) -> int:
+            return sid + offset if sid else 0
+
+        with self._lock:
+            for s in spans:
+                self._spans.append(
+                    Span(
+                        name=s.name,
+                        cat=s.cat,
+                        start=s.start,
+                        end=s.end,
+                        span_id=remap(s.span_id),
+                        parent_id=remap(s.parent_id),
+                        track=track,
+                        attrs=s.attrs,
+                    )
+                )
+            for i in instants:
+                self._instants.append(
+                    Instant(
+                        name=i.name,
+                        cat=i.cat,
+                        t=i.t,
+                        parent_id=remap(i.parent_id),
+                        track=track,
+                        attrs=i.attrs,
+                    )
+                )
+
+    def spans(self) -> list[Span]:
+        """Copy of the finished spans (exporters read this)."""
+        with self._lock:
+            return list(self._spans)
+
+    def instants(self) -> list[Instant]:
+        """Copy of the recorded instants."""
+        with self._lock:
+            return list(self._instants)

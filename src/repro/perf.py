@@ -1,37 +1,56 @@
-"""Lightweight per-phase timing registry for the AL and AMR hot loops.
+"""Deprecated compatibility shim over :mod:`repro.obs` — use that instead.
 
-The AL loop and the GP layer report how long they spend in each phase —
-``fit`` (LML optimization), ``refactor`` (from-scratch re-factorization),
-``rank1_update`` (incremental Cholesky extension), ``predict`` and
-``select`` — and the AMR driver reports its stepping phases —
-``amr_plan`` (stack + exchange-plan build), ``amr_exchange``,
-``amr_sweep``, ``amr_dt`` and ``amr_regrid`` — so that optimizations of
-the hot loops are measurable rather than anecdotal.  The registry is
-deliberately tiny: a dict of ``phase -> (calls, seconds)`` guarded by a
-lock, fed by a context-manager timer whose overhead is two
-``perf_counter()`` calls.
+``repro.perf`` was the original per-phase timing registry for the AL and
+AMR hot loops.  The observability layer (:mod:`repro.obs`) subsumed it:
+the same phase/counter tables now live in the always-on metrics registry
+:data:`repro.obs.METRICS` (plus gauges, per-phase duration histograms,
+and opt-in span tracing on top of the same instrumentation points).
 
-Every process owns its own registry (worker processes spawned by
-:mod:`repro.core.parallel` start fresh); aggregate across processes by
-shipping :meth:`PerfRegistry.snapshot` dicts back to the parent if needed.
+This module keeps every pre-existing name working against that registry —
+``timer`` / ``add`` / ``incr`` / ``snapshot`` / ``counters`` / ``reset`` /
+``report``, the ``PerfRegistry`` class (now an alias of
+:class:`repro.obs.MetricsRegistry`), ``PhaseStat``, and the canonical
+``PHASES`` / ``COUNTERS`` tuples — so existing call sites and tests are
+untouched.  A single :class:`DeprecationWarning` fires on first import;
+new code should write::
 
-Typical use::
+    from repro import obs
 
-    from repro import perf
-
-    with perf.timer("predict"):
+    with obs.timed("predict", cat="gp"):
         mu, sd = gpr.predict(X, return_std=True)
 
-    print(perf.report())
-    perf.reset()
+    print(obs.report())
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass
+import warnings
+
+from repro.obs.metrics import MetricsRegistry as PerfRegistry
+from repro.obs.metrics import PhaseStat
+from repro.obs.recorder import METRICS as REGISTRY
+
+warnings.warn(
+    "repro.perf is deprecated; use repro.obs (the unified observability "
+    "layer: same metrics registry plus span tracing)",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+__all__ = [
+    "COUNTERS",
+    "PHASES",
+    "PerfRegistry",
+    "PhaseStat",
+    "REGISTRY",
+    "add",
+    "counters",
+    "incr",
+    "report",
+    "reset",
+    "snapshot",
+    "timer",
+]
 
 #: Canonical phase names used by the built-in instrumentation.
 PHASES = (
@@ -62,99 +81,8 @@ COUNTERS = (
 )
 
 
-@dataclass(frozen=True)
-class PhaseStat:
-    """Accumulated timing for one phase."""
-
-    calls: int
-    seconds: float
-
-    @property
-    def mean_ms(self) -> float:
-        return 1e3 * self.seconds / self.calls if self.calls else 0.0
-
-
-class PerfRegistry:
-    """Thread-safe accumulator of per-phase call counts and wall time."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._calls: dict[str, int] = {}
-        self._seconds: dict[str, float] = {}
-        self._counts: dict[str, int] = {}
-
-    def add(self, phase: str, seconds: float, calls: int = 1) -> None:
-        """Record ``calls`` invocations of ``phase`` totalling ``seconds``."""
-        with self._lock:
-            self._calls[phase] = self._calls.get(phase, 0) + calls
-            self._seconds[phase] = self._seconds.get(phase, 0.0) + seconds
-
-    def incr(self, counter: str, n: int = 1) -> None:
-        """Bump an event counter (see :data:`COUNTERS`) by ``n``."""
-        with self._lock:
-            self._counts[counter] = self._counts.get(counter, 0) + n
-
-    @contextmanager
-    def timer(self, phase: str):
-        """Time a ``with`` block and credit it to ``phase``."""
-        t0 = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.add(phase, time.perf_counter() - t0)
-
-    def snapshot(self) -> dict[str, PhaseStat]:
-        """Immutable copy of the current counters."""
-        with self._lock:
-            return {
-                p: PhaseStat(self._calls[p], self._seconds[p])
-                for p in sorted(self._calls)
-            }
-
-    def counters(self) -> dict[str, int]:
-        """Immutable copy of the event counters."""
-        with self._lock:
-            return dict(sorted(self._counts.items()))
-
-    def reset(self) -> None:
-        with self._lock:
-            self._calls.clear()
-            self._seconds.clear()
-            self._counts.clear()
-
-    def report(self) -> str:
-        """Render timers and event counters as aligned text tables."""
-        snap = self.snapshot()
-        counts = self.counters()
-        if not snap and not counts:
-            return "(no phases recorded)"
-        lines = []
-        if snap:
-            width = max(len(p) for p in snap)
-            lines.append(
-                f"{'phase':<{width}}  {'calls':>7}  {'total_s':>9}  {'mean_ms':>8}"
-            )
-            for phase, stat in snap.items():
-                lines.append(
-                    f"{phase:<{width}}  {stat.calls:>7d}  {stat.seconds:>9.4f}  "
-                    f"{stat.mean_ms:>8.3f}"
-                )
-        if counts:
-            if lines:
-                lines.append("")
-            width = max(len(c) for c in counts)
-            lines.append(f"{'counter':<{width}}  {'events':>8}")
-            for counter, n in counts.items():
-                lines.append(f"{counter:<{width}}  {n:>8d}")
-        return "\n".join(lines)
-
-
-#: Process-global default registry used by the built-in instrumentation.
-REGISTRY = PerfRegistry()
-
-
 def timer(phase: str):
-    """``with perf.timer("fit"): ...`` against the default registry."""
+    """``with perf.timer("fit"): ...`` against the global obs registry."""
     return REGISTRY.timer(phase)
 
 
@@ -163,7 +91,7 @@ def add(phase: str, seconds: float, calls: int = 1) -> None:
 
 
 def incr(counter: str, n: int = 1) -> None:
-    """``perf.incr("lml_eval")`` against the default registry."""
+    """``perf.incr("lml_eval")`` against the global obs registry."""
     REGISTRY.incr(counter, n)
 
 

@@ -1,0 +1,113 @@
+"""Tests for ALConfig: the consolidated ActiveLearner configuration."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import ActiveLearner, ALConfig, random_partition
+from repro.core.loop import FailurePolicy
+from repro.core.policies import RandGoodness, RandUniform
+from repro.gp.kernels import default_kernel
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        cfg = ALConfig()
+        assert cfg.n_restarts == 2
+        assert cfg.hyper_refit_interval == 1
+        assert cfg.on_failure is FailurePolicy.NEXT_BEST
+        assert cfg.cache_candidates is True
+
+    def test_rejects_bad_refit_interval(self):
+        with pytest.raises(ValueError, match="hyper_refit_interval must be >= 1"):
+            ALConfig(hyper_refit_interval=0)
+
+    def test_rejects_negative_restarts(self):
+        with pytest.raises(ValueError):
+            ALConfig(n_restarts=-1)
+
+    def test_rejects_negative_max_iterations(self):
+        with pytest.raises(ValueError):
+            ALConfig(max_iterations=-1)
+
+    def test_normalizes_field_types(self):
+        cfg = ALConfig(log2_features=[0, 1], on_failure="drop", cache_candidates=1)
+        assert cfg.log2_features == (0, 1)
+        assert cfg.on_failure is FailurePolicy.DROP
+        assert cfg.cache_candidates is True
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ALConfig().n_restarts = 5
+
+
+def _learner(dataset, rng, **kwargs):
+    partition = random_partition(rng, len(dataset), n_init=15, n_test=20)
+    return ActiveLearner(
+        dataset, partition, policy=RandUniform(), rng=rng, **kwargs
+    )
+
+
+class TestLearnerIntegration:
+    def test_legacy_kwargs_map_onto_config(self, small_dataset, rng):
+        learner = _learner(
+            small_dataset, rng, max_iterations=3, hyper_refit_interval=4,
+            n_restarts=0, weight_rmse_by_cost=True,
+        )
+        assert isinstance(learner.config, ALConfig)
+        assert learner.config.max_iterations == 3
+        assert learner.config.hyper_refit_interval == 4
+        assert learner.config.n_restarts == 0
+        assert learner.config.weight_rmse_by_cost is True
+        # Legacy instance attributes stay readable.
+        assert learner.hyper_refit_interval == 4
+
+    def test_config_object_path(self, small_dataset, rng):
+        cfg = ALConfig(max_iterations=2, n_restarts=0, cache_candidates=False)
+        learner = _learner(small_dataset, rng, config=cfg)
+        assert learner.config is cfg
+
+    def test_legacy_kwarg_overrides_config_field(self, small_dataset, rng):
+        cfg = ALConfig(max_iterations=2, hyper_refit_interval=3)
+        learner = _learner(small_dataset, rng, config=cfg, max_iterations=5)
+        assert learner.config.max_iterations == 5
+        assert learner.config.hyper_refit_interval == 3
+        # The original config object is untouched (frozen + replace).
+        assert cfg.max_iterations == 2
+
+    def test_validation_applies_to_overrides(self, small_dataset, rng):
+        with pytest.raises(ValueError, match="hyper_refit_interval"):
+            _learner(small_dataset, rng, hyper_refit_interval=0)
+
+
+class TestDescribe:
+    def test_describe_is_json_serializable(self):
+        cfg = ALConfig(
+            kernel=default_kernel(),
+            max_iterations=7,
+            log2_features=(0, 2),
+            model_factory=default_kernel,
+            on_failure=FailurePolicy.DROP,
+        )
+        desc = cfg.describe()
+        text = json.dumps(desc)
+        back = json.loads(text)
+        assert back["max_iterations"] == 7
+        assert back["log2_features"] == [0, 2]
+        assert back["on_failure"] == "drop"
+        assert back["model_factory"] == "default_kernel"
+        assert isinstance(back["kernel"], str)
+
+    def test_trajectory_embeds_config(self, small_dataset, rng):
+        partition = random_partition(rng, len(small_dataset), n_init=15, n_test=20)
+        learner = ActiveLearner(
+            small_dataset, partition, policy=RandGoodness(), rng=rng,
+            max_iterations=2, n_restarts=0, hyper_refit_interval=2,
+        )
+        traj = learner.run()
+        assert traj.config is not None
+        assert traj.config == learner.config.describe()
+        assert traj.config["max_iterations"] == 2
+        json.dumps(traj.config)  # must stay serializable for trace metadata

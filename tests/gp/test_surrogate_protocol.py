@@ -1,0 +1,120 @@
+"""Conformance tests: every GP model satisfies the Surrogate protocol.
+
+The ActiveLearner and the candidate-covariance cache talk to models only
+through this surface, so each implementation is exercised against the
+same shape/behaviour contract here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gp import (
+    GPRegressor,
+    LocalGPRegressor,
+    SparseGPRegressor,
+    Surrogate,
+    TreedGPRegressor,
+    supports_cross,
+)
+
+FACTORIES = {
+    "exact": lambda rng: GPRegressor(n_restarts=0),
+    "sparse": lambda rng: SparseGPRegressor(n_inducing=12, rng=rng),
+    "local": lambda rng: LocalGPRegressor(n_regions=2, rng=rng, n_restarts=0),
+    "treed": lambda rng: TreedGPRegressor(
+        max_leaf_size=24, min_leaf_size=4, rng=rng, n_restarts=0
+    ),
+}
+
+
+@pytest.fixture(params=sorted(FACTORIES))
+def model(request, rng):
+    return FACTORIES[request.param](rng)
+
+
+@pytest.fixture()
+def data(rng):
+    X = rng.uniform(0.0, 1.0, size=(40, 3))
+    y = np.sin(X.sum(axis=1)) + 0.05 * rng.standard_normal(40)
+    return X, y
+
+
+class TestProtocolConformance:
+    def test_satisfies_runtime_protocol(self, model):
+        assert isinstance(model, Surrogate)
+
+    def test_fit_predict_shapes(self, model, data):
+        X, y = data
+        assert not model.is_fitted
+        assert model.fit(X, y) is model
+        assert model.is_fitted
+        Xq = X[:7]
+        mean = model.predict(Xq)
+        assert mean.shape == (7,)
+        mean2, std = model.predict(Xq, return_std=True)
+        assert mean2.shape == (7,) and std.shape == (7,)
+        assert np.all(std >= 0.0)
+
+    def test_refactor_keeps_predictions_working(self, model, data):
+        X, y = data
+        model.fit(X[:30], y[:30])
+        assert model.refactor(X, y) is model
+        assert model.predict(X[:5]).shape == (5,)
+
+    def test_workspace_counters_schema(self, model, data):
+        X, y = data
+        model.fit(X, y)
+        counters = model.workspace_counters()
+        assert set(counters) == {"ws_hit", "ws_extend", "ws_rebuild"}
+        assert all(isinstance(v, int) and v >= 0 for v in counters.values())
+
+    def test_use_workspace_member(self, model):
+        assert isinstance(model.use_workspace, bool)
+
+
+class TestCrossCovarianceSupport:
+    def test_only_exact_gp_supports_cross(self, model):
+        expected = isinstance(model, GPRegressor)
+        assert model.supports_cross is expected
+        assert supports_cross(model) is expected
+
+    def test_unsupported_models_raise(self, model, data):
+        if isinstance(model, GPRegressor):
+            pytest.skip("exact GP implements predict_from_cross")
+        X, y = data
+        model.fit(X, y)
+        with pytest.raises(NotImplementedError):
+            model.predict_from_cross(np.zeros((40, 2)), np.ones(2))
+
+    def test_exact_gp_cross_path_matches_predict(self, rng, data):
+        X, y = data
+        gp = GPRegressor(n_restarts=0).fit(X, y)
+        Xq = X[:4] + 0.01
+        Ks = gp.kernel_(Xq, gp.X_train_)
+        prior = gp.kernel_.diag(Xq)
+        mean, std = gp.predict_from_cross(Ks, prior, return_std=True)
+        mean_ref, std_ref = gp.predict(Xq, return_std=True)
+        np.testing.assert_allclose(mean, mean_ref, atol=1e-10)
+        np.testing.assert_allclose(std, std_ref, atol=1e-8)
+
+
+class TestSupportsCrossHelper:
+    def test_falls_back_to_hasattr(self):
+        class Legacy:
+            def predict_from_cross(self, Ks, prior_diag, return_std=False):
+                raise NotImplementedError
+
+        class Bare:
+            pass
+
+        assert supports_cross(Legacy()) is True
+        assert supports_cross(Bare()) is False
+
+    def test_explicit_attribute_wins(self):
+        class OptedOut:
+            supports_cross = False
+
+            def predict_from_cross(self, Ks, prior_diag, return_std=False):
+                raise NotImplementedError
+
+        assert supports_cross(OptedOut()) is False

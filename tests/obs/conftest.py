@@ -1,0 +1,17 @@
+"""Observability tests touch process-global state; isolate every test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Fresh metrics and disabled tracing before and after each test."""
+    obs.disable_tracing()
+    obs.METRICS.reset()
+    yield
+    obs.disable_tracing()
+    obs.METRICS.reset()

@@ -1,0 +1,125 @@
+"""Tests for the Chrome-trace / JSONL / metrics exporters and validation."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import _main, chrome_trace, validate_chrome_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Tracer
+
+
+def _traced():
+    t = Tracer()
+    with t.span("outer", "al", {"k": 1}):
+        with t.span("inner", "gp", {}):
+            pass
+        t.instant("mark", "faults", {"kind": "crash"})
+    return t
+
+
+class TestChromeTrace:
+    def test_structure_and_validity(self):
+        t = _traced()
+        trace = chrome_trace(t.spans(), t.instants(), metadata={"seed": 7})
+        assert validate_chrome_trace(trace) == []
+        assert trace["otherData"] == {"seed": 7}
+        phs = [ev["ph"] for ev in trace["traceEvents"]]
+        assert phs.count("X") == 2 and phs.count("i") == 1 and "M" in phs
+
+    def test_timestamps_normalized_per_track(self):
+        t = _traced()
+        trace = chrome_trace(t.spans(), t.instants())
+        xs = [ev for ev in trace["traceEvents"] if ev["ph"] == "X"]
+        assert min(ev["ts"] for ev in xs) == 0.0
+
+    def test_track_names(self):
+        t = Tracer()
+        with t.span("a", "", {}):
+            pass
+        t.absorb(_traced().drain(), track=1)
+        trace = chrome_trace(t.spans(), t.instants(), track_names={1: "worker-A"})
+        meta = {ev["pid"]: ev["args"]["name"]
+                for ev in trace["traceEvents"] if ev["ph"] == "M"}
+        assert meta == {0: "main", 1: "worker-A"}
+
+    def test_serializes_to_json(self):
+        t = _traced()
+        text = json.dumps(chrome_trace(t.spans(), t.instants()))
+        assert validate_chrome_trace(json.loads(text)) == []
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) != []
+
+    def test_rejects_missing_events_list(self):
+        assert validate_chrome_trace({"foo": 1}) == ["traceEvents must be a list"]
+
+    def test_rejects_unknown_ph(self):
+        bad = {"traceEvents": [{"name": "x", "ph": "Q", "pid": 0, "tid": 0, "ts": 0}]}
+        assert any("ph" in e for e in validate_chrome_trace(bad))
+
+    def test_rejects_negative_duration(self):
+        bad = {"traceEvents": [
+            {"name": "x", "ph": "X", "pid": 0, "tid": 0, "ts": 0, "dur": -1}
+        ]}
+        assert any("dur" in e for e in validate_chrome_trace(bad))
+
+    def test_rejects_dangling_parent(self):
+        bad = {"traceEvents": [
+            {"name": "x", "ph": "X", "pid": 0, "tid": 0, "ts": 0, "dur": 1,
+             "args": {"span_id": 1, "parent_id": 99}},
+        ]}
+        assert any("parent_id" in e for e in validate_chrome_trace(bad))
+
+
+class TestFileOutputs:
+    def test_export_chrome_trace_requires_tracing(self, tmp_path):
+        with pytest.raises(RuntimeError, match="not enabled"):
+            obs.export_chrome_trace(str(tmp_path / "t.json"))
+
+    def test_export_chrome_trace_writes_valid_file(self, tmp_path):
+        obs.enable_tracing()
+        with obs.span("outer", cat="al"):
+            obs.event("mark")
+        path = tmp_path / "t.json"
+        obs.export_chrome_trace(str(path), metadata={"cfg": {"a": 1}})
+        trace = json.loads(path.read_text())
+        assert validate_chrome_trace(trace) == []
+        assert trace["otherData"]["cfg"] == {"a": 1}
+
+    def test_export_jsonl(self, tmp_path):
+        obs.enable_tracing()
+        with obs.span("outer", cat="al"):
+            obs.event("mark")
+        path = tmp_path / "t.jsonl"
+        obs.export_jsonl(str(path))
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert {l["type"] for l in lines} == {"span", "instant"}
+
+    def test_write_metrics_json(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.add("fit", 0.5)
+        path = tmp_path / "m.json"
+        obs.write_metrics_json(str(path), reg)
+        assert json.loads(path.read_text())["phases"]["fit"]["calls"] == 1
+
+
+class TestCliCheck:
+    def test_check_accepts_valid_trace(self, tmp_path, capsys):
+        t = _traced()
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(chrome_trace(t.spans(), t.instants())))
+        assert _main(["--check", str(path)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_check_rejects_invalid_trace(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"traceEvents": [{"ph": "Q"}]}))
+        assert _main(["--check", str(path)]) == 1
+        assert "invalid" in capsys.readouterr().err
+
+    def test_usage_error(self):
+        assert _main(["nope"]) == 2

@@ -1,0 +1,132 @@
+"""Tests for the repro.obs metrics registry."""
+
+import pickle
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, PhaseStat
+
+
+class TestPhases:
+    def test_add_and_snapshot(self):
+        reg = MetricsRegistry()
+        reg.add("fit", 0.5)
+        reg.add("fit", 0.25)
+        snap = reg.snapshot()
+        assert snap["fit"] == PhaseStat(calls=2, seconds=0.75)
+        assert snap["fit"].mean_ms == pytest.approx(375.0)
+
+    def test_timer_context_manager(self):
+        reg = MetricsRegistry()
+        with reg.timer("select"):
+            pass
+        assert reg.snapshot()["select"].calls == 1
+
+    def test_timer_records_on_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.timer("fit"):
+                raise RuntimeError("boom")
+        assert reg.snapshot()["fit"].calls == 1
+
+    def test_snapshot_sorted_by_phase(self):
+        reg = MetricsRegistry()
+        for phase in ("z", "a", "m"):
+            reg.add(phase, 0.1)
+        assert list(reg.snapshot()) == ["a", "m", "z"]
+
+
+class TestCountersGaugesHistograms:
+    def test_incr(self):
+        reg = MetricsRegistry()
+        reg.incr("lml_eval")
+        reg.incr("lml_eval", 4)
+        assert reg.counters() == {"lml_eval": 5}
+
+    def test_gauge_overwrites(self):
+        reg = MetricsRegistry()
+        reg.gauge("pool_size", 10.0)
+        reg.gauge("pool_size", 3.0)
+        assert reg.gauges() == {"pool_size": 3.0}
+
+    def test_histogram_buckets_are_log2_microseconds(self):
+        reg = MetricsRegistry()
+        reg.add("fit", 1e-6)  # 1 us -> bucket 0
+        reg.add("fit", 3e-6)  # ~2^1.58 us -> bucket 1
+        reg.add("fit", 1e-3)  # ~2^9.97 us -> bucket 9
+        hist = reg.histograms()["fit"]
+        assert sum(hist.values()) == 3
+        assert set(hist) <= set(range(-1, 64))
+
+
+class TestStateAndMerge:
+    def test_state_is_picklable(self):
+        reg = MetricsRegistry()
+        reg.add("fit", 0.5)
+        reg.incr("ws_hit")
+        reg.gauge("peak", 2.0)
+        state = pickle.loads(pickle.dumps(reg.state()))
+        other = MetricsRegistry()
+        other.merge(state)
+        assert other.snapshot() == reg.snapshot()
+        assert other.counters() == reg.counters()
+
+    def test_merge_sums_timers_and_counters(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.add("fit", 1.0, calls=2)
+        b.add("fit", 0.5)
+        b.incr("lml_eval", 3)
+        a.merge(b.state())
+        assert a.snapshot()["fit"] == PhaseStat(calls=3, seconds=1.5)
+        assert a.counters()["lml_eval"] == 3
+
+    def test_merge_keeps_gauge_max(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("peak_MB", 10.0)
+        b.gauge("peak_MB", 4.0)
+        a.merge(b.state())
+        assert a.gauges()["peak_MB"] == 10.0
+
+    def test_merge_is_order_independent(self):
+        parts = []
+        for k in range(3):
+            reg = MetricsRegistry()
+            reg.add("fit", 0.1 * (k + 1), calls=k + 1)
+            reg.incr("lml_eval", k)
+            parts.append(reg.state())
+        fwd, rev = MetricsRegistry(), MetricsRegistry()
+        for p in parts:
+            fwd.merge(p)
+        for p in reversed(parts):
+            rev.merge(p)
+        fs, rs = fwd.snapshot(), rev.snapshot()
+        assert fs.keys() == rs.keys()
+        for phase in fs:
+            assert fs[phase].calls == rs[phase].calls
+            # Summation order differs, so seconds agree only to float rounding.
+            assert fs[phase].seconds == pytest.approx(rs[phase].seconds)
+        assert fwd.counters() == rev.counters()
+        assert fwd.histograms() == rev.histograms()
+
+
+class TestReport:
+    def test_report_lists_phases_and_counters(self):
+        reg = MetricsRegistry()
+        reg.add("fit", 0.5, calls=2)
+        reg.incr("ws_hit", 7)
+        text = reg.report()
+        assert "fit" in text and "calls" in text and "ws_hit" in text
+
+    def test_empty_report(self):
+        assert "no phases" in MetricsRegistry().report()
+
+    def test_to_dict_is_json_view(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.add("fit", 0.5)
+        reg.incr("ws_hit")
+        reg.gauge("peak", 1.0)
+        d = json.loads(json.dumps(reg.to_dict()))
+        assert d["phases"]["fit"]["calls"] == 1
+        assert d["counters"]["ws_hit"] == 1

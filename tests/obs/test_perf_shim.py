@@ -1,0 +1,50 @@
+"""The repro.perf compatibility shim: same names, same registry, one warning."""
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+from repro import obs
+
+
+def test_deprecation_warning_on_first_import():
+    sys.modules.pop("repro.perf", None)
+    with pytest.warns(DeprecationWarning, match="repro.perf is deprecated"):
+        importlib.import_module("repro.perf")
+
+
+def test_shim_shares_the_obs_registry():
+    from repro import perf
+
+    assert perf.REGISTRY is obs.METRICS
+    obs.METRICS.reset()
+    perf.incr("lml_eval", 2)
+    with perf.timer("fit"):
+        pass
+    assert obs.counters()["lml_eval"] == 2
+    assert obs.snapshot()["fit"].calls == 1
+    assert perf.snapshot() == obs.snapshot()
+    perf.reset()
+    assert obs.snapshot() == {}
+
+
+def test_legacy_names_still_exported():
+    from repro import perf
+
+    assert perf.PerfRegistry is obs.MetricsRegistry
+    assert perf.PhaseStat is obs.PhaseStat
+    assert "fit" in perf.PHASES and "amr_sweep" in perf.PHASES
+    assert "ws_hit" in perf.COUNTERS
+    for name in ("timer", "add", "incr", "snapshot", "counters", "reset", "report"):
+        assert callable(getattr(perf, name))
+
+
+def test_reimport_does_not_rewarn():
+    """Module caching means the warning fires once per interpreter."""
+    from repro import perf  # noqa: F401 - already imported above
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        import repro.perf  # noqa: F401 - cached, no warning

@@ -1,0 +1,102 @@
+"""Tests for the span tracer: nesting, annotation, drain/absorb."""
+
+from repro.obs.spans import NOOP_SPAN, Tracer
+
+
+class TestNesting:
+    def test_parent_links(self):
+        t = Tracer()
+        with t.span("outer", "cat", {}):
+            with t.span("inner", "cat", {}):
+                pass
+            with t.span("inner2", "cat", {}):
+                pass
+        spans = {s.name: s for s in t.spans()}
+        assert spans["outer"].parent_id == 0
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["inner2"].parent_id == spans["outer"].span_id
+        assert spans["inner"].span_id != spans["inner2"].span_id
+
+    def test_span_timing_is_ordered(self):
+        t = Tracer()
+        with t.span("a", "", {}):
+            pass
+        (s,) = t.spans()
+        assert s.end >= s.start >= 0.0
+        assert s.duration == s.end - s.start
+
+    def test_instant_records_current_parent(self):
+        t = Tracer()
+        with t.span("outer", "", {}):
+            t.instant("mark", "", {"k": 1})
+        (s,) = t.spans()
+        (i,) = t.instants()
+        assert i.parent_id == s.span_id
+        assert i.attrs == {"k": 1}
+
+    def test_annotate_merges_attrs(self):
+        t = Tracer()
+        with t.span("outer", "", {"a": 1}) as active:
+            active.annotate(b=2)
+        (s,) = t.spans()
+        assert s.attrs == {"a": 1, "b": 2}
+
+
+class TestNoop:
+    def test_noop_span_is_shared_singleton(self):
+        assert NOOP_SPAN.__enter__() is NOOP_SPAN
+        NOOP_SPAN.annotate(anything="goes")
+        assert NOOP_SPAN.__exit__(None, None, None) in (None, False)
+
+
+class TestDrainAbsorb:
+    def _payload(self):
+        t = Tracer()
+        with t.span("outer", "", {}):
+            with t.span("inner", "", {}):
+                pass
+            t.instant("mark", "", {})
+        return t.drain()
+
+    def test_drain_empties_the_tracer(self):
+        t = Tracer()
+        with t.span("a", "", {}):
+            pass
+        assert len(t.drain()["spans"]) == 1
+        assert t.spans() == [] or len(t.spans()) == 0
+
+    def test_absorb_remaps_ids_and_preserves_parents(self):
+        parent = Tracer()
+        with parent.span("local", "", {}):
+            pass
+        payload = self._payload()
+        parent.absorb(payload, track=3)
+        by_name = {s.name: s for s in parent.spans()}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].track == 3
+        assert by_name["local"].track == 0
+        # Remapped ids never collide with locally issued ones.
+        ids = [s.span_id for s in parent.spans()]
+        assert len(ids) == len(set(ids))
+        (i,) = parent.instants()
+        assert i.track == 3 and i.parent_id == by_name["outer"].span_id
+
+    def test_absorb_twice_is_collision_free(self):
+        parent = Tracer()
+        parent.absorb(self._payload(), track=1)
+        parent.absorb(self._payload(), track=2)
+        ids = [s.span_id for s in parent.spans()]
+        assert len(ids) == len(set(ids))
+        assert {s.track for s in parent.spans()} == {1, 2}
+
+    def test_drain_flushes_open_spans_as_truncated(self):
+        t = Tracer()
+        cm = t.span("hung", "", {})
+        cm.__enter__()
+        payload = t.drain()
+        truncated = [s for s in payload["spans"] if s.attrs.get("truncated")]
+        assert len(truncated) == 1
+        # The abandoned stack is cleared: the next root span has no parent.
+        with t.span("fresh", "", {}):
+            pass
+        assert t.spans()[0].parent_id == 0
