@@ -1,23 +1,35 @@
-"""Perf baseline: batched (shape-stacked) AMR stepping vs per-patch loop.
+"""Perf baselines for AMR stepping: batched vs per-patch, sharded workers.
 
-Times a medium shock-bubble run (mx=16, max_level=4, serial) through both
-stepping backends.  The batched path stacks the hierarchy into one
-``(P, 4, n, n)`` array, runs cache-blocked axis-aware sweeps over it,
-executes a ghost-exchange plan precomputed at regrid time, and vectorizes
-the dt/tagging reductions — it is bit-identical to the per-patch reference
-(enforced by ``tests/amr/test_batch.py``), just faster.  The acceptance
-bar is a >= 3x wall-clock speedup.
+Times a medium shock-bubble run (mx=16, max_level=4) through three
+backends:
+
+- the **per-patch** reference loop;
+- the **batched** serial path: one ``(P, 4, n, n)`` stack, cache-blocked
+  sweeps, a precompiled ghost-exchange plan, vectorized reductions —
+  bit-identical to per-patch (``tests/amr/test_batch.py``), >= 3x faster;
+- the **parallel** path (``repro.amr.parallel``): the stack in shared
+  memory, sharded along the Morton curve across worker processes that run
+  the compiled C sweep/exchange kernels, phased by the parent — again
+  bit-identical (``tests/amr/test_parallel.py``), >= 3x over batched
+  serial at 4 workers.
+
+The parallel rows disclose ``host_cores``: on a single-core CI host the
+worker speedup comes from the compiled kernels rather than true
+concurrency, and extra workers only add phase-barrier overhead; on
+multicore hosts the shards genuinely overlap.
 
 Results: a rendered table in ``benchmarks/results/perf_amr.txt`` plus a
 machine-readable ``BENCH_amr.json`` at the repo root (steps/sec, cells/sec,
-speedup) for trend tracking in CI.
+speedups, worker scaling) for trend tracking in CI.
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
 from repro.amr import AmrConfig, AmrDriver
+from repro.amr.parallel import ParallelAmrDriver
 from repro.solver import ShockBubbleProblem
 
 MX = 16
@@ -25,49 +37,76 @@ MAX_LEVEL = 4
 NSTEPS = 24
 #: Timed repetitions per backend; best-of damps scheduler noise.
 REPEATS = 2
+#: Shard counts for the worker-scaling section.
+WORKER_COUNTS = (1, 2, 4)
 
 BENCH_JSON = Path(__file__).parent.parent / "BENCH_amr.json"
 
 
-def _run(batched):
-    """One full run; returns (elapsed_seconds, cells_advanced, num_steps)."""
-    cfg = AmrConfig(mx=MX, min_level=1, max_level=MAX_LEVEL, batched=batched)
-    driver = AmrDriver(ShockBubbleProblem(), cfg)
+def _advance(driver):
+    """The timed stepping loop shared by all backends."""
     t0 = time.perf_counter()
     for k in range(NSTEPS):
         dt = driver.compute_dt()
         driver.step(dt)
-        if (k + 1) % cfg.regrid_interval == 0:
+        if (k + 1) % driver.config.regrid_interval == 0:
             driver.regrid()
-    elapsed = time.perf_counter() - t0
+    return time.perf_counter() - t0
+
+
+def _run(batched, workers=None):
+    """One full run; returns (elapsed_seconds, cells_advanced, num_steps)."""
+    cfg = AmrConfig(mx=MX, min_level=1, max_level=MAX_LEVEL, batched=batched)
+    if workers is None:
+        driver = AmrDriver(ShockBubbleProblem(), cfg)
+        elapsed = _advance(driver)
+    else:
+        with ParallelAmrDriver(
+            ShockBubbleProblem(), cfg, num_workers=workers
+        ) as driver:
+            elapsed = _advance(driver)
     cells = sum(rec.cells_advanced for rec in driver.stats.steps)
     return elapsed, cells, NSTEPS
 
 
-def _best_of(batched):
+def _best_of(batched, workers=None):
     best = None
     for _ in range(REPEATS):
-        run = _run(batched)
+        run = _run(batched, workers)
         if best is None or run[0] < best[0]:
             best = run
     return best
 
 
-def test_perf_batched_vs_per_patch(report):
+def test_perf_batched_vs_per_patch_vs_parallel(report):
     t_batch, cells, steps = _best_of(batched=True)
     t_patch, cells_ref, _ = _best_of(batched=False)
     assert cells == cells_ref, "backends must advance identical hierarchies"
     speedup = t_patch / t_batch
 
+    scaling = []
+    for workers in WORKER_COUNTS:
+        t_par, cells_par, _ = _best_of(batched=True, workers=workers)
+        assert cells_par == cells, "parallel must advance the same hierarchy"
+        scaling.append((workers, t_par, t_batch / t_par))
+
     rows = [
-        f"{'backend':>10}  {'wall_s':>8}  {'steps/s':>8}  {'Mcells/s':>9}",
-        f"{'per-patch':>10}  {t_patch:>8.3f}  {steps / t_patch:>8.2f}  "
+        f"{'backend':>13}  {'wall_s':>8}  {'steps/s':>8}  {'Mcells/s':>9}",
+        f"{'per-patch':>13}  {t_patch:>8.3f}  {steps / t_patch:>8.2f}  "
         f"{1e-6 * cells / t_patch:>9.3f}",
-        f"{'batched':>10}  {t_batch:>8.3f}  {steps / t_batch:>8.2f}  "
+        f"{'batched':>13}  {t_batch:>8.3f}  {steps / t_batch:>8.2f}  "
         f"{1e-6 * cells / t_batch:>9.3f}",
-        f"speedup: {speedup:.2f}x  (mx={MX}, max_level={MAX_LEVEL}, "
-        f"{steps} steps, serial)",
     ]
+    for workers, t_par, _s in scaling:
+        rows.append(
+            f"{f'parallel W={workers}':>13}  {t_par:>8.3f}  "
+            f"{steps / t_par:>8.2f}  {1e-6 * cells / t_par:>9.3f}"
+        )
+    rows.append(
+        f"batched vs per-patch: {speedup:.2f}x; parallel W=4 vs batched: "
+        f"{scaling[-1][2]:.2f}x  (mx={MX}, max_level={MAX_LEVEL}, "
+        f"{steps} steps, host_cores={os.cpu_count()})"
+    )
     report("perf_amr", "\n".join(rows))
 
     BENCH_JSON.write_text(
@@ -78,7 +117,6 @@ def test_perf_batched_vs_per_patch(report):
                     "mx": MX,
                     "max_level": MAX_LEVEL,
                     "nsteps": steps,
-                    "workers": 1,
                 },
                 "per_patch": {
                     "wall_s": round(t_patch, 4),
@@ -91,6 +129,22 @@ def test_perf_batched_vs_per_patch(report):
                     "cells_per_s": round(cells / t_batch, 1),
                 },
                 "speedup": round(speedup, 3),
+                "workers": {
+                    "host_cores": os.cpu_count(),
+                    "note": (
+                        "sharded drivers step through the compiled C "
+                        "kernels; serial backends are the numpy reference"
+                    ),
+                    "scaling": [
+                        {
+                            "workers": workers,
+                            "wall_s": round(t_par, 4),
+                            "steps_per_s": round(steps / t_par, 3),
+                            "speedup_vs_batched": round(s, 3),
+                        }
+                        for workers, t_par, s in scaling
+                    ],
+                },
             },
             indent=2,
         )
@@ -99,4 +153,9 @@ def test_perf_batched_vs_per_patch(report):
 
     assert speedup >= 3.0, (
         f"batched stepping must be >= 3x faster (got {speedup:.2f}x)"
+    )
+    w4 = scaling[-1]
+    assert w4[0] == 4 and w4[2] >= 3.0, (
+        f"4-worker sharded stepping must be >= 3x over batched serial "
+        f"(got {w4[2]:.2f}x)"
     )

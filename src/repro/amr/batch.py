@@ -97,6 +97,26 @@ def write_ghosts(
         raise ValueError(f"face must be 0..3, got {face}")
 
 
+def stack_wave_speeds(
+    interior: np.ndarray, gamma: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-patch interior maxima of ``|u|+c`` and ``|v|+c``.
+
+    ``interior`` has shape ``(P, 4, mx, mx)``; shard workers call this on
+    their row slice of the shared stack, which yields the same per-patch
+    values as the whole-stack reduction (elementwise conversions plus
+    per-patch maxima are independent across rows).
+    """
+    # One contiguous gather up front keeps the reduction passes L2-bound.
+    prim = primitive_from_conserved(
+        np.ascontiguousarray(np.moveaxis(interior, 1, 0)), gamma
+    )
+    c = np.sqrt(gamma * prim[3] / prim[0])
+    sx = (np.abs(prim[1]) + c).max(axis=(-2, -1))
+    sy = (np.abs(prim[2]) + c).max(axis=(-2, -1))
+    return sx, sy
+
+
 def _index_pairs(rows: list[tuple[int, ...]]) -> tuple[np.ndarray, ...]:
     """Transpose a list of equal-length index tuples into intp arrays."""
     return tuple(np.asarray(col, dtype=np.intp) for col in zip(*rows))
@@ -274,13 +294,23 @@ class PatchStack:
         mx: int,
         ng: int,
         bcs: tuple,
+        buffer=None,
     ) -> None:
         if not patches:
             raise ValueError("cannot stack an empty hierarchy")
         self.keys = tuple(patches)
         self.index = {key: i for i, key in enumerate(self.keys)}
         n = mx + 2 * ng
-        self.q = np.empty((len(self.keys), NUM_FIELDS, n, n), dtype=np.float64)
+        shape = (len(self.keys), NUM_FIELDS, n, n)
+        if buffer is None:
+            self.q = np.empty(shape, dtype=np.float64)
+        else:
+            # Shared-memory backing for the sharded workers: wrapping the
+            # buffer with np.ndarray (not frombuffer().reshape()) makes this
+            # stack object the ``.base`` of every patch view, so covers()'s
+            # structural staleness check keeps working across rebuilds into
+            # the same segment.
+            self.q = np.ndarray(shape, dtype=np.float64, buffer=buffer)
         for i, key in enumerate(self.keys):
             patch = patches[key]
             if patch.q.shape != (NUM_FIELDS, n, n):
@@ -313,21 +343,29 @@ class PatchStack:
         """Fill all ghost layers via the precomputed exchange plan."""
         self.plan.execute(self.q)
 
-    def compute_dt(self, cfl: float, gamma: float, dt_max: float = np.inf) -> float:
-        """Global CFL step over the stack; bit-identical to the patch loop."""
-        # One contiguous gather up front keeps the reduction passes L2-bound.
-        prim = primitive_from_conserved(
-            np.ascontiguousarray(np.moveaxis(self.interior, 1, 0)), gamma
-        )
-        c = np.sqrt(gamma * prim[3] / prim[0])
-        sx = (np.abs(prim[1]) + c).max(axis=(-2, -1))
-        sy = (np.abs(prim[2]) + c).max(axis=(-2, -1))
+    def wave_speeds(self, gamma: float) -> tuple[np.ndarray, np.ndarray]:
+        """Per-patch interior maxima of ``|u|+c`` and ``|v|+c``."""
+        return stack_wave_speeds(self.interior, gamma)
+
+    def dt_from_speeds(
+        self, sx: np.ndarray, sy: np.ndarray, cfl: float, dt_max: float
+    ) -> float:
+        """Fold per-patch wave speeds into the global CFL step.
+
+        Split out of :meth:`compute_dt` so the parallel driver can feed in
+        worker-computed speeds and still run the identical final reduction.
+        """
         smax = np.maximum(sx, sy)
         moving = smax > 0
         dt = float(dt_max)
         if np.any(moving):
             dt = min(dt, float((cfl * self.dx[moving] / smax[moving]).min()))
         return dt
+
+    def compute_dt(self, cfl: float, gamma: float, dt_max: float = np.inf) -> float:
+        """Global CFL step over the stack; bit-identical to the patch loop."""
+        sx, sy = self.wave_speeds(gamma)
+        return self.dt_from_speeds(sx, sy, cfl, float(dt_max))
 
     def check_physical(self, gamma: float) -> bool:
         """True iff every interior cell of every patch is physical."""

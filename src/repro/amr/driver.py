@@ -103,6 +103,12 @@ class AmrDriver:
         self.t = 0.0
         self.stats = RunStats()
         self._stack: PatchStack | None = None
+        # Leaves created since the last regrid began (children of refines,
+        # coarsened parents).  Only such leaves can participate in a new 2:1
+        # violation of a previously balanced forest, so they seed the
+        # incremental rebalance of the parallel driver; the serial full-scan
+        # rebalance ignores them.
+        self._balance_seeds: list[tuple[int, Quadrant]] = []
         self._build_initial_hierarchy()
 
     # ------------------------------------------------------------------ setup
@@ -147,6 +153,23 @@ class AmrDriver:
             for tree, quad in tagged:
                 self._refine_patch(tree, quad, from_initial=True)
             self._rebalance(from_initial=True)
+        self._normalize_leaf_order()
+
+    def _normalize_leaf_order(self) -> None:
+        """Re-key ``self.patches`` into global (tree-major Morton) order.
+
+        p4est stores leaves along the space-filling curve at all times; we
+        restore that invariant after every burst of refine/coarsen calls
+        (which append new patches at the dict tail).  Keeping dict order ==
+        curve order makes the stacked storage's row order a true Morton
+        sequence, so ``repro.mesh.partition.partition_curve`` segments of
+        stack rows are contiguous curve segments, and every order-sensitive
+        scalar accumulation (``conserved_totals``) runs in one canonical
+        order for the per-patch, batched, and sharded backends alike.
+        """
+        self.patches = {
+            key: self.patches[key] for key in self.forest.iter_leaves()
+        }
 
     # --------------------------------------------------------- stacked storage
 
@@ -176,6 +199,7 @@ class AmrDriver:
             else:
                 cp.interior[...] = prolong_child(parent.interior, child.child_id)
             self.patches[(tree, child)] = cp
+            self._balance_seeds.append((tree, child))
         self.stats.num_refinements += 1
         self._invalidate_stack()
 
@@ -193,6 +217,7 @@ class AmrDriver:
             ox, oy = offsets[child.child_id]
             parent.interior[:, ox : ox + h, oy : oy + h] = restrict_patch(cp.interior)
         self.patches[(tree, parent_quad)] = parent
+        self._balance_seeds.append((tree, parent_quad))
         self.stats.num_coarsenings += 1
         self._invalidate_stack()
 
@@ -209,6 +234,7 @@ class AmrDriver:
     def regrid(self) -> None:
         """One full regrid pass: tag, refine, coarsen, rebalance."""
         cfg = self.config
+        self._balance_seeds.clear()
         with obs.timed("amr_regrid", cat="amr"):
             if cfg.batched:
                 # One vectorized pass over the stacked interiors.  stack.keys
@@ -249,6 +275,7 @@ class AmrDriver:
                     self._coarsen_family(tree, children[0])
 
             self._rebalance()
+            self._normalize_leaf_order()
         self.stats.num_regrids += 1
 
     # ---------------------------------------------------------------- stepping

@@ -44,7 +44,13 @@ from repro.core.trajectory import IterationRecord, Trajectory, StopReason
 from repro.core.config import ALConfig
 from repro.core.loop import ActiveLearner, CandidateCovarianceCache
 from repro.core.batch import BatchConfig, BatchResult, run_batch
-from repro.core.parallel import TrajectoryFailure, TrajectorySpec, run_trajectories
+from repro.core.parallel import (
+    ShardWorkerError,
+    ShardWorkerPool,
+    TrajectoryFailure,
+    TrajectorySpec,
+    run_trajectories,
+)
 from repro.core.batch_selection import BATCH_STRATEGIES, BatchActiveLearner
 from repro.core.online import OnlineActiveLearner, OnlineResult
 from repro.core.advisor import ConfigurationAdvisor, Recommendation
@@ -80,6 +86,8 @@ __all__ = [
     "StopReason",
     "ActiveLearner",
     "CandidateCovarianceCache",
+    "ShardWorkerError",
+    "ShardWorkerPool",
     "TrajectoryFailure",
     "TrajectorySpec",
     "run_trajectories",

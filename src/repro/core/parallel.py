@@ -181,6 +181,283 @@ def default_workers(n_jobs: int) -> int:
     return max(1, min(n_jobs, os.cpu_count() or 1))
 
 
+# --------------------------------------------------------------------------
+# Persistent shard workers (parallel AMR)
+#
+# run_trajectories' pool fans out *independent* jobs; the sharded AMR driver
+# (repro.amr.parallel) instead needs a persistent, synchronously-phased crew:
+# every worker owns a contiguous slice of one shared-memory PatchStack and
+# must run the same phase (exchange / sweep / wave speeds) before any worker
+# may start the next.  There is deliberately no OS barrier primitive here —
+# the parent IS the barrier: it broadcasts a phase command down one pipe per
+# worker and collects every reply before issuing the next phase, which on
+# measured hardware costs a fraction of a multiprocessing.Barrier cycle and
+# keeps all failure handling in one place.
+# --------------------------------------------------------------------------
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker raised (or died) during a phase."""
+
+
+class _ShardWorkerState:
+    """Per-process state of one shard worker: shared views + programs."""
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self.shm = {}  # name -> SharedMemory, kept attached across installs
+        self.q = None
+        self.sx = None
+        self.sy = None
+        self.program = None
+        self.lo = 0
+        self.hi = 0
+        self.dx = None
+        self.cfg = {}
+        self.use_kernels = False
+        self._lib = None
+
+    def _attach(self, name: str):
+        from multiprocessing import resource_tracker, shared_memory
+
+        if name not in self.shm:
+            # Attaching registers the segment with the resource tracker
+            # (CPython registers unconditionally), and spawn children share
+            # the parent's tracker process — a worker registration would
+            # later fight the parent's own unlink bookkeeping.  Suppress
+            # registration for the attach; only the creating parent tracks
+            # and unlinks these segments.
+            orig = resource_tracker.register
+
+            def _skip(name_, rtype):  # pragma: no cover - trivial shim
+                if rtype != "shared_memory":
+                    orig(name_, rtype)
+
+            resource_tracker.register = _skip
+            try:
+                seg = shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = orig
+            self.shm[name] = seg
+        return self.shm[name]
+
+    def install(self, payload: dict) -> None:
+        import numpy as np
+
+        seg = self._attach(payload["q_name"])
+        self.q = np.ndarray(payload["q_shape"], dtype=np.float64, buffer=seg.buf)
+        scratch = self._attach(payload["scratch_name"])
+        cap = payload["scratch_cap"]
+        self.sx = np.ndarray((cap,), dtype=np.float64, buffer=scratch.buf)
+        self.sy = np.ndarray(
+            (cap,), dtype=np.float64, buffer=scratch.buf, offset=cap * 8
+        )
+        self.program = payload["program"]
+        self.lo = payload["lo"]
+        self.hi = payload["hi"]
+        self.dx = payload["dx"]
+        self.cfg = payload["cfg"]
+        self.use_kernels = payload["use_kernels"]
+        if self.use_kernels and self._lib is None:
+            from repro.solver import kernels
+
+            self._lib = kernels.load()
+            if self._lib is None:
+                self.use_kernels = False
+
+    def exchange(self) -> None:
+        self.program.execute(self.q, lib=self._lib if self.use_kernels else None)
+        obs.incr("amr.halo.gather_bytes", self.program.halo_gather_bytes)
+        obs.incr("amr.halo.scatter_bytes", self.program.halo_scatter_bytes)
+        obs.incr("amr.halo.local_bytes", self.program.local_bytes)
+        obs.incr("amr.halo.messages", self.program.halo_messages)
+        obs.incr("amr.shard.exchanges")
+
+    def sweep(self, axis: int, dt: float, with_speeds: bool = False) -> None:
+        if self.hi <= self.lo:  # a shard can own zero patches (W > P)
+            return
+        rows = self.q[self.lo : self.hi]
+        dt_dx = dt / self.dx
+        cfg = self.cfg
+        if self.use_kernels:
+            from repro.solver import kernels
+
+            kernels.fused_sweep(
+                rows, dt_dx, cfg["ng"], axis,
+                cfg["riemann"], cfg["limiter"], cfg["gamma"],
+            )
+        else:
+            from repro.solver.fv import _sweep_stack
+
+            _sweep_stack(
+                rows, dt_dx, cfg["ng"], "x" if axis == 0 else "y",
+                cfg["riemann"], cfg["limiter"], cfg["gamma"],
+            )
+        if with_speeds:
+            # Piggyback the next step's CFL wave speeds on the final sweep
+            # phase: saves one pool round-trip per step, and the values are
+            # identical to a dedicated phase (same post-step interiors).
+            self.speeds()
+
+    def speeds(self) -> None:
+        if self.hi <= self.lo:
+            return
+        rows = self.q[self.lo : self.hi]
+        ng, gamma = self.cfg["ng"], self.cfg["gamma"]
+        if self.use_kernels:
+            from repro.solver import kernels
+
+            kernels.wave_speeds(
+                rows, ng, gamma, self.sx[self.lo : self.hi],
+                self.sy[self.lo : self.hi],
+            )
+        else:
+            from repro.amr.batch import stack_wave_speeds
+
+            sx, sy = stack_wave_speeds(rows[:, :, ng:-ng, ng:-ng], gamma)
+            self.sx[self.lo : self.hi] = sx
+            self.sy[self.lo : self.hi] = sy
+
+    def handle(self, cmd: str, payload):
+        if cmd == "install":
+            with obs.span("shard_install", cat="amr", rank=self.rank):
+                self.install(payload)
+            return None
+        if cmd == "exchange":
+            self.exchange()
+            return None
+        if cmd == "sweep":
+            self.sweep(*payload)
+            return None
+        if cmd == "speeds":
+            self.speeds()
+            return None
+        if cmd == "obs":
+            return obs.snapshot_state(reset_after=True)
+        if cmd == "ping":
+            return self.rank
+        raise ValueError(f"unknown shard command {cmd!r}")
+
+
+def _shard_worker_main(conn, rank: int, trace_enabled: bool) -> None:
+    """Entry point of one spawned shard worker (must be importable)."""
+    if trace_enabled:
+        obs.enable_tracing()
+    state = _ShardWorkerState(rank)
+    while True:
+        try:
+            cmd, payload = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            break
+        if cmd == "close":
+            conn.send(("ok", None))
+            break
+        try:
+            conn.send(("ok", state.handle(cmd, payload)))
+        except Exception:  # noqa: BLE001 - report, never kill the pipe
+            conn.send(("error", _traceback.format_exc()))
+
+
+class ShardWorkerPool:
+    """A persistent crew of spawn-safe shard workers, phased by the parent.
+
+    Workers hold no hierarchy state of their own beyond what ``install``
+    ships (shared-memory names, their shard program and row slice), so the
+    pool outlives regrids and repartitions — only ``install`` is re-sent.
+    The parent acts as the phase barrier: :meth:`broadcast` returns only
+    after every worker has replied, so a subsequent phase can never observe
+    a half-finished predecessor.
+    """
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        ctx = get_context("spawn")
+        self._conns = []
+        self._procs = []
+        for rank in range(num_workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker_main,
+                args=(child_conn, rank, obs.tracing_enabled()),
+                daemon=True,
+                name=f"amr-shard-{rank}",
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        self.broadcast("ping")  # handshake: every worker imported and ready
+
+    def __len__(self) -> int:
+        return len(self._procs)
+
+    def broadcast(self, cmd: str, payload=None) -> list:
+        """Send one phase command to every worker; gather every reply."""
+        for conn in self._conns:
+            conn.send((cmd, payload))
+        return self._gather(cmd)
+
+    def scatter(self, cmd: str, payloads: Sequence) -> list:
+        """Send per-worker payloads (e.g. shard-specific install specs)."""
+        if len(payloads) != len(self._conns):
+            raise ValueError("need exactly one payload per worker")
+        for conn, payload in zip(self._conns, payloads):
+            conn.send((cmd, payload))
+        return self._gather(cmd)
+
+    def _gather(self, cmd: str) -> list:
+        replies = []
+        errors = []
+        for rank, conn in enumerate(self._conns):
+            try:
+                status, value = conn.recv()
+            except (EOFError, ConnectionResetError) as exc:
+                raise ShardWorkerError(
+                    f"shard worker {rank} died during {cmd!r}: {exc!r}"
+                ) from exc
+            if status == "error":
+                errors.append((rank, value))
+            else:
+                replies.append(value)
+        if errors:
+            detail = "\n".join(f"[worker {r}]\n{tb}" for r, tb in errors)
+            raise ShardWorkerError(f"shard phase {cmd!r} failed:\n{detail}")
+        return replies
+
+    def drain_observability(self) -> None:
+        """Merge every worker's metrics/spans home, one lane per shard."""
+        for rank, payload in enumerate(self.broadcast("obs")):
+            if payload is not None:
+                obs.merge_state(payload, track=rank + 1)
+
+    def close(self) -> None:
+        """Shut the workers down; safe to call twice."""
+        for conn, proc in zip(self._conns, self._procs):
+            try:
+                if proc.is_alive():
+                    conn.send(("close", None))
+                    if conn.poll(2.0):
+                        conn.recv()
+            except (OSError, BrokenPipeError):
+                pass
+            finally:
+                conn.close()
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+        self._conns = []
+        self._procs = []
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            if self._procs:
+                self.close()
+        except Exception:
+            pass
+
+
 def run_trajectories(
     dataset: Dataset,
     specs: Iterable[TrajectorySpec],

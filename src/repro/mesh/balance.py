@@ -16,10 +16,13 @@ from repro.mesh.forest import Forest
 from repro.mesh.quadrant import Quadrant, is_ancestor
 
 
-def _neighbor_leaf_levels(forest: Forest, tree: int, q: Quadrant, face: int):
-    """Levels of all leaves touching ``q`` across ``face``.
+def face_neighbor_leaves(forest: Forest, tree: int, q: Quadrant, face: int):
+    """Yield ``(tree, leaf)`` for every leaf touching ``q`` across ``face``.
 
-    Yields nothing at physical boundaries.
+    Yields nothing at physical boundaries.  This is the adjacency relation
+    the 2:1 balance constraint quantifies over; the incremental rebalance
+    of :class:`repro.amr.parallel.ParallelAmrDriver` uses the identities
+    (not just the levels) to refine a too-coarse neighbor directly.
     """
     hit = forest.face_neighbor(tree, q, face)
     if hit is None:
@@ -29,19 +32,25 @@ def _neighbor_leaf_levels(forest: Forest, tree: int, q: Quadrant, face: int):
     # The abstract same-level neighbor nq either is a leaf, is covered by a
     # coarser leaf (an ancestor), or is refined into finer leaves.
     if nq in neigh_tree:
-        yield nq.level
+        yield ntree, nq
         return
     # Coarser: walk up until we find a leaf ancestor.
     anc = nq
     while anc.level > 0:
         anc = Quadrant(anc.level - 1, anc.x >> 1, anc.y >> 1)
         if anc in neigh_tree:
-            yield anc.level
+            yield ntree, anc
             return
     # Finer: leaves descending from nq are a Morton-contiguous block.
     for leaf in neigh_tree.descendants(nq):
         if is_ancestor(nq, leaf):
-            yield leaf.level
+            yield ntree, leaf
+
+
+def _neighbor_leaf_levels(forest: Forest, tree: int, q: Quadrant, face: int):
+    """Levels of all leaves touching ``q`` across ``face``."""
+    for _ntree, leaf in face_neighbor_leaves(forest, tree, q, face):
+        yield leaf.level
 
 
 def balance_deficits(forest: Forest) -> list[tuple[int, Quadrant, int]]:
