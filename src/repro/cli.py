@@ -15,9 +15,14 @@ Three subcommands cover the paper's workflow end to end:
   tracing enabled and export a Perfetto-loadable Chrome trace (plus an
   optional metrics JSON): a real AMR job, a fault-retrying resilient
   execution, and a short Active-Learning run with acquisition faults.
+- ``serve`` — run the campaign service over a checkpoint store until
+  every campaign finishes (or ``--max-slices`` commits): resumable,
+  multi-worker, with optional ``--chaos-*`` fault injection.
+- ``campaign`` — manage that store: ``submit``, ``list``, ``pause``,
+  ``resume``.
 
-``run`` also accepts ``--trace-out``/``--metrics-out`` to trace a plain
-trajectory.
+``run`` and ``serve`` also accept ``--trace-out``/``--metrics-out`` to
+export observability state.
 """
 
 from __future__ import annotations
@@ -326,6 +331,227 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_chaos_flags(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("chaos harness (all off by default)")
+    g.add_argument("--chaos-crash-prob", type=float, default=0.0,
+                   help="per-slice probability the worker is killed mid-slice")
+    g.add_argument("--chaos-straggler-prob", type=float, default=0.0,
+                   help="per-slice probability of a slow worker")
+    g.add_argument("--chaos-oom-limit", type=float, default=None,
+                   help="synthetic slice MaxRSS (MB) at which the OOM killer fires")
+    g.add_argument("--chaos-timeout", type=float, default=None,
+                   help="synthetic slice wall-clock limit in seconds")
+    g.add_argument("--chaos-rss-lost-prob", type=float, default=0.0,
+                   help="probability a slice's observability payload is lost")
+    g.add_argument("--chaos-seed", type=int, default=0,
+                   help="root of the per-campaign chaos RNG tree")
+    g.add_argument("--chaos-max-retries", type=int, default=3,
+                   help="slice resubmissions allowed before the campaign fails")
+    g.add_argument("--chaos-step-wall", type=float, default=30.0,
+                   help="synthetic wall-clock seconds per AL step")
+
+
+def _chaos_config(args: argparse.Namespace):
+    from repro.core import ChaosConfig
+
+    faults = FaultConfig(
+        crash_probability=args.chaos_crash_prob,
+        oom_memory_limit_MB=args.chaos_oom_limit,
+        timeout_wall_seconds=args.chaos_timeout,
+        straggler_probability=args.chaos_straggler_prob,
+        rss_lost_wall_threshold_s=(
+            float("inf") if args.chaos_rss_lost_prob > 0 else 0.0
+        ),
+        rss_lost_probability=args.chaos_rss_lost_prob,
+    )
+    if not faults.enabled:
+        return None
+    return ChaosConfig(
+        faults=faults,
+        retry=RetryPolicy(max_retries=args.chaos_max_retries),
+        seed=args.chaos_seed,
+        step_wall_seconds=args.chaos_step_wall,
+    )
+
+
+def _service_from_args(args: argparse.Namespace, workers: int = 0):
+    """A CampaignService attached to the command's checkpoint store."""
+    from repro.core import CampaignService
+
+    rng = np.random.default_rng(args.seed)
+    dataset = _load_dataset(args.dataset, rng)
+    return CampaignService(
+        dataset,
+        store=args.store,
+        workers=workers,
+        steps_per_slice=getattr(args, "steps_per_slice", None) or 8,
+        queue_capacity=getattr(args, "queue_capacity", None),
+        chaos=_chaos_config(args) if hasattr(args, "chaos_seed") else None,
+    )
+
+
+def _print_campaigns(service) -> None:
+    rows = service.campaigns()
+    if not rows:
+        print("no campaigns")
+        return
+    print(f"{'campaign':<24} {'status':<8} {'iters':>5} {'committed':>10} "
+          f"{'wasted':>8} {'remaining':>10} {'faults':>6}  stop")
+    for info in rows:
+        rem = ("inf" if info.remaining_node_hours == float("inf")
+               else f"{info.remaining_node_hours:.3f}")
+        print(f"{info.campaign_id:<24} {info.status:<8} {info.iterations:>5} "
+              f"{info.committed_node_hours:>10.3f} {info.wasted_node_hours:>8.3f} "
+              f"{rem:>10} {info.faults:>6}  {info.stop_reason or '-'}")
+
+
+def _add_serve_cmd(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve",
+        help="run the campaign service over a checkpoint store until done",
+    )
+    p.add_argument("--store", type=str, required=True,
+                   help="checkpoint directory (resumes existing campaigns)")
+    p.add_argument("--dataset", type=str, default=None,
+                   help=".csv/.npz (default: generate; must match the store)")
+    p.add_argument("--seed", type=int, default=42,
+                   help="seed for the generated default dataset")
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes (0 = run slices inline)")
+    p.add_argument("--steps-per-slice", type=int, default=8)
+    p.add_argument("--queue-capacity", type=int, default=None,
+                   help="ready-queue bound (backpressure); default unbounded")
+    p.add_argument("--max-slices", type=int, default=None,
+                   help="stop after this many committed slices (kill switch)")
+    _add_chaos_flags(p)
+    t = p.add_argument_group("observability")
+    t.add_argument("--trace-out", type=str, default=None,
+                   help="enable span tracing; write Chrome-trace JSON here")
+    t.add_argument("--metrics-out", type=str, default=None,
+                   help="write the metrics registry as JSON here")
+    p.set_defaults(func=cmd_serve)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    if args.trace_out:
+        obs.enable_tracing()
+    with _service_from_args(args, workers=args.workers) as service:
+        report = service.run(max_slices=args.max_slices)
+        print(
+            f"slices            : {report.slices_committed} committed, "
+            f"{report.slices_discarded} discarded"
+        )
+        if report.fault_counts:
+            kinds = "  ".join(
+                f"{k}={n}" for k, n in sorted(report.fault_counts.items())
+            )
+            print(f"faults            : {kinds}")
+        print(f"campaigns         : {report.done} done, {report.failed} failed, "
+              f"{len(report.campaigns)} total")
+        _print_campaigns(service)
+    if args.trace_out:
+        obs.export_chrome_trace(args.trace_out)
+        print(f"trace             : {args.trace_out} (load in ui.perfetto.dev)")
+    if args.metrics_out:
+        obs.write_metrics_json(args.metrics_out, obs.METRICS)
+        print(f"metrics           : {args.metrics_out}")
+    return 0
+
+
+def _add_campaign_cmd(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("campaign", help="manage campaigns in a checkpoint store")
+    action = p.add_subparsers(dest="action", required=True)
+
+    def _common(q: argparse.ArgumentParser) -> None:
+        q.add_argument("--store", type=str, required=True,
+                       help="checkpoint directory")
+        q.add_argument("--dataset", type=str, default=None,
+                       help=".csv/.npz (default: generate; must match the store)")
+        q.add_argument("--seed", type=int, default=42,
+                       help="seed for the generated default dataset")
+
+    s = action.add_parser("submit", help="register a new campaign")
+    _common(s)
+    s.add_argument("--id", required=True, help="campaign id (checkpoint name)")
+    s.add_argument("--policy", choices=sorted(POLICIES), default="rand_goodness")
+    s.add_argument("--base-seed", type=int, default=0)
+    s.add_argument("--traj-index", type=int, default=0)
+    s.add_argument("--n-init", type=int, default=50)
+    s.add_argument("--n-test", type=int, default=200)
+    s.add_argument("--iterations", type=int, default=100)
+    s.add_argument("--budget", type=float, default=None,
+                   help="node-hour allocation (default unlimited)")
+    s.add_argument("--steps-per-slice", type=int, default=None)
+    s.add_argument("--memory-limit", type=float, default=None,
+                   help="L_mem in MB for rgma (default: the paper's 95%% rule)")
+    s.set_defaults(func=cmd_campaign_submit)
+
+    for name, fn in (
+        ("list", cmd_campaign_list),
+        ("pause", cmd_campaign_pause),
+        ("resume", cmd_campaign_resume),
+    ):
+        q = action.add_parser(name, help=f"{name} campaigns")
+        _common(q)
+        if name != "list":
+            q.add_argument("--id", required=True, help="campaign id")
+        q.set_defaults(func=fn)
+
+
+def cmd_campaign_submit(args: argparse.Namespace) -> int:
+    import functools
+
+    from repro.core import ALConfig, CampaignSpec
+
+    with _service_from_args(args) as service:
+        if args.policy == "rgma":
+            limit = (
+                args.memory_limit
+                if args.memory_limit
+                else service.dataset.memory_limit()
+            )
+            factory = functools.partial(RGMA, memory_limit_MB=limit)
+        else:
+            factory = POLICIES[args.policy]
+        spec = CampaignSpec(
+            campaign_id=args.id,
+            policy_factory=factory,
+            base_seed=args.base_seed,
+            traj_index=args.traj_index,
+            n_init=args.n_init,
+            n_test=args.n_test,
+            config=ALConfig(max_iterations=args.iterations),
+            budget_node_hours=(
+                args.budget if args.budget is not None else float("inf")
+            ),
+            steps_per_slice=args.steps_per_slice,
+        )
+        service.submit(spec)
+        print(f"submitted {args.id} ({args.policy}, "
+              f"max_iterations={args.iterations})")
+    return 0
+
+
+def cmd_campaign_list(args: argparse.Namespace) -> int:
+    with _service_from_args(args) as service:
+        _print_campaigns(service)
+    return 0
+
+
+def cmd_campaign_pause(args: argparse.Namespace) -> int:
+    with _service_from_args(args) as service:
+        service.pause(args.id)
+        print(f"paused {args.id}")
+    return 0
+
+
+def cmd_campaign_resume(args: argparse.Namespace) -> int:
+    with _service_from_args(args) as service:
+        service.resume_campaign(args.id)
+        print(f"resumed {args.id}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -336,6 +562,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_cmd(sub)
     _add_simulate_cmd(sub)
     _add_trace_cmd(sub)
+    _add_serve_cmd(sub)
+    _add_campaign_cmd(sub)
     return parser
 
 

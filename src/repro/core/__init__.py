@@ -51,6 +51,21 @@ from repro.core.parallel import (
     TrajectorySpec,
     run_trajectories,
 )
+from repro.core.service import (
+    CampaignInfo,
+    CampaignQueue,
+    CampaignService,
+    CampaignSpec,
+    CampaignStatus,
+    ChaosConfig,
+    CheckpointStore,
+    ServiceError,
+    ServiceReport,
+    build_learner,
+    dataset_fingerprint,
+    dumps_campaign,
+    loads_campaign,
+)
 from repro.core.batch_selection import BATCH_STRATEGIES, BatchActiveLearner
 from repro.core.online import OnlineActiveLearner, OnlineResult
 from repro.core.advisor import ConfigurationAdvisor, Recommendation
@@ -91,6 +106,19 @@ __all__ = [
     "TrajectoryFailure",
     "TrajectorySpec",
     "run_trajectories",
+    "CampaignInfo",
+    "CampaignQueue",
+    "CampaignService",
+    "CampaignSpec",
+    "CampaignStatus",
+    "ChaosConfig",
+    "CheckpointStore",
+    "ServiceError",
+    "ServiceReport",
+    "build_learner",
+    "dataset_fingerprint",
+    "dumps_campaign",
+    "loads_campaign",
     "BatchActiveLearner",
     "BATCH_STRATEGIES",
     "BatchConfig",

@@ -16,6 +16,8 @@ positional on the learner).  Benefits over loose kwargs:
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, fields
 from typing import Any, Callable
 
@@ -100,6 +102,18 @@ class ALConfig:
             "on_failure": self.on_failure.value,
             "use_workspace": self.use_workspace,
         }
+
+    def fingerprint(self) -> str:
+        """Short stable hash of :meth:`describe`.
+
+        The campaign service stamps every checkpoint with the fingerprint
+        of the configuration that produced it and refuses to resume a
+        campaign under a different one — a silently changed config would
+        break the resume bit-identity contract, so the mismatch must be
+        loud.
+        """
+        blob = json.dumps(self.describe(), sort_keys=True).encode()
+        return hashlib.sha1(blob).hexdigest()[:16]
 
 
 #: Names of the legacy ``ActiveLearner`` keyword arguments that map 1:1

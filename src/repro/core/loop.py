@@ -304,6 +304,21 @@ class ActiveLearner:
         self._cache_cost = CandidateCovarianceCache(self.gpr_cost)
         self._cache_mem = CandidateCovarianceCache(self.gpr_mem)
 
+        # Stepwise-execution state (see start/step/finalize).  Lives on the
+        # instance — not in run()-local variables — so a learner pickled
+        # between steps checkpoints its complete mid-run state and resumes
+        # bit-identically (the campaign service's resume contract).
+        self._started = False
+        self._stop: StopReason | None = None
+        self._records: list[IterationRecord] = []
+        self._fault_events: list[FaultEvent] = []
+        self._cum_cost = 0.0
+        self._cum_regret = 0.0
+        self._iteration = 0
+        self._initial_rmse = (float("nan"), float("nan"))
+        self._prev_rmse = (float("nan"), float("nan"), float("nan"))
+        self._memory_limit: float | None = None
+
     # ---------------------------------------------------------------- helpers
 
     def _train_indices(self) -> np.ndarray:
@@ -396,175 +411,238 @@ class ActiveLearner:
             return trajectory
 
     def _run(self) -> Trajectory:
+        self.start()
+        while self.step():
+            pass
+        return self.finalize()
+
+    # ------------------------------------------------------- stepwise API
+
+    @property
+    def finished(self) -> bool:
+        """True once the run has reached a stop condition."""
+        return self._stop is not None
+
+    @property
+    def iteration(self) -> int:
+        """The next AL iteration to execute (0 before any selection)."""
+        return self._iteration
+
+    @property
+    def records(self) -> tuple[IterationRecord, ...]:
+        """Records committed so far (stable snapshot)."""
+        return tuple(self._records)
+
+    @property
+    def cumulative_cost_spent(self) -> float:
+        """Node-hours charged so far (the campaign ledger's feed)."""
+        return self._cum_cost
+
+    def start(self) -> None:
+        """Pre-AL initialization: initial fit + baseline RMSE (idempotent).
+
+        Splitting this out of :meth:`run` lets a driver (the campaign
+        service) execute the loop one :meth:`step` at a time, pickling the
+        learner between steps as a checkpoint.  Everything :meth:`step`
+        needs lives on the instance afterwards.
+        """
+        if self._started:
+            return
         self.stopping_rule.reset()
         self._fit_models(optimize=True)
         rmse_c0, rmse_m0, _ = self._test_rmse()
+        self._initial_rmse = (rmse_c0, rmse_m0)
+        # RMSE reported on iterations that learned nothing (dropped
+        # acquisitions leave the models untouched).
+        self._prev_rmse = (rmse_c0, rmse_m0, float("nan"))
+        self._memory_limit = (
+            self.policy.memory_limit_MB if isinstance(self.policy, RGMA) else None
+        )
+        self._started = True
+
+    def step(self) -> bool:
+        """One selection attempt; returns False once the run has ended.
+
+        Exactly one pass of Algorithm 1's loop body: at most one candidate
+        leaves the pool, and the ``next_best`` failure path consumes a step
+        without advancing the iteration counter (a replacement is selected
+        on the following step), matching the historical in-loop ``continue``.
+        The learner may be pickled between any two calls and the restored
+        copy continues the identical sequence.
+        """
+        if not self._started:
+            self.start()
+        if self._stop is not None:
+            return False
+        if not self._remaining:
+            self._stop = StopReason.EXHAUSTED
+            return False
 
         faults = self.acquisition_faults
         faults_on = faults is not None and faults.enabled
-        fault_events: list[FaultEvent] = []
+        iteration = self._iteration
 
-        memory_limit = (
-            self.policy.memory_limit_MB if isinstance(self.policy, RGMA) else None
-        )
-        records: list[IterationRecord] = []
-        cum_cost = 0.0
-        cum_regret = 0.0
-        stop = StopReason.EXHAUSTED
-        # RMSE reported on iterations that learned nothing (dropped
-        # acquisitions leave the models untouched).
-        prev_rmse = (rmse_c0, rmse_m0, float("nan"))
+        with obs.span(
+            "al_iteration",
+            cat="al",
+            iteration=iteration,
+            pool=len(self._remaining),
+        ):
+            if self.max_iterations is not None and iteration >= self.max_iterations:
+                self._stop = StopReason.MAX_ITERATIONS
+                return False
+            view = self._candidate_view()
+            if self.stopping_rule.update(view.mu_cost, view.sigma_cost):
+                self._stop = StopReason.STOPPING_RULE
+                return False
+            pos = self.policy.select(view, self.rng)
+            if pos is None:
+                self._stop = StopReason.MEMORY_CONSTRAINED
+                return False
+            ds_index = self._remaining.pop(pos)
+            outcome = faults.strike(self.rng) if faults_on else AcquisitionOutcome.OK
 
-        iteration = 0
-        while self._remaining:
-            with obs.span(
-                "al_iteration",
-                cat="al",
-                iteration=iteration,
-                pool=len(self._remaining),
-            ):
-                if self.max_iterations is not None and iteration >= self.max_iterations:
-                    stop = StopReason.MAX_ITERATIONS
-                    break
-                view = self._candidate_view()
-                if self.stopping_rule.update(view.mu_cost, view.sigma_cost):
-                    stop = StopReason.STOPPING_RULE
-                    break
-                pos = self.policy.select(view, self.rng)
-                if pos is None:
-                    stop = StopReason.MEMORY_CONSTRAINED
-                    break
-                ds_index = self._remaining.pop(pos)
-                outcome = faults.strike(self.rng) if faults_on else AcquisitionOutcome.OK
+            # The experiment ran (or died trying): its node-hours are
+            # spent regardless of whether the observation is usable.
+            cost = float(self.dataset.cost[ds_index])
+            mem = float(self.dataset.mem[ds_index])
+            self._cum_cost += cost
+            if self._memory_limit is not None:
+                self._cum_regret += individual_regret(cost, mem, self._memory_limit)
 
-                # The experiment ran (or died trying): its node-hours are
-                # spent regardless of whether the observation is usable.
-                cost = float(self.dataset.cost[ds_index])
-                mem = float(self.dataset.mem[ds_index])
-                cum_cost += cost
-                if memory_limit is not None:
-                    cum_regret += individual_regret(cost, mem, memory_limit)
-
-                crashed = outcome is AcquisitionOutcome.CRASHED
-                censored = outcome is AcquisitionOutcome.CENSORED
-                if crashed and self.on_failure is not FailurePolicy.IMPUTE:
-                    # The sample is lost entirely: remove it from the cached
-                    # cross-covariances (row only — it never joins the kernel)
-                    # and leave both models untouched.
-                    if self.cache_candidates:
-                        self._cache_cost.drop(pos)
-                        self._cache_mem.drop(pos)
-                    obs.event(
-                        "acquisition_fault",
-                        cat="al",
-                        kind="crash",
-                        dataset_index=int(ds_index),
-                        handled=self.on_failure.value,
-                    )
-                    fault_events.append(
-                        FaultEvent(
-                            job_id=int(ds_index),
-                            attempt=iteration,
-                            kind=FaultKind.CRASH,
-                            lost_wall_seconds=float(self.dataset.wall[ds_index]),
-                            nodes=int(self.dataset.X[ds_index, 0]),
-                            detail=f"acquisition crashed ({self.on_failure.value})",
-                        )
-                    )
-                    records.append(
-                        IterationRecord(
-                            iteration=iteration,
-                            dataset_index=int(ds_index),
-                            cost=cost,
-                            mem=mem,
-                            rmse_cost=prev_rmse[0],
-                            rmse_mem=prev_rmse[1],
-                            cumulative_cost=cum_cost,
-                            cumulative_regret=cum_regret,
-                            rmse_cost_weighted=prev_rmse[2],
-                            failed=True,
-                        )
-                    )
-                    if self.on_failure is FailurePolicy.NEXT_BEST:
-                        continue  # replacement selected within the same iteration
-                    iteration += 1  # DROP: the iteration is consumed
-                    continue
-
-                # The sample (or an imputation of it) joins the training sets.
-                u_new = self._U[ds_index]
-                target_cost = float(self._log_cost[ds_index])
-                target_mem = float(self._log_mem[ds_index])
-                learn_mem = True
-                if crashed:  # IMPUTE policy: both observations were lost
-                    target_cost = float(self.gpr_cost.predict(u_new[None, :])[0])
-                    target_mem = float(self.gpr_mem.predict(u_new[None, :])[0])
-                elif censored:  # cost observed, MaxRSS lost
-                    if self.on_failure is FailurePolicy.IMPUTE:
-                        target_mem = float(self.gpr_mem.predict(u_new[None, :])[0])
-                    else:
-                        learn_mem = False
-
-                self._learned.append(ds_index)
-                self._targets_cost.append(target_cost)
-                if learn_mem:
-                    self._learned_mem.append(ds_index)
-                    self._targets_mem.append(target_mem)
+            crashed = outcome is AcquisitionOutcome.CRASHED
+            censored = outcome is AcquisitionOutcome.CENSORED
+            if crashed and self.on_failure is not FailurePolicy.IMPUTE:
+                # The sample is lost entirely: remove it from the cached
+                # cross-covariances (row only — it never joins the kernel)
+                # and leave both models untouched.
                 if self.cache_candidates:
-                    U_rem = self._U[np.asarray(self._remaining, dtype=np.int64)]
-                    self._cache_cost.acquire(pos, U_rem, u_new)
-                    if learn_mem:
-                        self._cache_mem.acquire(pos, U_rem, u_new)
-                    else:
-                        self._cache_mem.drop(pos)
-                if crashed or censored:
-                    obs.event(
-                        "acquisition_fault",
-                        cat="al",
-                        kind="crash" if crashed else "rss_lost",
-                        dataset_index=int(ds_index),
-                        handled=self.on_failure.value,
+                    self._cache_cost.drop(pos)
+                    self._cache_mem.drop(pos)
+                obs.event(
+                    "acquisition_fault",
+                    cat="al",
+                    kind="crash",
+                    dataset_index=int(ds_index),
+                    handled=self.on_failure.value,
+                )
+                self._fault_events.append(
+                    FaultEvent(
+                        job_id=int(ds_index),
+                        attempt=iteration,
+                        kind=FaultKind.CRASH,
+                        lost_wall_seconds=float(self.dataset.wall[ds_index]),
+                        nodes=int(self.dataset.X[ds_index, 0]),
+                        detail=f"acquisition crashed ({self.on_failure.value})",
                     )
-                    fault_events.append(
-                        FaultEvent(
-                            job_id=int(ds_index),
-                            attempt=iteration,
-                            kind=FaultKind.CRASH if crashed else FaultKind.RSS_LOST,
-                            lost_wall_seconds=(
-                                float(self.dataset.wall[ds_index]) if crashed else 0.0
-                            ),
-                            nodes=int(self.dataset.X[ds_index, 0]),
-                            detail=f"handled via {self.on_failure.value}",
-                        )
-                    )
-
-                optimize = (iteration % self.hyper_refit_interval) == 0
-                self._fit_models(optimize=optimize)
-                rmse_c, rmse_m, rmse_w = self._test_rmse()
-                prev_rmse = (rmse_c, rmse_m, rmse_w)
-                records.append(
+                )
+                self._records.append(
                     IterationRecord(
                         iteration=iteration,
                         dataset_index=int(ds_index),
                         cost=cost,
                         mem=mem,
-                        rmse_cost=rmse_c,
-                        rmse_mem=rmse_m,
-                        cumulative_cost=cum_cost,
-                        cumulative_regret=cum_regret,
-                        rmse_cost_weighted=rmse_w,
-                        failed=crashed,
-                        censored=censored,
+                        rmse_cost=self._prev_rmse[0],
+                        rmse_mem=self._prev_rmse[1],
+                        cumulative_cost=self._cum_cost,
+                        cumulative_regret=self._cum_regret,
+                        rmse_cost_weighted=self._prev_rmse[2],
+                        failed=True,
                     )
                 )
-                iteration += 1
+                if self.on_failure is not FailurePolicy.NEXT_BEST:
+                    self._iteration += 1  # DROP: the iteration is consumed
+                return True  # NEXT_BEST: replacement selected next step
 
+            # The sample (or an imputation of it) joins the training sets.
+            u_new = self._U[ds_index]
+            target_cost = float(self._log_cost[ds_index])
+            target_mem = float(self._log_mem[ds_index])
+            learn_mem = True
+            if crashed:  # IMPUTE policy: both observations were lost
+                target_cost = float(self.gpr_cost.predict(u_new[None, :])[0])
+                target_mem = float(self.gpr_mem.predict(u_new[None, :])[0])
+            elif censored:  # cost observed, MaxRSS lost
+                if self.on_failure is FailurePolicy.IMPUTE:
+                    target_mem = float(self.gpr_mem.predict(u_new[None, :])[0])
+                else:
+                    learn_mem = False
+
+            self._learned.append(ds_index)
+            self._targets_cost.append(target_cost)
+            if learn_mem:
+                self._learned_mem.append(ds_index)
+                self._targets_mem.append(target_mem)
+            if self.cache_candidates:
+                U_rem = self._U[np.asarray(self._remaining, dtype=np.int64)]
+                self._cache_cost.acquire(pos, U_rem, u_new)
+                if learn_mem:
+                    self._cache_mem.acquire(pos, U_rem, u_new)
+                else:
+                    self._cache_mem.drop(pos)
+            if crashed or censored:
+                obs.event(
+                    "acquisition_fault",
+                    cat="al",
+                    kind="crash" if crashed else "rss_lost",
+                    dataset_index=int(ds_index),
+                    handled=self.on_failure.value,
+                )
+                self._fault_events.append(
+                    FaultEvent(
+                        job_id=int(ds_index),
+                        attempt=iteration,
+                        kind=FaultKind.CRASH if crashed else FaultKind.RSS_LOST,
+                        lost_wall_seconds=(
+                            float(self.dataset.wall[ds_index]) if crashed else 0.0
+                        ),
+                        nodes=int(self.dataset.X[ds_index, 0]),
+                        detail=f"handled via {self.on_failure.value}",
+                    )
+                )
+
+            optimize = (iteration % self.hyper_refit_interval) == 0
+            self._fit_models(optimize=optimize)
+            rmse_c, rmse_m, rmse_w = self._test_rmse()
+            self._prev_rmse = (rmse_c, rmse_m, rmse_w)
+            self._records.append(
+                IterationRecord(
+                    iteration=iteration,
+                    dataset_index=int(ds_index),
+                    cost=cost,
+                    mem=mem,
+                    rmse_cost=rmse_c,
+                    rmse_mem=rmse_m,
+                    cumulative_cost=self._cum_cost,
+                    cumulative_regret=self._cum_regret,
+                    rmse_cost_weighted=rmse_w,
+                    failed=crashed,
+                    censored=censored,
+                )
+            )
+            self._iteration += 1
+        return True
+
+    def finalize(self, stop: StopReason | None = None) -> Trajectory:
+        """Build the :class:`Trajectory` for the run so far.
+
+        ``stop`` overrides the recorded stop reason — the campaign service
+        uses it to close out a run its ledger terminated early
+        (:attr:`StopReason.BUDGET_EXHAUSTED`).  Without an override, an
+        unfinished run reports ``EXHAUSTED`` (the historical default for a
+        loop that never hit another condition).
+        """
+        if stop is None:
+            stop = self._stop if self._stop is not None else StopReason.EXHAUSTED
+        else:
+            self._stop = stop
         return Trajectory(
             policy_name=self.policy.name,
             n_init=self.partition.n_init,
-            records=tuple(records),
+            records=tuple(self._records),
             stop_reason=stop,
-            initial_rmse_cost=rmse_c0,
-            initial_rmse_mem=rmse_m0,
-            fault_events=tuple(fault_events),
+            initial_rmse_cost=self._initial_rmse[0],
+            initial_rmse_mem=self._initial_rmse[1],
+            fault_events=tuple(self._fault_events),
             config=self.config.describe(),
         )

@@ -500,12 +500,20 @@ def run_trajectories(
         ) as pool:
             futures = [pool.submit(_run_spec_pooled, s) for s in spec_list]
             results = []
-            payloads: list[dict | None] = []
-            for spec, fut in zip(spec_list, futures):
+            # Fold worker metrics/spans into this process as each result
+            # drains, in spec order — metric merging is order-independent
+            # (sums; gauges keep the max) and spans land on lane
+            # ``spec_index + 1``, so the merged state is identical for any
+            # worker count or completion order.  Merging *inside* the drain
+            # loop (rather than after it) means a cancellation mid-drain —
+            # KeyboardInterrupt while blocked on a later future — keeps the
+            # observability state every finished trajectory already
+            # shipped, matching how worker/slice failures ship partial
+            # state everywhere else.
+            for i, (spec, fut) in enumerate(zip(spec_list, futures)):
                 try:
                     name, result, payload = fut.result()
                     results.append((name, result))
-                    payloads.append(payload)
                 except Exception as exc:  # noqa: BLE001
                     # The worker process itself died (BrokenProcessPool,
                     # unpicklable result, ...): report, don't hang.  Its
@@ -516,12 +524,7 @@ def run_trajectories(
                             TrajectoryFailure(name=spec.name, error=repr(exc)),
                         )
                     )
-                    payloads.append(None)
-            # Fold worker metrics/spans into this process, in spec order —
-            # metric merging is order-independent (sums; gauges keep the
-            # max) and spans land on lane ``spec_index + 1``, so the merged
-            # state is identical for any worker count or completion order.
-            for i, payload in enumerate(payloads):
+                    payload = None
                 if payload is not None:
                     obs.merge_state(payload, track=i + 1)
 

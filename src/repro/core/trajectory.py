@@ -24,6 +24,7 @@ class StopReason(str, Enum):
     MEMORY_CONSTRAINED = "memory_constrained"  # RGMA: no satisfying candidate
     MAX_ITERATIONS = "max_iterations"  # caller-imposed iteration budget
     STOPPING_RULE = "stopping_rule"  # a StoppingRule fired
+    BUDGET_EXHAUSTED = "budget_exhausted"  # campaign ledger ran out of node-hours
 
 
 @dataclass(frozen=True, slots=True)

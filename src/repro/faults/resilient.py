@@ -75,6 +75,20 @@ class RetryPolicy:
             min(self.backoff_cap_s, self.backoff_base_s * self.backoff_factor ** (attempt - 1))
         )
 
+    def should_retry(self, fault: FaultKind | None, fatal: bool, attempt: int) -> bool:
+        """Whether attempt number ``attempt`` (0-based) is resubmitted.
+
+        The shared resubmission rule of every executor that consults this
+        policy (:class:`ResilientJobRunner`, the campaign service's slice
+        scheduler): fatal faults retry, a kept-but-unusable ``RSS_LOST``
+        measurement retries only when :attr:`retry_rss_lost` is set, and
+        nothing retries past :attr:`max_retries`.
+        """
+        if fault is None:
+            return False
+        retryable = fatal or (fault is FaultKind.RSS_LOST and self.retry_rss_lost)
+        return retryable and attempt < self.max_retries
+
 
 @dataclass(frozen=True)
 class ResilientRun:
@@ -159,14 +173,13 @@ class ResilientJobRunner:
                         queue_wait_seconds=queue_wait,
                     )
 
-                retryable = outcome.fatal or (
-                    outcome.fault is FaultKind.RSS_LOST and self.retry.retry_rss_lost
-                )
-                out_of_budget = attempt >= self.retry.max_retries
-                if not retryable or out_of_budget:
+                if not self.retry.should_retry(outcome.fault, outcome.fatal, attempt):
                     # Survivable degradation (straggler, kept RSS_LOST) or
                     # retries exhausted: this attempt is the final record.
-                    detail = "gave up" if (retryable and out_of_budget) else "kept"
+                    retryable = outcome.fatal or (
+                        outcome.fault is FaultKind.RSS_LOST and self.retry.retry_rss_lost
+                    )
+                    detail = "gave up" if retryable else "kept"
                     obs.event(
                         "fault",
                         cat="faults",

@@ -95,6 +95,74 @@ class SlurmAccounting:
         return record
 
 
+@dataclass(slots=True)
+class CampaignLedger:
+    """Node-hour accounting for one long-running AL campaign.
+
+    The campaign service prices everything in the paper's currency —
+    node-hours, the same unit :attr:`JobRecord.cost_node_hours` reports —
+    and schedules campaigns by what is *left* of their allocation.  Three
+    buckets:
+
+    - ``committed_node_hours`` — selections the campaign actually kept
+      (the sum of the trajectory's per-sample costs, including crashed
+      acquisitions, which burn their allocation either way);
+    - ``wasted_node_hours`` — slices discarded by the fault layer (worker
+      crash, OOM, timeout) and re-run from the last checkpoint: real
+      machine time that produced no committed state, exactly the quantity
+      :class:`~repro.faults.resilient.ResilientRun` charges at job level;
+    - ``queue_wait_seconds`` — backoff the retry policy imposed (delay,
+      not machine time; kept separate from the node-hour buckets).
+
+    Remaining budget = ``budget - committed - wasted``; a campaign whose
+    remaining budget reaches zero is finalized with
+    :attr:`~repro.core.trajectory.StopReason.BUDGET_EXHAUSTED`.
+    """
+
+    budget_node_hours: float = float("inf")
+    committed_node_hours: float = 0.0
+    wasted_node_hours: float = 0.0
+    queue_wait_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.budget_node_hours <= 0:
+            raise ValueError("budget_node_hours must be positive")
+
+    @property
+    def remaining_node_hours(self) -> float:
+        """What is left of the allocation (scheduling priority key)."""
+        return self.budget_node_hours - self.committed_node_hours - self.wasted_node_hours
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining_node_hours <= 0.0
+
+    def charge(self, node_hours: float) -> None:
+        """Commit node-hours the campaign keeps (selected samples)."""
+        if node_hours < 0:
+            raise ValueError("cannot charge negative node-hours")
+        self.committed_node_hours += node_hours
+
+    def waste(self, node_hours: float) -> None:
+        """Charge node-hours a discarded (re-run) slice burned."""
+        if node_hours < 0:
+            raise ValueError("cannot waste negative node-hours")
+        self.wasted_node_hours += node_hours
+
+    def wait(self, seconds: float) -> None:
+        """Account retry backoff (queue-side delay, not machine time)."""
+        self.queue_wait_seconds += seconds
+
+    def as_dict(self) -> dict:
+        """JSON-able dump for checkpoints and the CLI listing."""
+        return {
+            "budget_node_hours": self.budget_node_hours,
+            "committed_node_hours": self.committed_node_hours,
+            "wasted_node_hours": self.wasted_node_hours,
+            "queue_wait_seconds": self.queue_wait_seconds,
+        }
+
+
 def filter_usable(records: list[JobRecord]) -> list[JobRecord]:
     """Drop rows unusable for memory modeling, as the authors did.
 

@@ -184,3 +184,57 @@ class TestWorkerCountDeterminism:
             run_trajectories(
                 small_dataset, _specs(1), max_workers=1, on_error="ignore"
             )
+
+
+class TestMidDrainCancellation:
+    """Regression: obs payloads already shipped by finished workers must be
+    merged even when the drain loop is cancelled on a later future."""
+
+    class _FakeFuture:
+        def __init__(self, value=None, exc=None):
+            self._value, self._exc = value, exc
+
+        def result(self):
+            if self._exc is not None:
+                raise self._exc
+            return self._value
+
+    class _FakePool:
+        def __init__(self, futures):
+            self._futures = iter(futures)
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def submit(self, fn, spec):
+            return next(self._futures)
+
+    def test_finished_payloads_survive_cancellation(
+        self, small_dataset, monkeypatch
+    ):
+        from repro import obs
+        from repro.core import parallel
+
+        payload = {"metrics": {"counters": {"test.mid_drain.sentinel": 3}},
+                   "trace": None}
+        futures = [
+            self._FakeFuture(value=("a", object(), payload)),
+            self._FakeFuture(exc=KeyboardInterrupt()),
+        ]
+        monkeypatch.setattr(
+            parallel,
+            "ProcessPoolExecutor",
+            lambda *a, **kw: self._FakePool(futures),
+        )
+        obs.reset()
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                run_trajectories(small_dataset, _specs(2), max_workers=2)
+            counters = obs.METRICS.state()["counters"]
+            # The first worker's payload was merged before the cancellation.
+            assert counters.get("test.mid_drain.sentinel") == 3
+        finally:
+            obs.reset()

@@ -131,3 +131,80 @@ class TestSimulateCommand:
         out = capsys.readouterr().out
         assert "predicted cost" in out
         assert "patches per level" in out
+
+
+@pytest.fixture(scope="module")
+def service_dataset_csv(tmp_path_factory):
+    """One saved dataset shared by every campaign-service CLI test."""
+    csv = tmp_path_factory.mktemp("svc") / "d.csv"
+    assert main(["dataset", "--out", str(csv), "--seed", "1"]) == 0
+    return str(csv)
+
+
+def _submit(store, csv, cid, extra=()):
+    return main(
+        ["campaign", "submit", "--store", store, "--dataset", csv,
+         "--id", cid, "--policy", "max_sigma", "--base-seed", "3",
+         "--n-init", "20", "--n-test", "30", "--iterations", "4", *extra]
+    )
+
+
+class TestServeCommand:
+    def test_submit_serve_list_roundtrip(
+        self, tmp_path, capsys, service_dataset_csv
+    ):
+        store = str(tmp_path / "store")
+        assert _submit(store, service_dataset_csv, "c0") == 0
+        capsys.readouterr()
+        assert main(
+            ["serve", "--store", store, "--dataset", service_dataset_csv,
+             "--steps-per-slice", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 done, 0 failed" in out
+        assert main(
+            ["campaign", "list", "--store", store,
+             "--dataset", service_dataset_csv]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "c0" in out and "done" in out
+
+    def test_serve_with_chaos_exports_observability(
+        self, tmp_path, capsys, service_dataset_csv
+    ):
+        store = str(tmp_path / "store")
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert _submit(store, service_dataset_csv, "chaotic") == 0
+        assert main(
+            ["serve", "--store", store, "--dataset", service_dataset_csv,
+             "--steps-per-slice", "2", "--chaos-crash-prob", "0.3",
+             "--chaos-seed", "5", "--trace-out", str(trace),
+             "--metrics-out", str(metrics)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 done, 0 failed" in out
+        assert trace.exists() and metrics.exists()
+
+    def test_pause_resume_cycle(self, tmp_path, capsys, service_dataset_csv):
+        store = str(tmp_path / "store")
+        assert _submit(store, service_dataset_csv, "c0") == 0
+        assert main(
+            ["campaign", "pause", "--store", store,
+             "--dataset", service_dataset_csv, "--id", "c0"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["campaign", "list", "--store", store,
+             "--dataset", service_dataset_csv]
+        ) == 0
+        assert "paused" in capsys.readouterr().out
+        assert main(
+            ["campaign", "resume", "--store", store,
+             "--dataset", service_dataset_csv, "--id", "c0"]
+        ) == 0
+        assert main(
+            ["serve", "--store", store, "--dataset", service_dataset_csv,
+             "--steps-per-slice", "2"]
+        ) == 0
+        assert "1 done, 0 failed" in capsys.readouterr().out
