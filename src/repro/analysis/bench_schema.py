@@ -1,0 +1,140 @@
+"""Schema checks for the ``BENCH_*.json`` perf artifacts.
+
+The perf benchmarks (``benchmarks/test_perf_*.py``) each emit a small
+machine-readable JSON at the repo root for trend tracking; CI uploads
+them as artifacts.  A malformed artifact is worse than a missing one —
+downstream tooling silently plots nothing — so CI validates every file
+with this module before upload::
+
+    python -m repro.analysis.bench_schema BENCH_select.json [more.json ...]
+
+Exit status 0 iff every file parses and satisfies the schema registered
+for its ``benchmark`` name; violations are printed one per line.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+__all__ = ["validate", "check_file", "main"]
+
+_NUM = (int, float)
+
+
+def _require(data: dict, key: str, types, errors: list[str], ctx: str) -> Any:
+    if key not in data:
+        errors.append(f"{ctx}: missing key {key!r}")
+        return None
+    value = data[key]
+    if not isinstance(value, types):
+        errors.append(
+            f"{ctx}: {key!r} must be {types}, got {type(value).__name__}"
+        )
+        return None
+    return value
+
+
+def _check_checkpoints(
+    data: dict, row_keys: tuple[str, ...], errors: list[str]
+) -> None:
+    rows = _require(data, "checkpoints", list, errors, "top level")
+    if rows is None:
+        return
+    if not rows:
+        errors.append("checkpoints: must be non-empty")
+    for i, row in enumerate(rows):
+        ctx = f"checkpoints[{i}]"
+        if not isinstance(row, dict):
+            errors.append(f"{ctx}: must be an object")
+            continue
+        n = _require(row, "n_train", int, errors, ctx)
+        if n is not None and n <= 0:
+            errors.append(f"{ctx}: n_train must be positive")
+        for key in row_keys:
+            value = _require(row, key, _NUM, errors, ctx)
+            if value is not None and value < 0:
+                errors.append(f"{ctx}: {key!r} must be non-negative")
+
+
+def _select_schema(data: dict, errors: list[str]) -> None:
+    _check_checkpoints(
+        data, ("dense_sps", "iterative_sps", "sparse_sps", "speedup"), errors
+    )
+    parity = _require(data, "parity", dict, errors, "top level")
+    if parity is not None:
+        ident = _require(parity, "identical", bool, errors, "parity")
+        if ident is False:
+            errors.append("parity: dense/iterative selections diverged")
+        rounds = _require(parity, "rounds", int, errors, "parity")
+        if rounds is not None and rounds < 1:
+            errors.append("parity: rounds must be >= 1")
+
+
+def _fit_schema(data: dict, errors: list[str]) -> None:
+    _check_checkpoints(data, ("direct_ms", "workspace_ms", "speedup"), errors)
+
+
+def _amr_schema(data: dict, errors: list[str]) -> None:
+    for key in ("per_patch", "batched"):
+        _require(data, key, dict, errors, "top level")
+
+
+#: benchmark name -> extra validation beyond the common envelope.
+SCHEMAS = {
+    "gp_select_throughput": _select_schema,
+    "gp_fit_workspace": _fit_schema,
+    "amr_batched_stepping": _amr_schema,
+}
+
+
+def validate(data: Any) -> list[str]:
+    """All schema violations in ``data`` (empty list == valid)."""
+    errors: list[str] = []
+    if not isinstance(data, dict):
+        return ["top level: must be a JSON object"]
+    name = _require(data, "benchmark", str, errors, "top level")
+    _require(data, "config", dict, errors, "top level")
+    speedup = _require(data, "speedup", _NUM, errors, "top level")
+    if speedup is not None and speedup <= 0:
+        errors.append("top level: speedup must be positive")
+    extra = SCHEMAS.get(name or "")
+    if extra is None:
+        errors.append(f"top level: unknown benchmark name {name!r}")
+    else:
+        extra(data, errors)
+    return errors
+
+
+def check_file(path: str | Path) -> list[str]:
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        return [f"{path}: file not found"]
+    except json.JSONDecodeError as exc:
+        return [f"{path}: invalid JSON ({exc})"]
+    return [f"{path}: {err}" for err in validate(data)]
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if not args:
+        print("usage: python -m repro.analysis.bench_schema FILE.json ...")
+        return 2
+    failed = False
+    for arg in args:
+        errors = check_file(arg)
+        if errors:
+            failed = True
+            for err in errors:
+                print(err, file=sys.stderr)
+        else:
+            print(f"{arg}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

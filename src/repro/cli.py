@@ -136,6 +136,7 @@ def _add_run_cmd(sub: argparse._SubParsersAction) -> None:
         default=[],
         help="feature columns modeled via log2 (e.g. 0 1 for p and mx)",
     )
+    _add_surrogate_args(p)
     g = p.add_argument_group("acquisition faults (off by default)")
     g.add_argument("--acq-crash-prob", type=float, default=0.0,
                    help="probability an acquisition crashes (responses lost)")
@@ -149,6 +150,34 @@ def _add_run_cmd(sub: argparse._SubParsersAction) -> None:
     t.add_argument("--metrics-out", type=str, default=None,
                    help="write the metrics registry as JSON here")
     p.set_defaults(func=cmd_run)
+
+
+def _add_surrogate_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("surrogate backend")
+    g.add_argument(
+        "--surrogate",
+        choices=["dense", "iterative", "sparse"],
+        default="dense",
+        help="GP backend for the cost/memory models (default: exact dense)",
+    )
+    g.add_argument(
+        "--n-inducing", type=int, default=None,
+        help="inducing points for --surrogate sparse (default 64)",
+    )
+    g.add_argument(
+        "--exact-lml-max-n", type=int, default=None,
+        help="exact-LML crossover for --surrogate iterative (default 2000)",
+    )
+
+
+def _surrogate_config_kwargs(args: argparse.Namespace) -> dict:
+    """``ALConfig`` fields selecting and parameterizing the GP backend."""
+    opts: dict = {}
+    if args.surrogate == "sparse" and args.n_inducing is not None:
+        opts["n_inducing"] = args.n_inducing
+    if args.surrogate == "iterative" and args.exact_lml_max_n is not None:
+        opts["exact_lml_max_n"] = args.exact_lml_max_n
+    return {"surrogate": args.surrogate, "surrogate_options": opts}
 
 
 def _load_dataset(path: str | None, rng: np.random.Generator):
@@ -189,6 +218,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         log2_features=tuple(args.log2_features),
         acquisition_faults=acq_faults if acq_faults.enabled else None,
         on_failure=args.on_failure,
+        **_surrogate_config_kwargs(args),
     )
     traj = learner.run()
     print(f"policy            : {traj.policy_name}")
@@ -484,6 +514,7 @@ def _add_campaign_cmd(sub: argparse._SubParsersAction) -> None:
     s.add_argument("--steps-per-slice", type=int, default=None)
     s.add_argument("--memory-limit", type=float, default=None,
                    help="L_mem in MB for rgma (default: the paper's 95%% rule)")
+    _add_surrogate_args(s)
     s.set_defaults(func=cmd_campaign_submit)
 
     for name, fn in (
@@ -520,7 +551,10 @@ def cmd_campaign_submit(args: argparse.Namespace) -> int:
             traj_index=args.traj_index,
             n_init=args.n_init,
             n_test=args.n_test,
-            config=ALConfig(max_iterations=args.iterations),
+            config=ALConfig(
+                max_iterations=args.iterations,
+                **_surrogate_config_kwargs(args),
+            ),
             budget_node_hours=(
                 args.budget if args.budget is not None else float("inf")
             ),

@@ -46,6 +46,18 @@ class ALConfig:
     acquisition_faults: AcquisitionFaultModel | None = None
     on_failure: FailurePolicy = FailurePolicy.NEXT_BEST
     use_workspace: bool = True
+    #: Which built-in surrogate backend backs the cost/memory models when
+    #: no ``model_factory`` is given: ``"dense"`` (exact GPRegressor),
+    #: ``"iterative"`` (CG/Lanczos large-n fast path) or ``"sparse"``
+    #: (DTC inducing points).
+    surrogate: str = "dense"
+    #: Extra constructor keywords for the selected surrogate backend
+    #: (e.g. ``{"exact_lml_max_n": 2000}`` or ``{"n_inducing": 64}``),
+    #: normalized to a sorted tuple of pairs so the config stays hashable
+    #: and its fingerprint deterministic.
+    surrogate_options: tuple[tuple[str, Any], ...] = ()
+
+    _SURROGATES = ("dense", "iterative", "sparse")
 
     def __post_init__(self) -> None:
         if self.n_restarts < 0:
@@ -64,6 +76,19 @@ class ALConfig:
         )
         object.__setattr__(self, "cache_candidates", bool(self.cache_candidates))
         object.__setattr__(self, "use_workspace", bool(self.use_workspace))
+        if self.surrogate not in self._SURROGATES:
+            raise ValueError(
+                f"surrogate must be one of {self._SURROGATES}, "
+                f"got {self.surrogate!r}"
+            )
+        opts = self.surrogate_options
+        if isinstance(opts, dict):
+            opts = opts.items()
+        object.__setattr__(
+            self,
+            "surrogate_options",
+            tuple(sorted((str(k), v) for k, v in opts)),
+        )
 
     def describe(self) -> dict[str, Any]:
         """JSON-able summary of the resolved configuration.
@@ -101,6 +126,8 @@ class ALConfig:
             ),
             "on_failure": self.on_failure.value,
             "use_workspace": self.use_workspace,
+            "surrogate": self.surrogate,
+            "surrogate_options": [[k, v] for k, v in self.surrogate_options],
         }
 
     def fingerprint(self) -> str:

@@ -32,7 +32,12 @@ from repro.faults.acquisition import (
 from repro.faults.model import FaultEvent, FaultKind
 from repro.gp.gpr import GPRegressor
 from repro.gp.kernels import Kernel, default_kernel
-from repro.gp.surrogate import supports_cross
+from repro.gp.surrogate import (
+    cross_appends,
+    cross_points,
+    cross_version,
+    supports_cross,
+)
 
 #: Sentinel distinguishing "legacy kwarg not passed" from any real value,
 #: so explicitly passed legacy kwargs override an ``ALConfig`` while
@@ -44,20 +49,26 @@ class CandidateCovarianceCache:
     """Incrementally maintained cross-covariance for one surrogate model.
 
     Re-scoring the Active pool each iteration rebuilds the
-    ``(candidates x train)`` kernel matrix from scratch even though only
-    one candidate left the pool and one column (the newly learned point)
-    joined the training set.  This cache keeps ``Ks`` and the prior
-    diagonal across iterations: an acquisition deletes the selected
-    candidate's row and appends a single freshly evaluated column.
+    ``(candidates x basis)`` kernel matrix from scratch even though only
+    one candidate left the pool — and, for training-set bases, one column
+    (the newly learned point) joined the basis.  This cache keeps ``Ks``
+    and the prior diagonal across iterations: an acquisition deletes the
+    selected candidate's row and appends a single freshly evaluated
+    column when the model's basis grows on acquisition
+    (:func:`repro.gp.surrogate.cross_appends`); models with a frozen
+    basis (the sparse GP's inducing set) keep their rows valid with no
+    column work at all.
 
     Exactness invariants:
 
-    - The cache is keyed on the kernel's ``theta``; a hyperparameter refit
-      changes ``theta`` and the next :meth:`predict` silently rebuilds.
+    - The cache is keyed on the kernel's ``theta`` *and* the model's
+      basis epoch (:func:`repro.gp.surrogate.cross_version`); a
+      hyperparameter refit or a basis move (inducing re-cluster) makes
+      the next :meth:`predict` silently rebuild.
     - ``Ks`` depends only on the kernel and the point sets — *not* on the
-      Cholesky factor — so a jitter-ladder or full-refactor fallback in
+      factorization — so a jitter-ladder or full-refactor fallback in
       the model never stales the cache.
-    - Models without the exact-GP ``predict_from_cross`` surface (e.g.
+    - Models without a ``predict_from_cross`` surface (e.g.
       :class:`repro.gp.local.LocalGPRegressor`) bypass the cache entirely.
     """
 
@@ -66,6 +77,7 @@ class CandidateCovarianceCache:
         self._Ks: np.ndarray | None = None
         self._diag: np.ndarray | None = None
         self._theta: np.ndarray | None = None
+        self._version = 0
 
     def invalidate(self) -> None:
         self._Ks = None
@@ -78,13 +90,14 @@ class CandidateCovarianceCache:
 
     def _fresh(self) -> bool:
         kernel = getattr(self.model, "kernel_", None)
-        X_train = getattr(self.model, "X_train_", None)
+        basis = cross_points(self.model)
         return (
             self._Ks is not None
             and kernel is not None
-            and X_train is not None
+            and basis is not None
             and self._theta is not None
-            and self._Ks.shape[1] == X_train.shape[0]
+            and self._Ks.shape[1] == basis.shape[0]
+            and self._version == cross_version(self.model)
             and np.array_equal(kernel.theta, self._theta)
         )
 
@@ -94,9 +107,10 @@ class CandidateCovarianceCache:
             return self.model.predict(U_cand, return_std=True)
         if not self._fresh():
             kernel = self.model.kernel_
-            self._Ks = kernel(U_cand, self.model.X_train_)
+            self._Ks = kernel(U_cand, cross_points(self.model))
             self._diag = kernel.diag(U_cand)
             self._theta = kernel.theta.copy()
+            self._version = cross_version(self.model)
         return self.model.predict_from_cross(self._Ks, self._diag, return_std=True)
 
     def acquire(self, pos: int, U_remaining: np.ndarray, u_new: np.ndarray) -> None:
@@ -106,12 +120,17 @@ class CandidateCovarianceCache:
         ``u_new`` the selected point now joining the training set.  Must
         run before any hyperparameter refit so the single-column kernel
         evaluation uses the same ``theta`` the cache was built under.
+        Models whose cross basis does not absorb acquisitions (frozen
+        inducing sets) only lose the selected row — their remaining rows
+        are still exact.
         """
         if self._Ks is None or not self._fresh():
             self.invalidate()
             return
         self._Ks = np.delete(self._Ks, pos, axis=0)
         self._diag = np.delete(self._diag, pos)
+        if not cross_appends(self.model):
+            return
         if U_remaining.shape[0] != self._Ks.shape[0]:
             self.invalidate()
             return
@@ -228,6 +247,8 @@ class ActiveLearner:
         acquisition_faults: AcquisitionFaultModel | None = _UNSET,
         on_failure: FailurePolicy | str = _UNSET,
         use_workspace: bool = _UNSET,
+        surrogate: str = _UNSET,
+        surrogate_options=_UNSET,
         config: ALConfig | None = None,
     ) -> None:
         overrides = {
@@ -245,6 +266,8 @@ class ActiveLearner:
                 ("acquisition_faults", acquisition_faults),
                 ("on_failure", on_failure),
                 ("use_workspace", use_workspace),
+                ("surrogate", surrogate),
+                ("surrogate_options", surrogate_options),
             )
             if value is not _UNSET
         }
@@ -275,18 +298,39 @@ class ActiveLearner:
             self.gpr_mem = cfg.model_factory()
         else:
             base_kernel = cfg.kernel if cfg.kernel is not None else default_kernel()
-            self.gpr_cost = GPRegressor(
-                kernel=base_kernel,
-                n_restarts=cfg.n_restarts,
-                rng=rng,
-                use_workspace=cfg.use_workspace,
-            )
-            self.gpr_mem = GPRegressor(
-                kernel=base_kernel.with_theta(base_kernel.theta),
-                n_restarts=cfg.n_restarts,
-                rng=rng,
-                use_workspace=cfg.use_workspace,
-            )
+            opts = dict(cfg.surrogate_options)
+            # The two models get structurally independent kernel copies
+            # (with_theta) so their workspaces/fits never alias.
+            kernels = (base_kernel, base_kernel.with_theta(base_kernel.theta))
+            if cfg.surrogate == "sparse":
+                from repro.gp.sparse import SparseGPRegressor
+
+                self.gpr_cost, self.gpr_mem = (
+                    SparseGPRegressor(
+                        kernel=k,
+                        rng=rng,
+                        use_workspace=cfg.use_workspace,
+                        **opts,
+                    )
+                    for k in kernels
+                )
+            else:
+                if cfg.surrogate == "iterative":
+                    from repro.gp.iterative import IterativeGPRegressor
+
+                    model_cls = IterativeGPRegressor
+                else:
+                    model_cls = GPRegressor
+                self.gpr_cost, self.gpr_mem = (
+                    model_cls(
+                        kernel=k,
+                        n_restarts=cfg.n_restarts,
+                        rng=rng,
+                        use_workspace=cfg.use_workspace,
+                        **opts,
+                    )
+                    for k in kernels
+                )
 
         self.acquisition_faults = cfg.acquisition_faults
         self.on_failure = cfg.on_failure

@@ -16,9 +16,14 @@ Public API
 - :class:`KernelWorkspace` / :func:`workspace_signature` — cached
   theta-independent kernel structure backing the hyperparameter-refit
   fast path (``Kernel.prepare``).
-- :class:`Surrogate` / :func:`supports_cross` — the protocol every model
-  family satisfies (the surface the AL loop relies on), and the sanctioned
-  probe for the exact-GP cross-covariance fast path.
+- :class:`Surrogate` / :func:`supports_cross` (plus the
+  :func:`cross_points` / :func:`cross_appends` / :func:`cross_version`
+  basis probes) — the protocol every model family satisfies (the surface
+  the AL loop relies on) and the sanctioned cross-covariance probes.
+- :class:`IterativeGPRegressor` — the large-n fast path: preconditioned
+  CG solves, pivoted-Cholesky/Woodbury variance, stochastic Lanczos /
+  Hutchinson LML above its exact crossover, matrix-free matvecs above its
+  memory threshold.
 """
 
 from repro.gp.kernels import (
@@ -34,15 +39,26 @@ from repro.gp.kernels import (
     workspace_signature,
 )
 from repro.gp.gpr import GPRegressor
-from repro.gp.surrogate import Surrogate, supports_cross
+from repro.gp.iterative import IterativeGPRegressor
+from repro.gp.surrogate import (
+    Surrogate,
+    cross_appends,
+    cross_points,
+    cross_version,
+    supports_cross,
+)
 from repro.gp.local import LocalGPRegressor, kmeans
 from repro.gp.sparse import SparseGPRegressor
 from repro.gp.spectral import SpectralGPRegressor
 from repro.gp.treed import TreedGPRegressor
 
 __all__ = [
+    "IterativeGPRegressor",
     "LocalGPRegressor",
     "Surrogate",
+    "cross_appends",
+    "cross_points",
+    "cross_version",
     "supports_cross",
     "SparseGPRegressor",
     "SpectralGPRegressor",

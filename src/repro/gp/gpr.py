@@ -69,6 +69,12 @@ class GPRegressor:
         The workspace is kept across fits and *extended* when the AL loop
         appends acquisitions.  Exact to floating-point roundoff; disable
         to force the direct reference path (parity tests).
+    max_memory_MB : float, optional
+        Budget for the O(n²) factorization/workspace capacity buffers
+        (:func:`repro.machine.memory_model.gp_capacity_MB`).  When a fit
+        or refactor would exceed it, :class:`MemoryError` is raised *before*
+        allocating, naming the estimate — instead of silently growing the
+        resident set.  ``None`` (default) disables the guard.
 
     Attributes
     ----------
@@ -91,6 +97,7 @@ class GPRegressor:
         rng: np.random.Generator | None = None,
         incremental: bool = True,
         use_workspace: bool = True,
+        max_memory_MB: float | None = None,
     ) -> None:
         self.kernel = kernel if kernel is not None else default_kernel()
         self.normalize_y = normalize_y
@@ -99,6 +106,9 @@ class GPRegressor:
         self.rng = rng
         self.incremental = bool(incremental)
         self.use_workspace = bool(use_workspace)
+        if max_memory_MB is not None and max_memory_MB <= 0:
+            raise ValueError("max_memory_MB must be positive (or None)")
+        self.max_memory_MB = max_memory_MB
         self._ws: KernelWorkspace | None = None
         #: Flat capacity buffers viewed as contiguous (n, n) scratch for the
         #: fused gradient and the in-place LAPACK factorization; sized with
@@ -324,6 +334,7 @@ class GPRegressor:
             raise ValueError("X must be (n, d) aligned with y (n,)")
         if X.shape[0] < 1:
             raise ValueError("need at least one training sample")
+        self._check_memory_budget(X.shape[0])
         self.X_train_ = X
         self.y_train_ = y
         self._y_mean = float(y.mean()) if self.normalize_y else 0.0
@@ -367,6 +378,28 @@ class GPRegressor:
         self.last_factor_mode_ = "fit"
         self._fit_count += 1
         return self
+
+    def _check_memory_budget(self, n: int) -> None:
+        """Refuse (with the estimate) rather than exceed ``max_memory_MB``.
+
+        Raised *before* any allocation so a guarded model never has a
+        chance to OOM the process; subclasses with a cheaper large-n mode
+        (``IterativeGPRegressor``) override this to reroute instead.
+        """
+        if self.max_memory_MB is None:
+            return
+        from repro.machine.memory_model import gp_capacity_MB
+
+        need = gp_capacity_MB(n)
+        if need > self.max_memory_MB:
+            raise MemoryError(
+                f"dense GP factorization at n={n} needs ~{need:.0f} MB of "
+                f"O(n^2) capacity buffers, over the configured "
+                f"max_memory_MB={self.max_memory_MB:g}. Raise the budget, "
+                f"shrink the training set, or switch to "
+                f"repro.gp.iterative.IterativeGPRegressor, which streams "
+                f"matvecs above its dense threshold."
+            )
 
     def _stashed_factors(self, n: int):
         """The optimizer's own ``(L, alpha, jitter)`` for ``kernel_``, or None.
@@ -421,6 +454,7 @@ class GPRegressor:
         y = np.asarray(y, dtype=np.float64).ravel()
         if X.ndim != 2 or X.shape[0] != y.shape[0]:
             raise ValueError("X must be (n, d) aligned with y (n,)")
+        self._check_memory_budget(X.shape[0])
         if self._can_extend(X):
             with obs.timed("rank1_update", cat="gp", n=len(X)):
                 if self._extend_factorization(X, y):

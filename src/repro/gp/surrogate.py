@@ -14,13 +14,29 @@ with scattered ``hasattr`` checks (``predict_from_cross`` here,
   offers the exact-GP cross-covariance fast path, replacing the ad-hoc
   ``hasattr(model, "predict_from_cross")`` probes.
 
-All four built-in model families satisfy the protocol:
-:class:`~repro.gp.gpr.GPRegressor` (exact — the only one with a real
-``predict_from_cross``), :class:`~repro.gp.sparse.SparseGPRegressor`,
-:class:`~repro.gp.local.LocalGPRegressor`, and
-:class:`~repro.gp.treed.TreedGPRegressor` (each declares
-``supports_cross = False`` and raises ``NotImplementedError`` from the
-cross path, which the cache therefore never takes).
+All built-in model families satisfy the protocol:
+:class:`~repro.gp.gpr.GPRegressor` and
+:class:`~repro.gp.iterative.IterativeGPRegressor` (cross rows against the
+training set), :class:`~repro.gp.sparse.SparseGPRegressor` (cross rows
+against the *inducing* set — see below), while
+:class:`~repro.gp.local.LocalGPRegressor` and
+:class:`~repro.gp.treed.TreedGPRegressor` declare
+``supports_cross = False`` and raise ``NotImplementedError`` from the
+cross path, which the cache therefore never takes.
+
+The cross surface is parameterized by three *optional* attributes probed
+through module helpers (the Protocol class itself stays fixed so
+structural ``isinstance`` checks keep meaning the same thing):
+
+- :func:`cross_points` — the basis the cached rows are computed against
+  (``model.cross_points_`` when present, else ``model.X_train_``).
+- :func:`cross_appends` — whether acquiring a candidate *appends* a
+  column to cached rows (exact GPs grow their training set) or leaves
+  them valid as-is (inducing bases don't move on acquisition);
+  ``model.cross_appends_on_acquire``, default ``True``.
+- :func:`cross_version` — a basis epoch (``model.cross_version_``,
+  default 0); any bump invalidates cached rows wholesale (e.g. the
+  sparse model re-clustering its inducing points).
 """
 
 from __future__ import annotations
@@ -93,3 +109,38 @@ def supports_cross(model: Any) -> bool:
     if flag is None:
         return hasattr(model, "predict_from_cross")
     return bool(flag)
+
+
+def cross_points(model: Any) -> np.ndarray | None:
+    """The basis ``predict_from_cross`` rows are evaluated against.
+
+    ``kernel_(X_query, cross_points(model))`` is what the candidate cache
+    must maintain.  Exact GPs predict from cross rows against their
+    training set; inducing-point models declare an explicit
+    ``cross_points_`` basis instead.
+    """
+    pts = getattr(model, "cross_points_", None)
+    if pts is not None:
+        return np.asarray(pts)
+    return getattr(model, "X_train_", None)
+
+
+def cross_appends(model: Any) -> bool:
+    """Whether acquiring a candidate appends a column to cached cross rows.
+
+    True (the default) for training-set bases — the acquired point joins
+    the basis, so the cache appends ``kernel_(U, u_new)``.  False for
+    bases that don't move on acquisition (frozen inducing sets): cached
+    rows stay valid with no column work at all.
+    """
+    return bool(getattr(model, "cross_appends_on_acquire", True))
+
+
+def cross_version(model: Any) -> int:
+    """Basis epoch: any change invalidates cached cross rows wholesale.
+
+    Models whose basis can move outside the acquire/drop protocol (the
+    sparse model re-clustering inducing points on a full refactor) bump
+    ``cross_version_``; models with an append-only basis never need to.
+    """
+    return int(getattr(model, "cross_version_", 0))

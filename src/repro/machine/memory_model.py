@@ -68,3 +68,31 @@ class MemoryModel:
         rss = self.max_rss_MB(work, nodes)
         per_node = rss * self.tasks_per_node
         return per_node <= self.spec.mem_per_node_GB * 1024.0
+
+
+#: Simultaneous O(n²) capacity buffers a dense GP fit holds: the in-place
+#: Cholesky scratch, the fused-gradient inner matrix, the kernel-workspace
+#: distance cache, and the incremental factor buffer.
+GP_SQUARE_BUFFERS = 4
+
+
+def gp_square_capacity(n: int) -> int:
+    """Capacity edge the GP's square buffers allocate for ``n`` live rows.
+
+    Mirrors the ``_grow_square`` amortization contract in
+    ``repro.gp.kernels`` (1.5x headroom so the AL loop's one-sample
+    appends reuse the allocation).
+    """
+    return max(int(1.5 * n) + 8, 64)
+
+
+def gp_capacity_MB(n: int, n_buffers: int = GP_SQUARE_BUFFERS) -> float:
+    """Peak O(n²) buffer footprint (MB) of a dense GP fit at ``n`` samples.
+
+    What ``GPRegressor`` would resident-set if asked to factorize ``n``
+    training points: ``n_buffers`` square capacity buffers of doubles.
+    Drives the ``max_memory_MB`` guard in ``repro.gp.gpr`` and the
+    dense-vs-matrix-free mode selection in ``repro.gp.iterative``.
+    """
+    cap = gp_square_capacity(n)
+    return n_buffers * cap * cap * DOUBLE / 1e6

@@ -106,6 +106,55 @@ class TestApi:
         with pytest.raises(ValueError):
             sp.fit(np.zeros((3, 2)), np.zeros(4))
 
+class TestIncrementalAppend:
+    def test_append_matches_full_rebuild(self, data):
+        X, y = data
+        inc = SparseGPRegressor(n_inducing=25, rng=np.random.default_rng(1))
+        full = SparseGPRegressor(
+            n_inducing=25, rng=np.random.default_rng(1), incremental=False
+        )
+        inc.fit(X[:200], y[:200])
+        full.fit(X[:200], y[:200])
+        for hi in (220, 250, 300):
+            inc.refactor(X[:hi], y[:hi])
+            # Rebuild against the *same* frozen basis for a fair twin.
+            full.inducing_ = inc.inducing_.copy()
+            full._factorize(X[:hi], y[:hi])
+            full.X_train_, full.y_train_ = X[:hi], y[:hi]
+        assert inc.last_factor_mode_ == "rank1"
+        # Identical math, different summation order: accumulated A/Kmn_y
+        # vs one BLAS-3 product — agreement is fp-roundoff, not exact.
+        Xq = X[:40] + 0.01
+        mu_i, sd_i = inc.predict(Xq, return_std=True)
+        mu_f, sd_f = full.predict(Xq, return_std=True)
+        np.testing.assert_allclose(mu_i, mu_f, rtol=1e-6, atol=1e-6)
+        np.testing.assert_allclose(sd_i, sd_f, rtol=1e-5, atol=1e-6)
+
+    def test_shrink_or_reorder_falls_back_to_recluster(self, data):
+        X, y = data
+        sp = SparseGPRegressor(n_inducing=25, rng=np.random.default_rng(1))
+        sp.fit(X, y)
+        version = sp.cross_version_
+        sp.refactor(X[:200], y[:200])  # not a prefix extension
+        assert sp.last_factor_mode_ == "full"
+        assert sp.cross_version_ == version + 1
+
+    def test_counters_accumulate_across_fits(self, data):
+        X, y = data
+        sp = SparseGPRegressor(n_inducing=20, rng=np.random.default_rng(1))
+        sp.fit(X[:150], y[:150])
+        sp.refactor(X[:180], y[:180])  # append path
+        sp.fit(X[:250], y[:250])  # second full fit
+        counters = sp.workspace_counters()
+        assert counters["sparse_appends"] == 1
+        assert counters["sparse_reclusters"] == 2
+        # Helper-GP workspace counts survive across fits (accumulated).
+        assert sum(
+            counters[k] for k in ("ws_hit", "ws_extend", "ws_rebuild")
+        ) >= 2
+
+
+class TestApiLoop:
     def test_works_in_active_learning(self, small_dataset):
         from repro.core import ActiveLearner, RandGoodness, random_partition
 

@@ -10,15 +10,20 @@ import pytest
 
 from repro.gp import (
     GPRegressor,
+    IterativeGPRegressor,
     LocalGPRegressor,
     SparseGPRegressor,
     Surrogate,
     TreedGPRegressor,
+    cross_appends,
+    cross_points,
+    cross_version,
     supports_cross,
 )
 
 FACTORIES = {
     "exact": lambda rng: GPRegressor(n_restarts=0),
+    "iterative": lambda rng: IterativeGPRegressor(n_restarts=0, rng=rng),
     "sparse": lambda rng: SparseGPRegressor(n_inducing=12, rng=rng),
     "local": lambda rng: LocalGPRegressor(n_regions=2, rng=rng, n_restarts=0),
     "treed": lambda rng: TreedGPRegressor(
@@ -65,7 +70,9 @@ class TestProtocolConformance:
         X, y = data
         model.fit(X, y)
         counters = model.workspace_counters()
-        assert set(counters) == {"ws_hit", "ws_extend", "ws_rebuild"}
+        # Every model reports the three workspace-path counts; backends may
+        # add their own keys on the same surface (cg_iters, sparse_appends).
+        assert set(counters) >= {"ws_hit", "ws_extend", "ws_rebuild"}
         assert all(isinstance(v, int) and v >= 0 for v in counters.values())
 
     def test_use_workspace_member(self, model):
@@ -73,18 +80,47 @@ class TestProtocolConformance:
 
 
 class TestCrossCovarianceSupport:
-    def test_only_exact_gp_supports_cross(self, model):
-        expected = isinstance(model, GPRegressor)
-        assert model.supports_cross is expected
+    def test_cross_support_matches_model_family(self, model):
+        # Exact GPs (incl. the iterative backend) cross against their
+        # training set; the sparse model against its inducing set.  The
+        # partition-based families have no single cross basis.
+        expected = isinstance(model, (GPRegressor, SparseGPRegressor))
+        assert bool(model.supports_cross) is expected
         assert supports_cross(model) is expected
 
     def test_unsupported_models_raise(self, model, data):
-        if isinstance(model, GPRegressor):
-            pytest.skip("exact GP implements predict_from_cross")
+        if supports_cross(model):
+            pytest.skip("model implements predict_from_cross")
         X, y = data
         model.fit(X, y)
         with pytest.raises(NotImplementedError):
             model.predict_from_cross(np.zeros((40, 2)), np.ones(2))
+
+    def test_cross_basis_probes(self, model, data):
+        X, y = data
+        model.fit(X, y)
+        assert isinstance(cross_appends(model), bool)
+        assert isinstance(cross_version(model), int)
+        if not supports_cross(model):
+            return
+        basis = cross_points(model)
+        assert basis is not None and basis.ndim == 2
+        if isinstance(model, SparseGPRegressor):
+            # The inducing basis is frozen on acquire and versioned on
+            # re-cluster, so the candidate cache never appends to it.
+            assert cross_appends(model) is False
+            np.testing.assert_array_equal(basis, model.inducing_)
+        else:
+            assert cross_appends(model) is True
+            np.testing.assert_array_equal(basis, model.X_train_)
+        # Cross rows against the declared basis must reproduce predict().
+        Xq = X[:5] + 0.01
+        Ks = model.kernel_(Xq, basis)
+        prior = model.kernel_.diag(Xq)
+        mean, std = model.predict_from_cross(Ks, prior, return_std=True)
+        mean_ref, std_ref = model.predict(Xq, return_std=True)
+        np.testing.assert_allclose(mean, mean_ref, atol=1e-8)
+        np.testing.assert_allclose(std, std_ref, atol=1e-8)
 
     def test_exact_gp_cross_path_matches_predict(self, rng, data):
         X, y = data

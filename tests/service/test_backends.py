@@ -1,0 +1,110 @@
+"""Surrogate backends driven through the campaign service.
+
+The ``ALConfig.surrogate`` knob must compose with everything the service
+does — checkpoint/resume, chaos injection, budget ledgers — without any
+backend-specific handling.  The headline contract: at the paper's scale
+(n well below the iterative crossover) the iterative backend makes the
+*same selections* as the dense one, through kills, resumes, and injected
+faults alike.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import pytest
+
+from repro.core import (
+    ALConfig,
+    CampaignService,
+    CampaignSpec,
+    ChaosConfig,
+    MaxSigma,
+)
+from repro.faults import FaultConfig, RetryPolicy
+
+BACKENDS = {
+    "dense": (),
+    "iterative": (),
+    "sparse": (("n_inducing", 16),),
+}
+
+
+def backend_spec(surrogate: str, iterations: int = 6) -> CampaignSpec:
+    return CampaignSpec(
+        campaign_id=f"backend-{surrogate}",
+        policy_factory=MaxSigma,  # model-driven: the surrogate matters
+        base_seed=5,
+        n_init=20,
+        n_test=30,
+        config=ALConfig(
+            max_iterations=iterations,
+            surrogate=surrogate,
+            surrogate_options=BACKENDS[surrogate],
+        ),
+    )
+
+
+def run_one(dataset, spec: CampaignSpec, **kw):
+    with CampaignService(dataset, **kw) as svc:
+        svc.submit(spec)
+        report = svc.run()
+        traj = svc.result(spec.campaign_id)
+    return tuple(traj.selected_indices), report
+
+
+class TestIterativeDenseParity:
+    def test_same_selections_as_dense(self, small_dataset):
+        """Below the exact-LML crossover the iterative backend inherits the
+        dense optimizer trajectory, so a model-driven policy must pick the
+        identical sequence of jobs."""
+        dense, _ = run_one(small_dataset, backend_spec("dense"), steps_per_slice=2)
+        it, _ = run_one(small_dataset, backend_spec("iterative"), steps_per_slice=2)
+        assert it == dense
+
+    def test_parity_survives_kill_and_resume(self, small_dataset):
+        dense, _ = run_one(small_dataset, backend_spec("dense"), steps_per_slice=2)
+        spec = backend_spec("iterative")
+        with tempfile.TemporaryDirectory() as td:
+            with CampaignService(
+                small_dataset, store=td, steps_per_slice=2
+            ) as s1:
+                s1.submit(spec)
+                s1.run(max_slices=2)  # killed mid-campaign
+            with CampaignService(
+                small_dataset, store=td, steps_per_slice=2
+            ) as s2:
+                s2.run()
+                got = tuple(s2.result(spec.campaign_id).selected_indices)
+        assert got == dense
+
+
+class TestBackendsUnderChaos:
+    @pytest.mark.parametrize("surrogate", sorted(BACKENDS))
+    def test_chaos_does_not_change_selections(self, small_dataset, surrogate):
+        spec = backend_spec(surrogate)
+        clean, _ = run_one(small_dataset, spec, steps_per_slice=2)
+        chaos = ChaosConfig(
+            faults=FaultConfig(crash_probability=0.35),
+            retry=RetryPolicy(max_retries=6),
+            seed=11,
+            straggler_sleep_s=0.01,
+            timeout_kill_s=0.3,
+        )
+        struck, report = run_one(
+            small_dataset, spec, steps_per_slice=2, chaos=chaos
+        )
+        assert set(report.campaigns.values()) == {"done"}
+        assert report.fault_counts, "no faults injected"
+        assert struck == clean
+
+    @pytest.mark.parametrize("surrogate", sorted(BACKENDS))
+    def test_backend_completes_with_finite_metrics(self, small_dataset, surrogate):
+        import numpy as np
+
+        with CampaignService(small_dataset, steps_per_slice=3) as svc:
+            svc.submit(backend_spec(surrogate))
+            svc.run()
+            traj = svc.result(f"backend-{surrogate}")
+        assert len(traj) == 6
+        assert np.all(np.isfinite(traj.rmse_cost))
