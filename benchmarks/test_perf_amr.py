@@ -113,6 +113,7 @@ def test_perf_batched_vs_per_patch_vs_parallel(report):
         json.dumps(
             {
                 "benchmark": "amr_batched_stepping",
+                "host_cores": os.cpu_count(),
                 "config": {
                     "mx": MX,
                     "max_level": MAX_LEVEL,

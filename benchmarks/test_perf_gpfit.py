@@ -21,12 +21,13 @@ Results: a rendered table (including the fast path's perf counters) in
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
 import numpy as np
 
-from repro import perf
+from repro import obs
 from repro.gp import GPRegressor
 
 #: Training-set sizes at which the steady-state refit is timed.
@@ -63,10 +64,10 @@ def _best_of(X, y, n, use_workspace):
 
 def test_perf_workspace_vs_direct(report):
     X, y = _dataset()
-    perf.reset()
+    obs.METRICS.reset()
     ws_times = {n: _best_of(X, y, n, use_workspace=True) for n in CHECKPOINTS}
-    counters = perf.counters()
-    perf.reset()
+    counters = obs.METRICS.counters()
+    obs.METRICS.reset()
     direct_times = {
         n: _best_of(X, y, n, use_workspace=False) for n in CHECKPOINTS
     }
@@ -101,6 +102,7 @@ def test_perf_workspace_vs_direct(report):
         json.dumps(
             {
                 "benchmark": "gp_fit_workspace",
+                "host_cores": os.cpu_count(),
                 "config": {
                     "dims": DIMS,
                     "repeats": REPEATS,

@@ -188,6 +188,7 @@ def test_perf_selection_throughput(report):
         json.dumps(
             {
                 "benchmark": "gp_select_throughput",
+                "host_cores": os.cpu_count(),
                 "config": {
                     "dims": DIMS,
                     "n_candidates": N_CANDIDATES,

@@ -82,11 +82,40 @@ def _amr_schema(data: dict, errors: list[str]) -> None:
         _require(data, key, dict, errors, "top level")
 
 
+def _policy_schema(data: dict, errors: list[str]) -> None:
+    _check_checkpoints(
+        data,
+        ("dense_sps", "iterative_sps", "sparse_sps", "amortized_sps", "speedup"),
+        errors,
+    )
+    service = _require(data, "service", dict, errors, "top level")
+    if service is not None:
+        for key in ("rgma_slices_per_s", "amortized_slices_per_s"):
+            value = _require(service, key, _NUM, errors, "service")
+            if value is not None and value <= 0:
+                errors.append(f"service: {key!r} must be positive")
+    regret = _require(data, "regret", dict, errors, "top level")
+    if regret is not None:
+        for key in ("rgma_final_regret", "amortized_final_regret"):
+            value = _require(regret, key, _NUM, errors, "regret")
+            if value is not None and value < 0:
+                errors.append(f"regret: {key!r} must be non-negative")
+        factor = _require(regret, "guardrail_factor", _NUM, errors, "regret")
+        if factor is not None and factor <= 0:
+            errors.append("regret: guardrail_factor must be positive")
+        within = _require(regret, "within_guardrail", bool, errors, "regret")
+        if within is False:
+            errors.append(
+                "regret: amortized final regret exceeded the guardrail"
+            )
+
+
 #: benchmark name -> extra validation beyond the common envelope.
 SCHEMAS = {
     "gp_select_throughput": _select_schema,
     "gp_fit_workspace": _fit_schema,
     "amr_batched_stepping": _amr_schema,
+    "policy_amortized_serving": _policy_schema,
 }
 
 
@@ -100,6 +129,11 @@ def validate(data: Any) -> list[str]:
     speedup = _require(data, "speedup", _NUM, errors, "top level")
     if speedup is not None and speedup <= 0:
         errors.append("top level: speedup must be positive")
+    # Disclosure: throughput numbers are meaningless without knowing the
+    # machine; every emitter stamps the core count it measured on.
+    cores = _require(data, "host_cores", int, errors, "top level")
+    if cores is not None and cores < 1:
+        errors.append("top level: host_cores must be >= 1")
     extra = SCHEMAS.get(name or "")
     if extra is None:
         errors.append(f"top level: unknown benchmark name {name!r}")

@@ -33,7 +33,7 @@ import sys
 import numpy as np
 
 from repro import obs
-from repro.core import ActiveLearner, POLICIES, RGMA, random_partition
+from repro.core import ActiveLearner, ALConfig, POLICIES, RGMA, random_partition
 from repro.data import load_csv, load_npz, render_table1, run_campaign, save_csv, save_npz
 from repro.faults import AcquisitionFaultModel, FaultConfig, RetryPolicy
 
@@ -116,7 +116,12 @@ def cmd_dataset(args: argparse.Namespace) -> int:
 
 def _add_run_cmd(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("run", help="run one Active-Learning trajectory")
-    p.add_argument("--policy", choices=sorted(POLICIES), default="rand_goodness")
+    p.add_argument(
+        "--policy",
+        choices=sorted([*POLICIES, "amortized"]),
+        default="rand_goodness",
+    )
+    _add_amortized_args(p)
     p.add_argument("--dataset", type=str, default=None, help=".csv/.npz (default: generate)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--n-init", type=int, default=50)
@@ -150,6 +155,18 @@ def _add_run_cmd(sub: argparse._SubParsersAction) -> None:
     t.add_argument("--metrics-out", type=str, default=None,
                    help="write the metrics registry as JSON here")
     p.set_defaults(func=cmd_run)
+
+
+def _add_amortized_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("amortized policy (--policy amortized)")
+    g.add_argument(
+        "--policy-file", type=str, default=None,
+        help="trained scorer (.npz) from `python -m repro.policy train`",
+    )
+    g.add_argument(
+        "--policy-epsilon", type=float, default=0.05,
+        help="weight of the frugal guardrail mixed into the learned scores",
+    )
 
 
 def _add_surrogate_args(p: argparse.ArgumentParser) -> None:
@@ -195,9 +212,25 @@ def cmd_run(args: argparse.Namespace) -> int:
         obs.enable_tracing()
     rng = np.random.default_rng(args.seed)
     dataset = _load_dataset(args.dataset, rng)
+    policy_cfg: dict = {}
     if args.policy == "rgma":
         limit = args.memory_limit if args.memory_limit else dataset.memory_limit()
         policy = RGMA(memory_limit_MB=limit)
+        print(f"L_mem = {limit:.3f} MB")
+    elif args.policy == "amortized":
+        # Declarative: the learner resolves the policy from the config
+        # (repro.policy.make_policy), falling back to RGMA with a warning
+        # when the policy file is absent.
+        limit = args.memory_limit if args.memory_limit else dataset.memory_limit()
+        policy = None
+        policy_cfg = {
+            "policy": "amortized",
+            "policy_options": {
+                "policy_file": args.policy_file,
+                "memory_limit_MB": limit,
+                "epsilon": args.policy_epsilon,
+            },
+        }
         print(f"L_mem = {limit:.3f} MB")
     else:
         policy = POLICIES[args.policy]()
@@ -219,6 +252,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         acquisition_faults=acq_faults if acq_faults.enabled else None,
         on_failure=args.on_failure,
         **_surrogate_config_kwargs(args),
+        config=ALConfig(**policy_cfg),
     )
     traj = learner.run()
     print(f"policy            : {traj.policy_name}")
@@ -503,7 +537,12 @@ def _add_campaign_cmd(sub: argparse._SubParsersAction) -> None:
     s = action.add_parser("submit", help="register a new campaign")
     _common(s)
     s.add_argument("--id", required=True, help="campaign id (checkpoint name)")
-    s.add_argument("--policy", choices=sorted(POLICIES), default="rand_goodness")
+    s.add_argument(
+        "--policy",
+        choices=sorted([*POLICIES, "amortized"]),
+        default="rand_goodness",
+    )
+    _add_amortized_args(s)
     s.add_argument("--base-seed", type=int, default=0)
     s.add_argument("--traj-index", type=int, default=0)
     s.add_argument("--n-init", type=int, default=50)
@@ -542,6 +581,27 @@ def cmd_campaign_submit(args: argparse.Namespace) -> int:
                 else service.dataset.memory_limit()
             )
             factory = functools.partial(RGMA, memory_limit_MB=limit)
+        elif args.policy == "amortized":
+            if not args.policy_file:
+                print(
+                    "error: --policy amortized requires --policy-file "
+                    "(train one with `python -m repro.policy train`)",
+                    file=sys.stderr,
+                )
+                return 2
+            from repro.policy import load_amortized_policy
+
+            limit = (
+                args.memory_limit
+                if args.memory_limit
+                else service.dataset.memory_limit()
+            )
+            factory = functools.partial(
+                load_amortized_policy,
+                args.policy_file,
+                memory_limit_MB=limit,
+                epsilon=args.policy_epsilon,
+            )
         else:
             factory = POLICIES[args.policy]
         spec = CampaignSpec(

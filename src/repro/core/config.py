@@ -56,8 +56,26 @@ class ALConfig:
     #: normalized to a sorted tuple of pairs so the config stays hashable
     #: and its fingerprint deterministic.
     surrogate_options: tuple[tuple[str, Any], ...] = ()
+    #: Declarative policy selection, used when the learner is constructed
+    #: without an explicit policy object: a name from
+    #: :data:`repro.core.policies.POLICIES` or ``"amortized"``
+    #: (the offline-trained zero-refit server, :mod:`repro.policy`).
+    #: ``None`` means the caller passes the policy object itself.
+    policy: str | None = None
+    #: Constructor keywords for the declared policy (e.g.
+    #: ``{"policy_file": "policy.npz", "epsilon": 0.05}``), normalized
+    #: like ``surrogate_options``.
+    policy_options: tuple[tuple[str, Any], ...] = ()
 
     _SURROGATES = ("dense", "iterative", "sparse")
+    _POLICIES = (
+        "amortized",
+        "max_sigma",
+        "min_pred",
+        "rand_goodness",
+        "rand_uniform",
+        "rgma",
+    )
 
     def __post_init__(self) -> None:
         if self.n_restarts < 0:
@@ -88,6 +106,18 @@ class ALConfig:
             self,
             "surrogate_options",
             tuple(sorted((str(k), v) for k, v in opts)),
+        )
+        if self.policy is not None and self.policy not in self._POLICIES:
+            raise ValueError(
+                f"policy must be one of {self._POLICIES}, got {self.policy!r}"
+            )
+        popts = self.policy_options
+        if isinstance(popts, dict):
+            popts = popts.items()
+        object.__setattr__(
+            self,
+            "policy_options",
+            tuple(sorted((str(k), v) for k, v in popts)),
         )
 
     def describe(self) -> dict[str, Any]:
@@ -128,6 +158,8 @@ class ALConfig:
             "use_workspace": self.use_workspace,
             "surrogate": self.surrogate,
             "surrogate_options": [[k, v] for k, v in self.surrogate_options],
+            "policy": self.policy,
+            "policy_options": [[k, v] for k, v in self.policy_options],
         }
 
     def fingerprint(self) -> str:

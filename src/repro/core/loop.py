@@ -19,7 +19,7 @@ from repro import obs
 from repro.core.config import ALConfig
 from repro.core.metrics import individual_regret, rmse_nonlog
 from repro.core.partitions import Partition
-from repro.core.policies import CandidateView, RGMA, SelectionPolicy
+from repro.core.policies import CandidateView, SelectionPolicy
 from repro.core.preprocessing import DesignTransform
 from repro.core.stopping import NoEarlyStopping, StoppingRule
 from repro.core.trajectory import IterationRecord, StopReason, Trajectory
@@ -161,10 +161,16 @@ class ActiveLearner:
         Precomputed job table (features + cost/memory responses).
     partition : Partition
         Initial / Active / Test split.
-    policy : SelectionPolicy
-        One of the Sec. IV-B algorithms (:mod:`repro.core.policies`).
+    policy : SelectionPolicy, optional
+        One of the Sec. IV-B algorithms (:mod:`repro.core.policies`) or
+        any other implementation of the protocol — e.g. the zero-refit
+        :class:`repro.policy.AmortizedPolicy`.  ``None`` instantiates the
+        policy declared by ``config.policy`` / ``config.policy_options``
+        (:func:`repro.policy.make_policy`); a policy with
+        ``requires_surrogate = False`` switches the loop into zero-refit
+        mode (no GP fit/refactor/RMSE anywhere).
     rng : numpy.random.Generator
-        Drives randomized policies and GPR restarts.
+        Drives randomized policies and GPR restarts (required).
     kernel : Kernel, optional
         Prior covariance for *both* models; defaults to the paper's
         amplitude * RBF + noise.
@@ -233,8 +239,8 @@ class ActiveLearner:
         self,
         dataset: Dataset,
         partition: Partition,
-        policy: SelectionPolicy,
-        rng: np.random.Generator,
+        policy: SelectionPolicy | None = None,
+        rng: np.random.Generator | None = None,
         kernel: Kernel | None = _UNSET,
         n_restarts: int = _UNSET,
         hyper_refit_interval: int = _UNSET,
@@ -276,6 +282,35 @@ class ActiveLearner:
         # validated and normalized exactly like direct construction.
         cfg = _dc_replace(base, **overrides) if overrides else base
         self.config = cfg
+
+        if rng is None:
+            raise ValueError("rng is required")
+        if policy is None:
+            # Instantiate from the config's declarative policy selection
+            # (lazy import: repro.policy depends on this module).
+            from repro.policy import make_policy
+
+            policy = make_policy(cfg, dataset)
+        # Policies that never consult a surrogate (the amortized server)
+        # switch the loop into zero-refit mode: no GP fit, refactor, or
+        # RMSE evaluation anywhere on the serving path.
+        self._zero_refit = not getattr(policy, "requires_surrogate", True)
+        if self._zero_refit:
+            if cfg.on_failure is FailurePolicy.IMPUTE:
+                raise ValueError(
+                    "on_failure='impute' needs surrogate predictions; "
+                    f"policy {policy.name!r} is zero-refit"
+                )
+            if cfg.stopping_rule is not None:
+                raise ValueError(
+                    "stopping rules consume surrogate predictions; "
+                    f"policy {policy.name!r} is zero-refit"
+                )
+        # Policies may expose incremental-state hooks (prepare /
+        # observe_acquire / observe_drop); the loop feeds them so the
+        # policy's own caches track the pool exactly like the
+        # cross-covariance caches do.
+        self._policy_hooks = hasattr(policy, "observe_acquire")
 
         self.dataset = dataset
         self.partition = partition
@@ -418,6 +453,13 @@ class ActiveLearner:
     def _candidate_view(self) -> CandidateView:
         idx = np.asarray(self._remaining, dtype=np.int64)
         U = self._U[idx]
+        if self._zero_refit:
+            # No surrogate exists; the amortized policy scores from its
+            # own features and never reads the predictive columns.
+            nan = np.full(idx.shape[0], np.nan)
+            return CandidateView(
+                X=U, mu_cost=nan, sigma_cost=nan, mu_mem=nan, sigma_mem=nan
+            )
         if self.cache_candidates:
             mu_c, sd_c = self._cache_cost.predict(U)
             mu_m, sd_m = self._cache_mem.predict(U)
@@ -493,15 +535,31 @@ class ActiveLearner:
         if self._started:
             return
         self.stopping_rule.reset()
-        self._fit_models(optimize=True)
-        rmse_c0, rmse_m0, _ = self._test_rmse()
-        self._initial_rmse = (rmse_c0, rmse_m0)
-        # RMSE reported on iterations that learned nothing (dropped
-        # acquisitions leave the models untouched).
-        self._prev_rmse = (rmse_c0, rmse_m0, float("nan"))
-        self._memory_limit = (
-            self.policy.memory_limit_MB if isinstance(self.policy, RGMA) else None
-        )
+        if not self._zero_refit:
+            self._fit_models(optimize=True)
+            rmse_c0, rmse_m0, _ = self._test_rmse()
+            self._initial_rmse = (rmse_c0, rmse_m0)
+            # RMSE reported on iterations that learned nothing (dropped
+            # acquisitions leave the models untouched).
+            self._prev_rmse = (rmse_c0, rmse_m0, float("nan"))
+        self._memory_limit = getattr(self.policy, "memory_limit_MB", None)
+        prepare = getattr(self.policy, "prepare", None)
+        if prepare is not None:
+            # One-time policy state construction (e.g. the amortized
+            # feature extractor).  Runs only on a cold start: ``_started``
+            # rides the checkpoint pickle, so a resumed learner keeps the
+            # policy state it was pickled with instead of rebuilding it.
+            from repro.policy.features import PolicyContext
+
+            prepare(
+                PolicyContext(
+                    dataset=self.dataset,
+                    scaler=self.scaler,
+                    pool_indices=np.asarray(self._remaining, dtype=np.int64),
+                    train_indices=self._train_indices(),
+                    memory_limit_MB=getattr(self.policy, "memory_limit_MB", None),
+                )
+            )
         self._started = True
 
     def step(self) -> bool:
@@ -563,6 +621,8 @@ class ActiveLearner:
                 if self.cache_candidates:
                     self._cache_cost.drop(pos)
                     self._cache_mem.drop(pos)
+                if self._policy_hooks:
+                    self.policy.observe_drop(pos, cost=cost)
                 obs.event(
                     "acquisition_fault",
                     cat="al",
@@ -617,13 +677,22 @@ class ActiveLearner:
             if learn_mem:
                 self._learned_mem.append(ds_index)
                 self._targets_mem.append(target_mem)
-            if self.cache_candidates:
+            if self.cache_candidates and not self._zero_refit:
                 U_rem = self._U[np.asarray(self._remaining, dtype=np.int64)]
                 self._cache_cost.acquire(pos, U_rem, u_new)
                 if learn_mem:
                     self._cache_mem.acquire(pos, U_rem, u_new)
                 else:
                     self._cache_mem.drop(pos)
+            if self._policy_hooks:
+                self.policy.observe_acquire(
+                    pos,
+                    u_new,
+                    cost=cost,
+                    target_cost=target_cost,
+                    target_mem=target_mem,
+                    learn_mem=learn_mem,
+                )
             if crashed or censored:
                 obs.event(
                     "acquisition_fault",
@@ -645,10 +714,14 @@ class ActiveLearner:
                     )
                 )
 
-            optimize = (iteration % self.hyper_refit_interval) == 0
-            self._fit_models(optimize=optimize)
-            rmse_c, rmse_m, rmse_w = self._test_rmse()
-            self._prev_rmse = (rmse_c, rmse_m, rmse_w)
+            if self._zero_refit:
+                # The whole point: no fit, no refactor, no RMSE pass.
+                rmse_c, rmse_m, rmse_w = self._prev_rmse
+            else:
+                optimize = (iteration % self.hyper_refit_interval) == 0
+                self._fit_models(optimize=optimize)
+                rmse_c, rmse_m, rmse_w = self._test_rmse()
+                self._prev_rmse = (rmse_c, rmse_m, rmse_w)
             self._records.append(
                 IterationRecord(
                     iteration=iteration,

@@ -238,6 +238,20 @@ def build_learner(spec: CampaignSpec, dataset: Dataset) -> ActiveLearner:
     )
 
 
+def policy_fingerprint(spec: CampaignSpec) -> str | None:
+    """Content fingerprint of the spec's policy, if it declares one.
+
+    Policies backed by an offline-trained artifact (the amortized
+    scorer) expose a ``fingerprint`` property hashing the artifact's
+    exact parameters.  The service stamps it into every checkpoint and
+    refuses to resume across a change — a silently retrained policy file
+    would break slice re-run bit-identity exactly like a changed
+    ``ALConfig`` or dataset.  Policies without the attribute (all the
+    Sec. IV-B algorithms) fingerprint as ``None``.
+    """
+    return getattr(spec.policy_factory(), "fingerprint", None)
+
+
 #: Persistent-id token replacing the shared dataset inside campaign blobs.
 _DATASET_PID = "repro.core.service:dataset"
 
@@ -716,6 +730,7 @@ class _Campaign:
     chaos_rng: np.random.Generator | None = None
     obs_metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     trace_payloads: list = field(default_factory=list)
+    policy_fingerprint: str | None = None
 
 
 @dataclass(frozen=True)
@@ -876,6 +891,7 @@ class CampaignService:
             slice_steps=spec.steps_per_slice or self.steps_per_slice,
             ledger=CampaignLedger(budget_node_hours=spec.budget_node_hours),
             chaos_rng=self._fresh_chaos_rng(self._seq),
+            policy_fingerprint=policy_fingerprint(spec),
         )
         self._seq += 1
         self._campaigns[spec.campaign_id] = rec
@@ -1321,6 +1337,9 @@ class CampaignService:
                 "trajectory": rec.trajectory,
                 "chaos_rng": rec.chaos_rng,
                 "config_fingerprint": rec.spec.config.fingerprint(),
+                # New in PR 9; read back with .get() so version-1
+                # checkpoints written before the key stay loadable.
+                "policy_fingerprint": rec.policy_fingerprint,
             },
         )
 
@@ -1339,6 +1358,16 @@ class CampaignService:
                     f"refusing to resume {campaign_id!r}: its checkpoint was "
                     f"written under config {stamped}, which no longer matches "
                     f"{current} — resume bit-identity cannot be guaranteed"
+                )
+            stamped_policy = payload.get("policy_fingerprint")
+            current_policy = policy_fingerprint(spec)
+            if stamped_policy != current_policy:
+                raise ServiceError(
+                    f"refusing to resume {campaign_id!r}: its checkpoint was "
+                    f"written under policy fingerprint {stamped_policy}, which "
+                    f"no longer matches {current_policy} — the policy artifact "
+                    "changed (retrained?) and resume bit-identity cannot be "
+                    "guaranteed"
                 )
             rec = _Campaign(
                 spec=spec,
@@ -1365,6 +1394,7 @@ class CampaignService:
                     if payload["chaos_rng"] is not None
                     else self._fresh_chaos_rng(payload["seq"])
                 ),
+                policy_fingerprint=stamped_policy,
             )
             self._campaigns[campaign_id] = rec
             self._seq = max(self._seq, rec.seq + 1)

@@ -637,8 +637,8 @@ class GPRegressor:
     def workspace_counters(self) -> dict[str, int]:
         """How this model's fits obtained their kernel workspace.
 
-        ``{"ws_hit", "ws_extend", "ws_rebuild"}`` counts (see
-        :data:`repro.perf.COUNTERS`); all zero when ``use_workspace`` is
+        ``{"ws_hit", "ws_extend", "ws_rebuild"}`` counts (the
+        :data:`repro.obs.METRICS` workspace counters); all zero when ``use_workspace`` is
         off or no fit has run.  Part of the
         :class:`repro.gp.surrogate.Surrogate` protocol.
         """

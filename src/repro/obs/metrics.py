@@ -1,8 +1,8 @@
 """The metrics half of :mod:`repro.obs`: counters, gauges, time histograms.
 
 :class:`MetricsRegistry` generalizes the old ``repro.perf`` phase table
-(which it subsumes — :mod:`repro.perf` is now a thin shim over the global
-registry in :mod:`repro.obs.recorder`):
+(which it subsumed; ``repro.perf`` is now an empty module that only
+raises a :class:`DeprecationWarning` on import):
 
 - **timers** — ``phase -> (calls, seconds)`` plus a log2-bucketed duration
   histogram per phase, fed by :meth:`MetricsRegistry.timer` (a context
@@ -60,7 +60,7 @@ def _bucket(seconds: float) -> int:
 class MetricsRegistry:
     """Thread-safe accumulator of timers, counters, and gauges.
 
-    API-compatible with the old ``repro.perf.PerfRegistry`` (``add`` /
+    API-compatible with the retired ``repro.perf`` registry (``add`` /
     ``incr`` / ``timer`` / ``snapshot`` / ``counters`` / ``reset`` /
     ``report``) plus gauges, per-phase duration histograms, and
     cross-process :meth:`state` / :meth:`merge`.

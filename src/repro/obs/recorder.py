@@ -33,8 +33,8 @@ import time
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import NOOP_SPAN, Tracer
 
-#: The process-global metrics registry (always on).  ``repro.perf`` is a
-#: compatibility shim over this object.
+#: The process-global metrics registry (always on).  This is what the
+#: retired ``repro.perf`` module used to front.
 METRICS = MetricsRegistry()
 
 #: The process-global tracer; ``None`` = tracing disabled (the default).

@@ -1,18 +1,12 @@
-"""Deprecated compatibility shim over :mod:`repro.obs` — use that instead.
+"""Removed compatibility shim — use :mod:`repro.obs` instead.
 
 ``repro.perf`` was the original per-phase timing registry for the AL and
-AMR hot loops.  The observability layer (:mod:`repro.obs`) subsumed it:
-the same phase/counter tables now live in the always-on metrics registry
-:data:`repro.obs.METRICS` (plus gauges, per-phase duration histograms,
-and opt-in span tracing on top of the same instrumentation points).
-
-This module keeps every pre-existing name working against that registry —
-``timer`` / ``add`` / ``incr`` / ``snapshot`` / ``counters`` / ``reset`` /
-``report``, the ``PerfRegistry`` class (now an alias of
-:class:`repro.obs.MetricsRegistry`), ``PhaseStat``, and the canonical
-``PHASES`` / ``COUNTERS`` tuples — so existing call sites and tests are
-untouched.  A single :class:`DeprecationWarning` fires on first import;
-new code should write::
+AMR hot loops; :mod:`repro.obs` subsumed it (the same phase/counter
+tables live in the always-on :data:`repro.obs.METRICS` registry, plus
+gauges, per-phase duration histograms, and opt-in span tracing).  The
+shim carried the legacy names (``timer``/``incr``/``PerfRegistry``/...)
+for several releases; every in-repo importer has been migrated, so the
+module is now empty and importing it only warns.  Write instead::
 
     from repro import obs
 
@@ -26,86 +20,12 @@ from __future__ import annotations
 
 import warnings
 
-from repro.obs.metrics import MetricsRegistry as PerfRegistry
-from repro.obs.metrics import PhaseStat
-from repro.obs.recorder import METRICS as REGISTRY
-
 warnings.warn(
-    "repro.perf is deprecated; use repro.obs (the unified observability "
-    "layer: same metrics registry plus span tracing)",
+    "repro.perf is deprecated and its legacy names have been removed; "
+    "use repro.obs (obs.METRICS is the registry, obs.timed/incr/report "
+    "the API)",
     DeprecationWarning,
     stacklevel=2,
 )
 
-__all__ = [
-    "COUNTERS",
-    "PHASES",
-    "PerfRegistry",
-    "PhaseStat",
-    "REGISTRY",
-    "add",
-    "counters",
-    "incr",
-    "report",
-    "reset",
-    "snapshot",
-    "timer",
-]
-
-#: Canonical phase names used by the built-in instrumentation.
-PHASES = (
-    "fit",
-    "refactor",
-    "rank1_update",
-    "predict",
-    "select",
-    "amr_plan",
-    "amr_exchange",
-    "amr_sweep",
-    "amr_dt",
-    "amr_regrid",
-)
-
-#: Canonical event-counter names (no wall time attached): the GP layer
-#: counts LML objective/gradient evaluations and how each fit obtained its
-#: kernel workspace (``ws_hit`` — already covering the training set,
-#: ``ws_extend`` — appended rows only, ``ws_rebuild`` — from scratch), so
-#: hyperparameter-refit cost regressions show up as counter shifts rather
-#: than having to be inferred from wall time.
-COUNTERS = (
-    "lml_eval",
-    "lml_grad",
-    "ws_hit",
-    "ws_extend",
-    "ws_rebuild",
-)
-
-
-def timer(phase: str):
-    """``with perf.timer("fit"): ...`` against the global obs registry."""
-    return REGISTRY.timer(phase)
-
-
-def add(phase: str, seconds: float, calls: int = 1) -> None:
-    REGISTRY.add(phase, seconds, calls)
-
-
-def incr(counter: str, n: int = 1) -> None:
-    """``perf.incr("lml_eval")`` against the global obs registry."""
-    REGISTRY.incr(counter, n)
-
-
-def snapshot() -> dict[str, PhaseStat]:
-    return REGISTRY.snapshot()
-
-
-def counters() -> dict[str, int]:
-    return REGISTRY.counters()
-
-
-def reset() -> None:
-    REGISTRY.reset()
-
-
-def report() -> str:
-    return REGISTRY.report()
+__all__: list[str] = []

@@ -1,0 +1,162 @@
+"""The zero-refit selection policy: batched scoring, no surrogate anywhere.
+
+:class:`AmortizedPolicy` implements the :class:`repro.core.policies
+.SelectionPolicy` protocol but declares ``requires_surrogate = False`` —
+the learner sees that and skips GP construction, fitting, and RMSE
+tracking entirely (the "zero-refit" mode).  Each ``select`` is:
+
+1. assemble the cached feature matrix (:mod:`repro.policy.features`),
+2. one batched matmul through the offline-trained scorer,
+3. mask candidates the machine model predicts over the memory limit
+   (the RGMA constraint, answered without a GP),
+4. one ``rng.choice`` from an ε-frugal mixture of the score softmax and
+   a cheapest-predicted-first distribution.
+
+Step 4 consumes **exactly one** draw from the learner RNG — the same
+single ``rng.choice(k, p=...)`` RandGoodness and RGMA make — so swapping
+the policy never shifts the shared stream the acquisition fault model
+draws from: fault handling, checkpoints, and chaos schedules are
+untouched.  When no candidate passes the memory mask, ``select`` returns
+``None`` without touching the RNG, exactly like RGMA's early termination.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+from repro.core.policies import CandidateView, timed_select
+from repro.policy.features import FeatureExtractor, PolicyContext
+from repro.policy.scorer import MLPScorer
+
+__all__ = ["AmortizedPolicy", "load_amortized_policy"]
+
+
+class AmortizedPolicy:
+    """Offline-trained, GP-free candidate selection (the amortized server).
+
+    Parameters
+    ----------
+    scorer : MLPScorer
+        The offline-trained scorer (``python -m repro.policy train``).
+    memory_limit_MB : float, optional
+        ``L_mem``; candidates whose *machine-model* memory prediction
+        meets/exceeds it are masked out before sampling, and the learner
+        tracks cumulative regret against it.  ``None`` disables the mask.
+    epsilon : float
+        ε-frugal guardrail weight: the sampling distribution is
+        ``(1-ε)·softmax(scores/T) + ε·frugal`` where ``frugal`` favors
+        the cheapest machine-predicted feasible candidates — a hard floor
+        on cost-awareness however the learned scores drift.
+    temperature : float
+        Softmax temperature over the scores.
+    """
+
+    name = "amortized"
+    #: The learner skips all GP work for policies that clear this flag.
+    requires_surrogate = False
+
+    def __init__(
+        self,
+        scorer: MLPScorer,
+        memory_limit_MB: float | None = None,
+        epsilon: float = 0.05,
+        temperature: float = 1.0,
+    ) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        if memory_limit_MB is not None and memory_limit_MB <= 0:
+            raise ValueError("memory limit must be positive")
+        self.scorer = scorer
+        self.memory_limit_MB = (
+            float(memory_limit_MB) if memory_limit_MB is not None else None
+        )
+        self.epsilon = float(epsilon)
+        self.temperature = float(temperature)
+        self._extractor: FeatureExtractor | None = None
+
+    @property
+    def fingerprint(self) -> str:
+        """The scorer's content hash — stamped into service checkpoints."""
+        return self.scorer.fingerprint
+
+    # ------------------------------------------------------------ learner hooks
+
+    def prepare(self, ctx: PolicyContext) -> None:
+        """Build the incremental feature extractor (once per run)."""
+        self._extractor = FeatureExtractor(ctx)
+
+    def observe_acquire(self, pos: int, u_new, **kw) -> None:
+        self._extractor.observe_acquire(pos, u_new, **kw)
+
+    def observe_drop(self, pos: int, cost: float = 0.0) -> None:
+        self._extractor.observe_drop(pos, cost=cost)
+
+    # ---------------------------------------------------------------- selection
+
+    def _distribution(self, scores: np.ndarray, log_cost: np.ndarray) -> np.ndarray:
+        """ε-frugal mixture over the feasible candidates."""
+        s = scores / self.temperature
+        e = np.exp(s - s.max())
+        soft = e / e.sum()
+        if self.epsilon > 0.0:
+            # Frugal component: goodness-style mass on the cheapest
+            # machine-predicted candidates (base-10 in log cost, like the
+            # paper's goodness distribution with sigma = 0).
+            g = np.power(10.0, -(log_cost - log_cost.min()))
+            probs = (1.0 - self.epsilon) * soft + self.epsilon * (g / g.sum())
+        else:
+            probs = soft
+        return probs / probs.sum()
+
+    @timed_select
+    def select(self, view: CandidateView, rng: np.random.Generator) -> int | None:
+        ex = self._extractor
+        if ex is None:
+            raise RuntimeError(
+                "AmortizedPolicy.select before prepare(); the learner calls "
+                "prepare() in start() — construct the policy through it"
+            )
+        if len(view) == 0:
+            return None
+        if len(view) != ex.m:
+            raise RuntimeError(
+                f"feature extractor tracks {ex.m} candidates but the view "
+                f"has {len(view)} — observe_* hooks out of sync"
+            )
+        F = ex.features()
+        with obs.timed("policy.infer", cat="policy", rows=ex.m):
+            scores = self.scorer.scores(F)
+            feasible = np.flatnonzero(ex.feasible_mask())
+            if feasible.size == 0:
+                obs.incr("policy_inferences")
+                return None  # early termination: everything looks unsafe
+            probs = self._distribution(
+                scores[feasible], ex.machine_log_cost[feasible]
+            )
+        obs.incr("policy_inferences")
+        # Exactly one learner-RNG draw, like RandGoodness/RGMA.
+        return int(feasible[rng.choice(feasible.size, p=probs)])
+
+
+def load_amortized_policy(
+    path: str,
+    memory_limit_MB: float | None = None,
+    epsilon: float = 0.05,
+    temperature: float = 1.0,
+) -> AmortizedPolicy:
+    """Load a serialized scorer into a ready policy.
+
+    Module-level so ``functools.partial(load_amortized_policy, path, ...)``
+    is a picklable :class:`~repro.core.service.CampaignSpec` policy
+    factory; the service fingerprints the loaded policy at submit time and
+    refuses to resume checkpoints if the file's content later changes.
+    """
+    return AmortizedPolicy(
+        MLPScorer.load(path),
+        memory_limit_MB=memory_limit_MB,
+        epsilon=epsilon,
+        temperature=temperature,
+    )

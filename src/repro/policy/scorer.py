@@ -1,0 +1,275 @@
+"""The offline-trained candidate scorer behind :class:`AmortizedPolicy`.
+
+A deliberately small, numpy-only MLP: candidate features → one hidden tanh
+layer → a scalar score per candidate.  Serving is a single batched matmul
+over the whole pool, which is the entire point — selection cost becomes
+O(m · hidden) with no surrogate refit anywhere.
+
+Training is *listwise*: each recorded decision is (feature matrix of the
+candidate pool at that iteration, index the teacher — RGMA — chose), and
+the loss is softmax cross-entropy of the chosen candidate against the
+whole pool.  That matches serving exactly: the policy samples from the
+softmax over its scores, so the trained distribution is the distribution
+served.
+
+Serialization is one ``.npz`` (weights + feature normalization + metadata)
+with a content :attr:`~MLPScorer.fingerprint` — sha1 over the exact bytes
+of every array and the metadata — which the campaign service stamps into
+checkpoints and refuses to resume across (a silently retrained policy
+would break resume bit-identity).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["DecisionLog", "MLPScorer", "train_scorer"]
+
+
+@dataclass
+class DecisionLog:
+    """Ragged (features, chosen-candidate) pairs from simulated campaigns.
+
+    ``features`` stacks every decision's candidate matrix; decision ``i``
+    owns rows ``offsets[i]:offsets[i+1]`` and its teacher pick is
+    ``chosen[i]`` (a position *within that slice*).
+    """
+
+    features: np.ndarray
+    offsets: np.ndarray
+    chosen: np.ndarray
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.features = np.asarray(self.features, dtype=np.float64)
+        self.offsets = np.asarray(self.offsets, dtype=np.int64)
+        self.chosen = np.asarray(self.chosen, dtype=np.int64)
+        if self.offsets.ndim != 1 or self.offsets[0] != 0:
+            raise ValueError("offsets must start at 0")
+        if self.offsets[-1] != self.features.shape[0]:
+            raise ValueError("offsets must end at len(features)")
+        if self.chosen.shape != (self.offsets.shape[0] - 1,):
+            raise ValueError("one chosen index per decision")
+
+    def __len__(self) -> int:
+        return int(self.chosen.shape[0])
+
+    def slices(self):
+        """Yield ``(feature_matrix, chosen_position)`` per decision."""
+        for i in range(len(self)):
+            lo, hi = self.offsets[i], self.offsets[i + 1]
+            yield self.features[lo:hi], int(self.chosen[i])
+
+    @classmethod
+    def from_decisions(
+        cls, decisions: list[tuple[np.ndarray, int]], meta: dict | None = None
+    ) -> "DecisionLog":
+        if not decisions:
+            raise ValueError("no decisions recorded")
+        mats = [np.asarray(F, dtype=np.float64) for F, _ in decisions]
+        offsets = np.concatenate([[0], np.cumsum([m.shape[0] for m in mats])])
+        return cls(
+            features=np.vstack(mats),
+            offsets=offsets,
+            chosen=np.array([pos for _, pos in decisions], dtype=np.int64),
+            meta=meta or {},
+        )
+
+    def save(self, path: str | Path) -> None:
+        np.savez_compressed(
+            path,
+            features=self.features,
+            offsets=self.offsets,
+            chosen=self.chosen,
+            meta_json=np.frombuffer(
+                json.dumps(self.meta, sort_keys=True).encode(), dtype=np.uint8
+            ),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DecisionLog":
+        with np.load(path) as z:
+            meta = json.loads(z["meta_json"].tobytes().decode())
+            return cls(
+                features=z["features"],
+                offsets=z["offsets"],
+                chosen=z["chosen"],
+                meta=meta,
+            )
+
+
+class MLPScorer:
+    """``score(F) = tanh(z W1 + b1) w2 + b2`` with stored normalization.
+
+    Parameters are plain arrays; :meth:`scores` is the only hot-path
+    method and is a single fused pass over the pool.
+    """
+
+    def __init__(
+        self,
+        W1: np.ndarray,
+        b1: np.ndarray,
+        w2: np.ndarray,
+        b2: float,
+        mean: np.ndarray,
+        std: np.ndarray,
+        meta: dict | None = None,
+    ) -> None:
+        self.W1 = np.asarray(W1, dtype=np.float64)
+        self.b1 = np.asarray(b1, dtype=np.float64)
+        self.w2 = np.asarray(w2, dtype=np.float64)
+        self.b2 = float(b2)
+        self.mean = np.asarray(mean, dtype=np.float64)
+        self.std = np.asarray(std, dtype=np.float64)
+        self.meta = dict(meta or {})
+        if self.W1.shape != (self.mean.shape[0], self.w2.shape[0]):
+            raise ValueError("inconsistent scorer shapes")
+
+    @property
+    def n_features(self) -> int:
+        return int(self.W1.shape[0])
+
+    @property
+    def hidden(self) -> int:
+        return int(self.W1.shape[1])
+
+    def scores(self, F: np.ndarray) -> np.ndarray:
+        """Batched scores for a pool's feature matrix — one matmul pass."""
+        z = (F - self.mean) / self.std
+        return np.tanh(z @ self.W1 + self.b1) @ self.w2 + self.b2
+
+    # ------------------------------------------------------------ persistence
+
+    @property
+    def fingerprint(self) -> str:
+        """Short sha1 over the exact parameter bytes + metadata."""
+        h = hashlib.sha1()
+        for arr in (self.W1, self.b1, self.w2, self.mean, self.std):
+            h.update(np.ascontiguousarray(arr, dtype=np.float64).tobytes())
+        h.update(np.float64(self.b2).tobytes())
+        h.update(json.dumps(self.meta, sort_keys=True).encode())
+        return h.hexdigest()[:16]
+
+    def save(self, path: str | Path) -> None:
+        np.savez(
+            path,
+            W1=self.W1,
+            b1=self.b1,
+            w2=self.w2,
+            b2=np.float64(self.b2),
+            mean=self.mean,
+            std=self.std,
+            meta_json=np.frombuffer(
+                json.dumps(self.meta, sort_keys=True).encode(), dtype=np.uint8
+            ),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "MLPScorer":
+        with np.load(path) as z:
+            return cls(
+                W1=z["W1"],
+                b1=z["b1"],
+                w2=z["w2"],
+                b2=float(z["b2"]),
+                mean=z["mean"],
+                std=z["std"],
+                meta=json.loads(z["meta_json"].tobytes().decode()),
+            )
+
+
+def _softmax(s: np.ndarray) -> np.ndarray:
+    e = np.exp(s - s.max())
+    return e / e.sum()
+
+
+def train_scorer(
+    log: DecisionLog,
+    hidden: int = 32,
+    epochs: int = 150,
+    lr: float = 5e-3,
+    l2: float = 1e-4,
+    seed: int = 0,
+) -> tuple[MLPScorer, dict]:
+    """Fit an :class:`MLPScorer` to a decision log (listwise CE, Adam).
+
+    Deterministic for a given ``(log, hyperparameters, seed)``: seeded
+    init, seeded per-epoch shuffle, no other randomness.  Returns the
+    scorer plus a small history dict (loss and top-1 teacher-agreement
+    per logged epoch).
+    """
+    rng = np.random.default_rng(seed)
+    nf = log.features.shape[1]
+    mean = log.features.mean(axis=0)
+    std = log.features.std(axis=0)
+    std[std < 1e-8] = 1.0
+
+    W1 = rng.standard_normal((nf, hidden)) / np.sqrt(nf)
+    b1 = np.zeros(hidden)
+    w2 = rng.standard_normal(hidden) / np.sqrt(hidden)
+    b2 = 0.0
+    params = [W1, b1, w2, np.array([b2])]
+    m_t = [np.zeros_like(p) for p in params]
+    v_t = [np.zeros_like(p) for p in params]
+    beta1, beta2, eps = 0.9, 0.999, 1e-8
+
+    decisions = [( (F - mean) / std, pos) for F, pos in log.slices()]
+    order = np.arange(len(decisions))
+    history = {"loss": [], "agreement": []}
+    step = 0
+    for epoch in range(epochs):
+        rng.shuffle(order)
+        total_loss = 0.0
+        agree = 0
+        for i in order:
+            z, pos = decisions[i]
+            pre = z @ params[0] + params[1]
+            h = np.tanh(pre)
+            s = h @ params[2] + params[3][0]
+            p = _softmax(s)
+            total_loss -= float(np.log(max(p[pos], 1e-300)))
+            agree += int(np.argmax(s) == pos)
+            # Listwise CE gradient: dL/ds = softmax - onehot(chosen).
+            ds = p
+            ds[pos] -= 1.0
+            dpre = np.outer(ds, params[2]) * (1.0 - h * h)
+            grads = [
+                z.T @ dpre + l2 * params[0],
+                dpre.sum(axis=0),
+                h.T @ ds + l2 * params[2],
+                np.array([ds.sum()]),
+            ]
+            step += 1
+            for j, g in enumerate(grads):
+                m_t[j] = beta1 * m_t[j] + (1 - beta1) * g
+                v_t[j] = beta2 * v_t[j] + (1 - beta2) * g * g
+                mhat = m_t[j] / (1 - beta1**step)
+                vhat = v_t[j] / (1 - beta2**step)
+                params[j] -= lr * mhat / (np.sqrt(vhat) + eps)
+        history["loss"].append(total_loss / len(decisions))
+        history["agreement"].append(agree / len(decisions))
+
+    scorer = MLPScorer(
+        W1=params[0],
+        b1=params[1],
+        w2=params[2],
+        b2=float(params[3][0]),
+        mean=mean,
+        std=std,
+        meta={
+            "hidden": hidden,
+            "epochs": epochs,
+            "lr": lr,
+            "l2": l2,
+            "seed": seed,
+            "decisions": len(log),
+            "teacher": log.meta.get("teacher", "rgma"),
+            "source": log.meta,
+        },
+    )
+    return scorer, history

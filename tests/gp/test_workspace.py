@@ -10,7 +10,7 @@ through a full seeded AL trajectory (identical selected indices).
 import numpy as np
 import pytest
 
-from repro import perf
+from repro import obs
 from repro.core import ActiveLearner, MinPred, RandGoodness, random_partition
 from repro.gp.gpr import GPRegressor
 from repro.gp.kernels import (
@@ -172,14 +172,14 @@ class TestGPRegressorParity:
     def test_growing_fits_extend_workspace(self):
         X, y = self._data(n=50)
         gp = GPRegressor(n_restarts=0, use_workspace=True)
-        perf.reset()
+        obs.METRICS.reset()
         for m in (30, 31, 40, 50):
             gp.fit(X[:m], y[:m])
-        counts = perf.counters()
+        counts = obs.METRICS.counters()
         assert counts["ws_rebuild"] == 1  # first fit builds
         assert counts["ws_extend"] == 3  # every later fit extends
         assert counts["lml_eval"] > 0 and counts["lml_grad"] > 0
-        perf.reset()
+        obs.METRICS.reset()
 
     def test_workspace_survives_restarts(self):
         X, y = self._data(n=40)
@@ -256,9 +256,9 @@ class TestTrajectoryParity:
             traj = learner.run()
             return traj, learner.gpr_cost.kernel_.theta, learner.gpr_mem.kernel_.theta
 
-        perf.reset()
+        obs.METRICS.reset()
         t_ws, thc_ws, thm_ws = run(True)
-        counts = perf.counters()
+        counts = obs.METRICS.counters()
         t_dir, thc_dir, thm_dir = run(False)
         assert np.array_equal(t_ws.selected_indices, t_dir.selected_indices)
         assert np.allclose(thc_ws, thc_dir, atol=1e-8)
@@ -268,4 +268,4 @@ class TestTrajectoryParity:
         # extended the workspace instead of rebuilding it.
         assert counts["ws_extend"] > 0
         assert counts["lml_eval"] > 0
-        perf.reset()
+        obs.METRICS.reset()

@@ -1,12 +1,10 @@
-"""The repro.perf compatibility shim: same names, same registry, one warning."""
+"""The collapsed repro.perf shim: one warning, no legacy surface left."""
 
 import importlib
 import sys
 import warnings
 
 import pytest
-
-from repro import obs
 
 
 def test_deprecation_warning_on_first_import():
@@ -15,30 +13,28 @@ def test_deprecation_warning_on_first_import():
         importlib.import_module("repro.perf")
 
 
-def test_shim_shares_the_obs_registry():
+def test_legacy_names_are_gone():
+    """The compatibility surface was removed, not just deprecated: every
+    pre-obs name now raises AttributeError, steering stragglers to
+    repro.obs rather than silently feeding a dead registry."""
     from repro import perf
 
-    assert perf.REGISTRY is obs.METRICS
-    obs.METRICS.reset()
-    perf.incr("lml_eval", 2)
-    with perf.timer("fit"):
-        pass
-    assert obs.counters()["lml_eval"] == 2
-    assert obs.snapshot()["fit"].calls == 1
-    assert perf.snapshot() == obs.snapshot()
-    perf.reset()
-    assert obs.snapshot() == {}
-
-
-def test_legacy_names_still_exported():
-    from repro import perf
-
-    assert perf.PerfRegistry is obs.MetricsRegistry
-    assert perf.PhaseStat is obs.PhaseStat
-    assert "fit" in perf.PHASES and "amr_sweep" in perf.PHASES
-    assert "ws_hit" in perf.COUNTERS
-    for name in ("timer", "add", "incr", "snapshot", "counters", "reset", "report"):
-        assert callable(getattr(perf, name))
+    assert perf.__all__ == []
+    for name in (
+        "REGISTRY",
+        "PerfRegistry",
+        "PhaseStat",
+        "PHASES",
+        "COUNTERS",
+        "timer",
+        "add",
+        "incr",
+        "snapshot",
+        "counters",
+        "reset",
+        "report",
+    ):
+        assert not hasattr(perf, name), name
 
 
 def test_reimport_does_not_rewarn():

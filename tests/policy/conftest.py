@@ -1,0 +1,59 @@
+"""Shared fixtures for the amortized-policy suite.
+
+The tiny scorer is trained once per session from a real teacher replay
+(RGMA through the campaign service on the 120-job dataset) so every test
+exercises the same offline->serve pipeline the CLI ships.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.preprocessing import DesignTransform
+from repro.policy import train_scorer
+from repro.policy.features import PolicyContext
+from repro.policy.simulate import generate_decisions
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.METRICS.reset()
+    yield
+    obs.disable_tracing()
+    obs.METRICS.reset()
+
+
+@pytest.fixture(scope="session")
+def decision_log(small_dataset):
+    """Teacher decisions: 2 RGMA campaigns replayed through the service."""
+    return generate_decisions(
+        small_dataset, n_campaigns=2, iterations=6, n_init=20, n_test=30
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_scorer(decision_log):
+    scorer, _ = train_scorer(decision_log, hidden=8, epochs=15, seed=0)
+    return scorer
+
+
+@pytest.fixture(scope="session")
+def policy_file(tiny_scorer, tmp_path_factory):
+    path = tmp_path_factory.mktemp("policy") / "tiny_policy.npz"
+    tiny_scorer.save(path)
+    return path
+
+
+def make_context(dataset, n_pool=40, n_train=25, memory_limit_MB=None, seed=0):
+    """A PolicyContext over a random disjoint pool/train split."""
+    rng = np.random.default_rng(seed)
+    idx = rng.permutation(len(dataset))
+    return PolicyContext(
+        dataset=dataset,
+        scaler=DesignTransform(dataset.bounds),
+        pool_indices=np.sort(idx[:n_pool]),
+        train_indices=np.sort(idx[n_pool : n_pool + n_train]),
+        memory_limit_MB=memory_limit_MB,
+    )

@@ -1,0 +1,160 @@
+"""FeatureExtractor: incremental updates mirror a from-scratch rebuild.
+
+The contract is the cross-covariance cache's, transplanted: an acquire is
+row-drop + O(m.d) fold-in, a drop is row-drop only, and after any event
+sequence the feature matrix matches an extractor rebuilt from the updated
+pool/train split — except the two columns that *cannot* be rebuilt from a
+context alone (``log_cost_spent`` tracks charged node-hours including
+crashes; ``pool_frac`` is anchored to the campaign's initial pool size).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.policy.features import (
+    COST_SPENT_COLUMN,
+    FEATURE_NAMES,
+    FeatureExtractor,
+    PolicyContext,
+    machine_log_predictions,
+)
+
+from tests.policy.conftest import make_context
+
+POOL_FRAC_COLUMN = FEATURE_NAMES.index("pool_frac")
+#: Columns a rebuilt extractor must reproduce exactly (to summation order).
+PARITY_COLUMNS = [
+    i
+    for i in range(len(FEATURE_NAMES))
+    if i not in (COST_SPENT_COLUMN, POOL_FRAC_COLUMN)
+]
+
+
+def _replay(dataset, ctx, steps, seed=3, learn_mem=True, drop_every=3):
+    """Random acquire/drop sequence; returns (extractor, pool, train)."""
+    ex = FeatureExtractor(ctx)
+    pool = list(ctx.pool_indices)
+    train = list(ctx.train_indices)
+    log_cost, log_mem = dataset.log_cost(), dataset.log_mem()
+    rng = np.random.default_rng(seed)
+    for step in range(steps):
+        pos = int(rng.integers(len(pool)))
+        i = pool.pop(pos)
+        if drop_every and step % drop_every == drop_every - 1:
+            ex.observe_drop(pos, cost=float(dataset.cost[i]))
+        else:
+            u_new = ctx.scaler.transform(dataset.X[i][None, :])[0]
+            ex.observe_acquire(
+                pos,
+                u_new,
+                cost=float(dataset.cost[i]),
+                target_cost=float(log_cost[i]),
+                target_mem=float(log_mem[i]),
+                learn_mem=learn_mem,
+            )
+            train.append(i)
+    return ex, pool, train
+
+
+class TestIncrementalParity:
+    def test_acquire_and_drop_match_rebuild(self, small_dataset):
+        ctx = make_context(
+            small_dataset, memory_limit_MB=small_dataset.memory_limit()
+        )
+        ex, pool, train = _replay(small_dataset, ctx, steps=9)
+        rebuilt = FeatureExtractor(
+            PolicyContext(
+                dataset=small_dataset,
+                scaler=ctx.scaler,
+                pool_indices=np.array(pool),
+                train_indices=np.array(train),
+                memory_limit_MB=ctx.memory_limit_MB,
+            )
+        )
+        F_inc, F_reb = ex.features(), rebuilt.features()
+        assert F_inc.shape == F_reb.shape == (len(pool), len(FEATURE_NAMES))
+        np.testing.assert_allclose(
+            F_inc[:, PARITY_COLUMNS], F_reb[:, PARITY_COLUMNS], atol=1e-12
+        )
+
+    def test_cost_spent_tracks_charged_cost_including_drops(self, small_dataset):
+        ctx = make_context(small_dataset)
+        ex, pool, train = _replay(small_dataset, ctx, steps=6)
+        charged = sum(
+            float(small_dataset.cost[i])
+            for i in set(ctx.pool_indices) - set(pool)
+        )
+        expected = np.log10(1.0 + charged)
+        np.testing.assert_allclose(
+            ex.features()[:, COST_SPENT_COLUMN], expected, rtol=1e-12
+        )
+
+    def test_pool_frac_is_anchored_to_initial_pool(self, small_dataset):
+        ctx = make_context(small_dataset, n_pool=40)
+        ex, pool, _ = _replay(small_dataset, ctx, steps=5)
+        np.testing.assert_allclose(
+            ex.features()[:, POOL_FRAC_COLUMN], len(pool) / 40
+        )
+
+    def test_learn_mem_false_keeps_mem_stats_frozen(self, small_dataset):
+        ctx = make_context(small_dataset)
+        before = FeatureExtractor(ctx).features()
+        ex, _, _ = _replay(small_dataset, ctx, steps=4, learn_mem=False, drop_every=0)
+        mem_cols = [FEATURE_NAMES.index("mem_mean"), FEATURE_NAMES.index("mem_std")]
+        np.testing.assert_allclose(
+            ex.features()[0, mem_cols], before[0, mem_cols]
+        )
+
+
+class TestFeasibility:
+    def test_no_limit_means_all_feasible(self, small_dataset):
+        ex = FeatureExtractor(make_context(small_dataset))
+        assert ex.feasible_mask().all()
+
+    def test_mask_follows_machine_memory_prediction(self, small_dataset):
+        limit = small_dataset.memory_limit()
+        ex = FeatureExtractor(
+            make_context(small_dataset, memory_limit_MB=limit)
+        )
+        np.testing.assert_array_equal(
+            ex.feasible_mask(), ex.machine_log_mem < np.log10(limit)
+        )
+
+    def test_tiny_limit_excludes_everything(self, small_dataset):
+        ex = FeatureExtractor(
+            make_context(small_dataset, memory_limit_MB=1e-6)
+        )
+        assert not ex.feasible_mask().any()
+
+
+class TestMachinePredictions:
+    def test_duplicate_rows_price_identically(self, small_dataset):
+        X = small_dataset.X[:10]
+        stacked = np.vstack([X, X])
+        log_cost, log_mem = machine_log_predictions(stacked)
+        np.testing.assert_array_equal(log_cost[:10], log_cost[10:])
+        np.testing.assert_array_equal(log_mem[:10], log_mem[10:])
+        assert np.isfinite(log_cost).all() and np.isfinite(log_mem).all()
+
+    def test_predictions_track_true_responses(self, small_dataset):
+        """The machine models generated the dataset, so their noise-free
+        predictions must correlate strongly with the observed log targets."""
+        log_cost, log_mem = machine_log_predictions(small_dataset.X)
+        r_cost = np.corrcoef(log_cost, small_dataset.log_cost())[0, 1]
+        r_mem = np.corrcoef(log_mem, small_dataset.log_mem())[0, 1]
+        assert r_cost > 0.9 and r_mem > 0.9
+
+
+class TestValidationAndShape:
+    def test_m_tracks_pool_size(self, small_dataset):
+        ctx = make_context(small_dataset, n_pool=17)
+        ex = FeatureExtractor(ctx)
+        assert ex.m == 17
+        ex.observe_drop(0)
+        assert ex.m == 16
+
+    def test_feature_names_match_matrix_width(self, small_dataset):
+        ex = FeatureExtractor(make_context(small_dataset))
+        assert ex.features().shape[1] == len(FEATURE_NAMES)

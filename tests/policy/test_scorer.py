@@ -1,0 +1,118 @@
+"""DecisionLog and MLPScorer: validation, round-trips, determinism.
+
+The fingerprint is the serving contract: the service stamps it into every
+campaign checkpoint, so it must be bit-stable across save/load and change
+whenever any weight changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.policy import DecisionLog, MLPScorer, train_scorer
+from repro.policy.features import FEATURE_NAMES
+
+
+def _random_log(n_decisions=12, m=10, seed=0):
+    rng = np.random.default_rng(seed)
+    decisions = [
+        (rng.standard_normal((m, len(FEATURE_NAMES))), int(rng.integers(m)))
+        for _ in range(n_decisions)
+    ]
+    return DecisionLog.from_decisions(decisions, meta={"teacher": "test"})
+
+
+class TestDecisionLog:
+    def test_from_decisions_rejects_empty(self):
+        with pytest.raises(ValueError, match="no decisions"):
+            DecisionLog.from_decisions([])
+
+    def test_offsets_must_cover_features(self):
+        with pytest.raises(ValueError, match="offsets"):
+            DecisionLog(
+                features=np.zeros((4, 3)),
+                offsets=np.array([0, 2]),
+                chosen=np.array([1]),
+            )
+
+    def test_slices_recover_the_decisions(self):
+        log = _random_log(n_decisions=5, m=7)
+        mats = list(log.slices())
+        assert len(mats) == len(log) == 5
+        assert all(F.shape == (7, len(FEATURE_NAMES)) for F, _ in mats)
+        assert all(0 <= pos < 7 for _, pos in mats)
+
+    def test_npz_round_trip(self, tmp_path):
+        log = _random_log()
+        path = tmp_path / "log.npz"
+        log.save(path)
+        back = DecisionLog.load(path)
+        np.testing.assert_array_equal(back.features, log.features)
+        np.testing.assert_array_equal(back.offsets, log.offsets)
+        np.testing.assert_array_equal(back.chosen, log.chosen)
+        assert back.meta == {"teacher": "test"}
+
+    def test_simulated_log_has_teacher_meta(self, decision_log, small_dataset):
+        assert decision_log.meta["teacher"] == "rgma"
+        assert len(decision_log) > 0
+        assert decision_log.features.shape[1] == len(FEATURE_NAMES)
+
+
+class TestTraining:
+    def test_same_seed_same_fingerprint(self):
+        log = _random_log()
+        a, _ = train_scorer(log, hidden=4, epochs=3, seed=1)
+        b, _ = train_scorer(log, hidden=4, epochs=3, seed=1)
+        assert a.fingerprint == b.fingerprint
+
+    def test_different_seed_different_fingerprint(self):
+        log = _random_log()
+        a, _ = train_scorer(log, hidden=4, epochs=3, seed=1)
+        b, _ = train_scorer(log, hidden=4, epochs=3, seed=2)
+        assert a.fingerprint != b.fingerprint
+
+    def test_loss_decreases_and_history_is_complete(self):
+        log = _random_log(n_decisions=20)
+        _, history = train_scorer(log, hidden=8, epochs=10, seed=0)
+        assert len(history["loss"]) == len(history["agreement"]) == 10
+        assert history["loss"][-1] < history["loss"][0]
+
+    def test_real_teacher_is_learnable(self, tiny_scorer, decision_log):
+        """The session scorer must beat uniform guessing on its own
+        teacher decisions (sanity of the end-to-end pipeline)."""
+        agree = 0
+        for F, pos in decision_log.slices():
+            agree += int(np.argmax(tiny_scorer.scores(F)) == pos)
+        sizes = [F.shape[0] for F, _ in decision_log.slices()]
+        uniform = sum(1.0 / s for s in sizes) / len(sizes)
+        assert agree / len(decision_log) > uniform
+
+
+class TestScorer:
+    def test_scores_shape_and_finiteness(self, tiny_scorer):
+        F = np.random.default_rng(0).standard_normal((9, len(FEATURE_NAMES)))
+        s = tiny_scorer.scores(F)
+        assert s.shape == (9,) and np.isfinite(s).all()
+
+    def test_save_load_preserves_fingerprint_and_scores(
+        self, tiny_scorer, tmp_path
+    ):
+        path = tmp_path / "s.npz"
+        tiny_scorer.save(path)
+        back = MLPScorer.load(path)
+        assert back.fingerprint == tiny_scorer.fingerprint
+        F = np.random.default_rng(1).standard_normal((5, len(FEATURE_NAMES)))
+        np.testing.assert_array_equal(back.scores(F), tiny_scorer.scores(F))
+
+    def test_fingerprint_sensitive_to_any_weight(self, tiny_scorer):
+        bumped = MLPScorer(
+            W1=tiny_scorer.W1 + 1e-12,
+            b1=tiny_scorer.b1,
+            w2=tiny_scorer.w2,
+            b2=tiny_scorer.b2,
+            mean=tiny_scorer.mean,
+            std=tiny_scorer.std,
+            meta=tiny_scorer.meta,
+        )
+        assert bumped.fingerprint != tiny_scorer.fingerprint

@@ -1,0 +1,143 @@
+"""Amortized campaigns under the service's strongest invariants.
+
+Kill/resume bit-identity must hold for the GP-free policy too — its
+pickled state is the feature extractor's plain arrays plus the scorer —
+and the checkpoint's ``policy_fingerprint`` stamp must refuse resumption
+whenever the serialized policy artifact no longer matches the one the
+checkpoint was written under (a retrain between sessions would silently
+break bit-identity otherwise).
+"""
+
+from __future__ import annotations
+
+import functools
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ALConfig,
+    CampaignService,
+    CampaignSpec,
+    CheckpointStore,
+    ServiceError,
+)
+from repro.policy import DecisionLog, load_amortized_policy, train_scorer
+from repro.policy.features import FEATURE_NAMES
+
+
+def _train_to(path, epochs=6, seed=0):
+    rng = np.random.default_rng(seed)
+    decisions = [
+        (rng.standard_normal((10, len(FEATURE_NAMES))), int(rng.integers(10)))
+        for _ in range(15)
+    ]
+    scorer, _ = train_scorer(
+        DecisionLog.from_decisions(decisions), hidden=4, epochs=epochs, seed=seed
+    )
+    scorer.save(path)
+    return scorer
+
+
+def _spec(policy_path, iterations=6):
+    return CampaignSpec(
+        campaign_id="amort-0",
+        policy_factory=functools.partial(
+            load_amortized_policy, str(policy_path), memory_limit_MB=500.0
+        ),
+        base_seed=9,
+        traj_index=0,
+        n_init=20,
+        n_test=30,
+        config=ALConfig(max_iterations=iterations),
+    )
+
+
+@pytest.fixture(scope="session")
+def amortized_policy_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("service-policy") / "policy.npz"
+    _train_to(path)
+    return path
+
+
+@pytest.fixture(scope="session")
+def amortized_reference(small_dataset, amortized_policy_file):
+    """Uninterrupted fleet selections every kill/resume must reproduce."""
+    with CampaignService(small_dataset, steps_per_slice=2) as svc:
+        svc.submit(_spec(amortized_policy_file))
+        report = svc.run()
+        assert report.campaigns["amort-0"] == "done"
+        return tuple(svc.result("amort-0").selected_indices)
+
+
+class TestKillResume:
+    @given(kill_after=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=6, deadline=None)
+    def test_resume_lands_on_reference(
+        self, small_dataset, amortized_policy_file, amortized_reference, kill_after
+    ):
+        """Kill the service after any number of committed slices; a fresh
+        service over the store finishes to the uninterrupted selections —
+        the extractor's accumulators ride the pickle bit-identically."""
+        with tempfile.TemporaryDirectory() as td:
+            with CampaignService(
+                small_dataset, store=td, steps_per_slice=2
+            ) as s1:
+                s1.submit(_spec(amortized_policy_file))
+                s1.run(max_slices=kill_after)
+            with CampaignService(
+                small_dataset, store=td, steps_per_slice=2
+            ) as s2:
+                report = s2.run()
+                selections = tuple(s2.result("amort-0").selected_indices)
+        assert report.campaigns["amort-0"] == "done"
+        assert selections == amortized_reference
+
+
+class TestFingerprintRefusal:
+    def test_retrained_policy_file_is_refused(self, tmp_path, small_dataset):
+        policy_path = tmp_path / "policy.npz"
+        _train_to(policy_path, epochs=6)
+        store = tmp_path / "store"
+        with CampaignService(small_dataset, store=store, steps_per_slice=2) as s1:
+            s1.submit(_spec(policy_path))
+            s1.run(max_slices=1)
+        # Retrain in place: same path, different weights.
+        _train_to(policy_path, epochs=7)
+        with pytest.raises(ServiceError, match="policy fingerprint"):
+            CampaignService(small_dataset, store=store, steps_per_slice=2)
+
+    def test_tampered_stamp_is_refused(self, tmp_path, small_dataset):
+        policy_path = tmp_path / "policy.npz"
+        _train_to(policy_path)
+        store = tmp_path / "store"
+        with CampaignService(small_dataset, store=store, steps_per_slice=2) as s1:
+            s1.submit(_spec(policy_path))
+            s1.run(max_slices=1)
+        cs = CheckpointStore(store)
+        payload = cs.load_all()["amort-0"]
+        payload["policy_fingerprint"] = "0" * 16
+        cs.save("amort-0", payload)
+        with pytest.raises(ServiceError, match="policy fingerprint"):
+            CampaignService(small_dataset, store=store, steps_per_slice=2)
+
+    def test_legacy_checkpoint_without_stamp_attaches(
+        self, tmp_path, small_dataset
+    ):
+        """Pre-stamp checkpoints (no ``policy_fingerprint`` key) carry no
+        claim to verify; a policy without a fingerprint attaches cleanly."""
+        from tests.service.conftest import make_specs
+
+        store = tmp_path / "store"
+        with CampaignService(small_dataset, store=store, steps_per_slice=2) as s1:
+            s1.submit(make_specs(1)[0])
+            s1.run(max_slices=1)
+        cs = CheckpointStore(store)
+        payload = cs.load_all()["camp-0"]
+        del payload["policy_fingerprint"]
+        cs.save("camp-0", payload)
+        with CampaignService(small_dataset, store=store, steps_per_slice=2) as s2:
+            report = s2.run()
+        assert report.campaigns["camp-0"] == "done"

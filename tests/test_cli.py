@@ -208,3 +208,68 @@ class TestServeCommand:
              "--steps-per-slice", "2"]
         ) == 0
         assert "1 done, 0 failed" in capsys.readouterr().out
+
+
+def _train_policy_file(dir_):
+    """A tiny scorer trained on a synthetic log — fast, no campaign replay."""
+    from repro.policy import DecisionLog, train_scorer
+    from repro.policy.features import FEATURE_NAMES
+
+    rng = np.random.default_rng(0)
+    decisions = [
+        (rng.standard_normal((8, len(FEATURE_NAMES))), int(rng.integers(8)))
+        for _ in range(10)
+    ]
+    scorer, _ = train_scorer(
+        DecisionLog.from_decisions(decisions), hidden=4, epochs=4, seed=0
+    )
+    path = dir_ / "policy.npz"
+    scorer.save(path)
+    return str(path)
+
+
+class TestAmortizedCLI:
+    def test_run_amortized_skips_gp(self, tmp_path, capsys):
+        csv = tmp_path / "d.csv"
+        main(["dataset", "--out", str(csv), "--seed", "1"])
+        pf = _train_policy_file(tmp_path)
+        capsys.readouterr()
+        rc = main(
+            ["run", "--dataset", str(csv), "--policy", "amortized",
+             "--policy-file", pf, "--iterations", "3",
+             "--n-init", "20", "--n-test", "30"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "policy            : amortized" in out
+        assert "final cost RMSE   : nan" in out  # zero-refit: no surrogate
+
+    def test_submit_amortized_requires_policy_file(
+        self, tmp_path, capsys, service_dataset_csv
+    ):
+        rc = main(
+            ["campaign", "submit", "--store", str(tmp_path / "store"),
+             "--dataset", service_dataset_csv, "--id", "a0",
+             "--policy", "amortized", "--iterations", "3"]
+        )
+        assert rc == 2
+        assert "--policy-file" in capsys.readouterr().err
+
+    def test_submit_and_serve_amortized(
+        self, tmp_path, capsys, service_dataset_csv
+    ):
+        store = str(tmp_path / "store")
+        pf = _train_policy_file(tmp_path)
+        rc = main(
+            ["campaign", "submit", "--store", store,
+             "--dataset", service_dataset_csv, "--id", "a0",
+             "--policy", "amortized", "--policy-file", pf,
+             "--n-init", "20", "--n-test", "30", "--iterations", "4"]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        assert main(
+            ["serve", "--store", store, "--dataset", service_dataset_csv,
+             "--steps-per-slice", "2"]
+        ) == 0
+        assert "1 done, 0 failed" in capsys.readouterr().out
