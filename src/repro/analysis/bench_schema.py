@@ -110,12 +110,44 @@ def _policy_schema(data: dict, errors: list[str]) -> None:
             )
 
 
+def _mf_schema(data: dict, errors: list[str]) -> None:
+    regret = _require(data, "regret", dict, errors, "top level")
+    if regret is not None:
+        for key in ("rgma_final_regret", "mf_final_regret"):
+            value = _require(regret, key, _NUM, errors, "regret")
+            if value is not None and value < 0:
+                errors.append(f"regret: {key!r} must be non-negative")
+        for key in ("rgma_node_hours", "mf_node_hours"):
+            value = _require(regret, key, _NUM, errors, "regret")
+            if value is not None and value <= 0:
+                errors.append(f"regret: {key!r} must be positive")
+        factor = _require(regret, "node_hour_factor", _NUM, errors, "regret")
+        if factor is not None and factor <= 0:
+            errors.append("regret: node_hour_factor must be positive")
+        within = _require(regret, "within_target", bool, errors, "regret")
+        if within is False:
+            errors.append(
+                "regret: multi-fidelity portfolio missed the node-hour target"
+            )
+    parity = _require(data, "parity", dict, errors, "top level")
+    if parity is not None:
+        ident = _require(parity, "identical", bool, errors, "parity")
+        if ident is False:
+            errors.append(
+                "parity: B=1/F=1 portfolio diverged from sequential RGMA"
+            )
+        rounds = _require(parity, "rounds", int, errors, "parity")
+        if rounds is not None and rounds < 1:
+            errors.append("parity: rounds must be >= 1")
+
+
 #: benchmark name -> extra validation beyond the common envelope.
 SCHEMAS = {
     "gp_select_throughput": _select_schema,
     "gp_fit_workspace": _fit_schema,
     "amr_batched_stepping": _amr_schema,
     "policy_amortized_serving": _policy_schema,
+    "mf_portfolio_regret": _mf_schema,
 }
 
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 
 import numpy as np
 
@@ -36,6 +37,7 @@ from repro import obs
 from repro.core import ActiveLearner, ALConfig, POLICIES, RGMA, random_partition
 from repro.data import load_csv, load_npz, render_table1, run_campaign, save_csv, save_npz
 from repro.faults import AcquisitionFaultModel, FaultConfig, RetryPolicy
+from repro.registry import policy_registry, surrogate_registry
 
 
 def _add_dataset_cmd(sub: argparse._SubParsersAction) -> None:
@@ -114,14 +116,182 @@ def cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------- registry-driven selection
+
+
+def _coerce_option(value: str):
+    """``key=value`` suffix values: bool > int > float > str."""
+    low = value.lower()
+    if low in ("true", "false"):
+        return low == "true"
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except ValueError:
+            pass
+    return value
+
+
+def _parse_selector(spec: str) -> tuple[str, dict]:
+    """``name[,key=value,...]`` -> ``(name, options)``.
+
+    The one spelling for selecting *and* parameterizing a registered
+    policy or surrogate: ``--surrogate sparse,n_inducing=32`` or
+    ``--policy portfolio,base=8``.
+    """
+    name, _, rest = spec.partition(",")
+    opts: dict = {}
+    for item in rest.split(",") if rest else ():
+        if not item:
+            continue
+        key, eq, value = item.partition("=")
+        if not eq or not key.strip():
+            raise argparse.ArgumentTypeError(
+                f"bad option {item!r} in {spec!r}: expected key=value"
+            )
+        opts[key.strip()] = _coerce_option(value.strip())
+    return name.strip(), opts
+
+
+def _deprecated(args: argparse.Namespace, flag: str, attr: str, replacement: str):
+    """Fold a legacy per-option flag into the selector options, warning once."""
+    value = getattr(args, attr, None)
+    if value is not None:
+        warnings.warn(
+            f"{flag} is deprecated; use {replacement}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return value
+
+
+def _registry_selector(registry, kind: str):
+    """Parse-time name validation for ``NAME[,key=value,...]`` selectors.
+
+    Unknown names fail inside argparse (exit 2, usage printed) listing
+    the registered keys, exactly like a ``choices=`` constraint would —
+    but without forbidding the option suffix.
+    """
+
+    def parse(value: str) -> str:
+        name, _ = _parse_selector(value)  # raises on malformed key=value
+        if name not in registry:
+            raise argparse.ArgumentTypeError(
+                f"unknown {kind} {name!r} (choose from: "
+                f"{', '.join(registry.names())})"
+            )
+        return value
+
+    return parse
+
+
+def _add_selection_args(p: argparse.ArgumentParser, default_policy=None) -> None:
+    g = p.add_argument_group("selection (registry-resolved)")
+    g.add_argument(
+        "--policy",
+        type=_registry_selector(policy_registry, "policy"),
+        default=default_policy,
+        metavar="NAME[,key=value,...]",
+        help="registered acquisition policy, with option suffixes "
+        "(see --list-policies)",
+    )
+    g.add_argument(
+        "--surrogate",
+        type=_registry_selector(surrogate_registry, "surrogate"),
+        default="dense",
+        metavar="NAME[,key=value,...]",
+        help="registered GP backend, with option suffixes "
+        "(see --list-surrogates)",
+    )
+    g.add_argument("--list-policies", action="store_true",
+                   help="print registered policy names and exit")
+    g.add_argument("--list-surrogates", action="store_true",
+                   help="print registered surrogate names and exit")
+    d = p.add_argument_group("deprecated selection spellings")
+    d.add_argument("--policy-file", type=str, default=None,
+                   help="(deprecated) use --policy amortized,policy_file=PATH")
+    d.add_argument("--policy-epsilon", type=float, default=None,
+                   help="(deprecated) use --policy amortized,epsilon=EPS")
+    d.add_argument("--n-inducing", type=int, default=None,
+                   help="(deprecated) use --surrogate sparse,n_inducing=N")
+    d.add_argument("--exact-lml-max-n", type=int, default=None,
+                   help="(deprecated) use --surrogate iterative,exact_lml_max_n=N")
+
+
+def _add_fidelity_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("batch multi-fidelity portfolios")
+    g.add_argument("--fidelities", type=int, default=1,
+                   help="fidelity rungs per design point (1 = paper setting)")
+    g.add_argument("--batch-size", type=int, default=1,
+                   help="(point, fidelity) pairs acquired per round")
+    g.add_argument("--round-budget", type=float, default=None,
+                   help="predicted node-hours each round's batch may commit")
+    g.add_argument("--fidelity-seed", type=int, default=0,
+                   help="seed for deterministic low-fidelity pricing")
+
+
+def _maybe_list(args: argparse.Namespace) -> bool:
+    if getattr(args, "list_policies", False):
+        for name in policy_registry.names():
+            print(name)
+        return True
+    if getattr(args, "list_surrogates", False):
+        for name in surrogate_registry.names():
+            print(name)
+        return True
+    return False
+
+
+def _selection_config(args: argparse.Namespace, default_policy: str) -> dict:
+    """``ALConfig`` fields from the consolidated selection flags.
+
+    Returns the ``policy``/``policy_options``/``surrogate``/
+    ``surrogate_options`` (plus fidelity-axis) kwargs; legacy per-option
+    flags fold into the option dicts with a ``DeprecationWarning``.
+    Explicit ``key=value`` suffixes win over legacy spellings.
+    """
+    policy_name, policy_opts = _parse_selector(args.policy or default_policy)
+    surrogate_name, surrogate_opts = _parse_selector(args.surrogate)
+    pf = _deprecated(args, "--policy-file", "policy_file",
+                     "--policy amortized,policy_file=PATH")
+    if pf is not None:
+        policy_opts.setdefault("policy_file", pf)
+    eps = _deprecated(args, "--policy-epsilon", "policy_epsilon",
+                      "--policy amortized,epsilon=EPS")
+    if eps is not None:
+        policy_opts.setdefault("epsilon", eps)
+    ni = _deprecated(args, "--n-inducing", "n_inducing",
+                     "--surrogate sparse,n_inducing=N")
+    if ni is not None:
+        surrogate_opts.setdefault("n_inducing", ni)
+    lml = _deprecated(args, "--exact-lml-max-n", "exact_lml_max_n",
+                      "--surrogate iterative,exact_lml_max_n=N")
+    if lml is not None:
+        surrogate_opts.setdefault("exact_lml_max_n", lml)
+    mem_limit = getattr(args, "memory_limit", None)
+    if mem_limit:
+        policy_opts.setdefault("memory_limit_MB", mem_limit)
+    cfg = {
+        "policy": policy_name,
+        "policy_options": policy_opts,
+        "surrogate": surrogate_name,
+        "surrogate_options": surrogate_opts,
+    }
+    if getattr(args, "fidelities", 1) != 1 or getattr(args, "batch_size", 1) != 1 \
+            or getattr(args, "round_budget", None) is not None:
+        cfg.update(
+            num_fidelities=args.fidelities,
+            batch_size=args.batch_size,
+            round_budget_node_hours=args.round_budget,
+            fidelity_seed=args.fidelity_seed,
+        )
+    return cfg
+
+
 def _add_run_cmd(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("run", help="run one Active-Learning trajectory")
-    p.add_argument(
-        "--policy",
-        choices=sorted([*POLICIES, "amortized"]),
-        default="rand_goodness",
-    )
-    _add_amortized_args(p)
+    _add_selection_args(p)
+    _add_fidelity_args(p)
     p.add_argument("--dataset", type=str, default=None, help=".csv/.npz (default: generate)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--n-init", type=int, default=50)
@@ -141,7 +311,6 @@ def _add_run_cmd(sub: argparse._SubParsersAction) -> None:
         default=[],
         help="feature columns modeled via log2 (e.g. 0 1 for p and mx)",
     )
-    _add_surrogate_args(p)
     g = p.add_argument_group("acquisition faults (off by default)")
     g.add_argument("--acq-crash-prob", type=float, default=0.0,
                    help="probability an acquisition crashes (responses lost)")
@@ -157,46 +326,6 @@ def _add_run_cmd(sub: argparse._SubParsersAction) -> None:
     p.set_defaults(func=cmd_run)
 
 
-def _add_amortized_args(p: argparse.ArgumentParser) -> None:
-    g = p.add_argument_group("amortized policy (--policy amortized)")
-    g.add_argument(
-        "--policy-file", type=str, default=None,
-        help="trained scorer (.npz) from `python -m repro.policy train`",
-    )
-    g.add_argument(
-        "--policy-epsilon", type=float, default=0.05,
-        help="weight of the frugal guardrail mixed into the learned scores",
-    )
-
-
-def _add_surrogate_args(p: argparse.ArgumentParser) -> None:
-    g = p.add_argument_group("surrogate backend")
-    g.add_argument(
-        "--surrogate",
-        choices=["dense", "iterative", "sparse"],
-        default="dense",
-        help="GP backend for the cost/memory models (default: exact dense)",
-    )
-    g.add_argument(
-        "--n-inducing", type=int, default=None,
-        help="inducing points for --surrogate sparse (default 64)",
-    )
-    g.add_argument(
-        "--exact-lml-max-n", type=int, default=None,
-        help="exact-LML crossover for --surrogate iterative (default 2000)",
-    )
-
-
-def _surrogate_config_kwargs(args: argparse.Namespace) -> dict:
-    """``ALConfig`` fields selecting and parameterizing the GP backend."""
-    opts: dict = {}
-    if args.surrogate == "sparse" and args.n_inducing is not None:
-        opts["n_inducing"] = args.n_inducing
-    if args.surrogate == "iterative" and args.exact_lml_max_n is not None:
-        opts["exact_lml_max_n"] = args.exact_lml_max_n
-    return {"surrogate": args.surrogate, "surrogate_options": opts}
-
-
 def _load_dataset(path: str | None, rng: np.random.Generator):
     if path is None:
         return run_campaign(rng).dataset
@@ -208,32 +337,33 @@ def _load_dataset(path: str | None, rng: np.random.Generator):
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if _maybe_list(args):
+        return 0
     if args.trace_out:
         obs.enable_tracing()
     rng = np.random.default_rng(args.seed)
     dataset = _load_dataset(args.dataset, rng)
-    policy_cfg: dict = {}
-    if args.policy == "rgma":
-        limit = args.memory_limit if args.memory_limit else dataset.memory_limit()
-        policy = RGMA(memory_limit_MB=limit)
+    mf_mode = (
+        args.fidelities != 1
+        or args.batch_size != 1
+        or args.round_budget is not None
+    )
+    try:
+        selection = _selection_config(
+            args, default_policy="portfolio" if mf_mode else "rand_goodness"
+        )
+        cfg = ALConfig(
+            max_iterations=args.iterations,
+            hyper_refit_interval=args.refit_interval,
+            log2_features=tuple(args.log2_features),
+            **selection,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if cfg.policy in ("rgma", "portfolio", "amortized"):
+        limit = dict(cfg.policy_options).get("memory_limit_MB") or dataset.memory_limit()
         print(f"L_mem = {limit:.3f} MB")
-    elif args.policy == "amortized":
-        # Declarative: the learner resolves the policy from the config
-        # (repro.policy.make_policy), falling back to RGMA with a warning
-        # when the policy file is absent.
-        limit = args.memory_limit if args.memory_limit else dataset.memory_limit()
-        policy = None
-        policy_cfg = {
-            "policy": "amortized",
-            "policy_options": {
-                "policy_file": args.policy_file,
-                "memory_limit_MB": limit,
-                "epsilon": args.policy_epsilon,
-            },
-        }
-        print(f"L_mem = {limit:.3f} MB")
-    else:
-        policy = POLICIES[args.policy]()
     partition = random_partition(
         rng, len(dataset), n_init=args.n_init, n_test=args.n_test
     )
@@ -241,22 +371,51 @@ def cmd_run(args: argparse.Namespace) -> int:
         crash_probability=args.acq_crash_prob,
         censor_probability=args.acq_censor_prob,
     )
-    learner = ActiveLearner(
-        dataset,
-        partition,
-        policy=policy,
-        rng=rng,
-        max_iterations=args.iterations,
-        hyper_refit_interval=args.refit_interval,
-        log2_features=tuple(args.log2_features),
-        acquisition_faults=acq_faults if acq_faults.enabled else None,
-        on_failure=args.on_failure,
-        **_surrogate_config_kwargs(args),
-        config=ALConfig(**policy_cfg),
-    )
+    # The learner resolves the policy from the config
+    # (repro.policy.make_policy), so any registered policy works here.
+    if mf_mode:
+        if acq_faults.enabled:
+            print(
+                "error: --acq-* faults are supported only for sequential "
+                "(F=1, B=1) runs",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.core import MultiFidelityActiveLearner
+        from repro.data import MultiFidelityDataset
+
+        ds = dataset
+        if cfg.num_fidelities > 1:
+            ds = MultiFidelityDataset.from_dataset(
+                dataset, cfg.resolved_schedule(), seed=cfg.fidelity_seed
+            )
+        learner = MultiFidelityActiveLearner(
+            ds, partition, rng=rng, config=cfg
+        )
+    else:
+        learner = ActiveLearner(
+            dataset,
+            partition,
+            rng=rng,
+            acquisition_faults=acq_faults if acq_faults.enabled else None,
+            on_failure=args.on_failure,
+            config=cfg,
+        )
     traj = learner.run()
     print(f"policy            : {traj.policy_name}")
+    print(f"surrogate         : {learner.config.surrogate}")
     print(f"iterations        : {len(traj)}  (stop: {traj.stop_reason.value})")
+    if mf_mode:
+        fids = [r.fidelity for r in traj.records]
+        mix = {f: fids.count(f) for f in sorted(set(fids))}
+        print(
+            f"fidelities        : {learner.config.num_fidelities}  "
+            f"(batch {learner.config.batch_size}, mix {mix})"
+        )
+        print(
+            "node-hours committed : "
+            f"{learner.ledger.committed_node_hours:.3f}"
+        )
     if acq_faults.enabled:
         print(
             f"faults            : {traj.num_failed_acquisitions} crashed, "
@@ -537,12 +696,8 @@ def _add_campaign_cmd(sub: argparse._SubParsersAction) -> None:
     s = action.add_parser("submit", help="register a new campaign")
     _common(s)
     s.add_argument("--id", required=True, help="campaign id (checkpoint name)")
-    s.add_argument(
-        "--policy",
-        choices=sorted([*POLICIES, "amortized"]),
-        default="rand_goodness",
-    )
-    _add_amortized_args(s)
+    _add_selection_args(s)
+    _add_fidelity_args(s)
     s.add_argument("--base-seed", type=int, default=0)
     s.add_argument("--traj-index", type=int, default=0)
     s.add_argument("--n-init", type=int, default=50)
@@ -552,8 +707,8 @@ def _add_campaign_cmd(sub: argparse._SubParsersAction) -> None:
                    help="node-hour allocation (default unlimited)")
     s.add_argument("--steps-per-slice", type=int, default=None)
     s.add_argument("--memory-limit", type=float, default=None,
-                   help="L_mem in MB for rgma (default: the paper's 95%% rule)")
-    _add_surrogate_args(s)
+                   help="L_mem in MB for memory-aware policies "
+                        "(default: the paper's 95%% rule)")
     s.set_defaults(func=cmd_campaign_submit)
 
     for name, fn in (
@@ -573,37 +728,47 @@ def cmd_campaign_submit(args: argparse.Namespace) -> int:
 
     from repro.core import ALConfig, CampaignSpec
 
+    if _maybe_list(args):
+        return 0
+    mf_mode = (
+        args.fidelities != 1
+        or args.batch_size != 1
+        or args.round_budget is not None
+    )
     with _service_from_args(args) as service:
-        if args.policy == "rgma":
-            limit = (
-                args.memory_limit
-                if args.memory_limit
-                else service.dataset.memory_limit()
+        try:
+            selection = _selection_config(
+                args, default_policy="portfolio" if mf_mode else "rand_goodness"
             )
-            factory = functools.partial(RGMA, memory_limit_MB=limit)
-        elif args.policy == "amortized":
-            if not args.policy_file:
+            cfg = ALConfig(max_iterations=args.iterations, **selection)
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        name, opts = cfg.policy, dict(cfg.policy_options)
+        policy_cls = policy_registry.get(name)
+        if name in ("rgma", "portfolio", "amortized"):
+            opts.setdefault("memory_limit_MB", service.dataset.memory_limit())
+        if name == "amortized":
+            path = opts.pop("policy_file", None)
+            if not path:
                 print(
-                    "error: --policy amortized requires --policy-file "
+                    "error: --policy amortized requires a policy file: "
+                    "pass --policy amortized,policy_file=PATH or the "
+                    "deprecated --policy-file PATH "
                     "(train one with `python -m repro.policy train`)",
                     file=sys.stderr,
                 )
                 return 2
             from repro.policy import load_amortized_policy
 
-            limit = (
-                args.memory_limit
-                if args.memory_limit
-                else service.dataset.memory_limit()
-            )
             factory = functools.partial(
                 load_amortized_policy,
-                args.policy_file,
-                memory_limit_MB=limit,
-                epsilon=args.policy_epsilon,
+                path,
+                memory_limit_MB=opts["memory_limit_MB"],
+                epsilon=float(opts.get("epsilon", 0.05)),
             )
         else:
-            factory = POLICIES[args.policy]
+            factory = functools.partial(policy_cls, **opts) if opts else policy_cls
         spec = CampaignSpec(
             campaign_id=args.id,
             policy_factory=factory,
@@ -611,17 +776,14 @@ def cmd_campaign_submit(args: argparse.Namespace) -> int:
             traj_index=args.traj_index,
             n_init=args.n_init,
             n_test=args.n_test,
-            config=ALConfig(
-                max_iterations=args.iterations,
-                **_surrogate_config_kwargs(args),
-            ),
+            config=cfg,
             budget_node_hours=(
                 args.budget if args.budget is not None else float("inf")
             ),
             steps_per_slice=args.steps_per_slice,
         )
         service.submit(spec)
-        print(f"submitted {args.id} ({args.policy}, "
+        print(f"submitted {args.id} ({name}, "
               f"max_iterations={args.iterations})")
     return 0
 

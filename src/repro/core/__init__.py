@@ -66,6 +66,11 @@ from repro.core.service import (
     dumps_campaign,
     loads_campaign,
 )
+from repro.core.portfolio import (
+    MultiFidelityActiveLearner,
+    PortfolioCandidateView,
+    PortfolioPolicy,
+)
 from repro.core.batch_selection import BATCH_STRATEGIES, BatchActiveLearner
 from repro.core.online import OnlineActiveLearner, OnlineResult
 from repro.core.advisor import ConfigurationAdvisor, Recommendation
@@ -119,6 +124,9 @@ __all__ = [
     "dataset_fingerprint",
     "dumps_campaign",
     "loads_campaign",
+    "MultiFidelityActiveLearner",
+    "PortfolioCandidateView",
+    "PortfolioPolicy",
     "BatchActiveLearner",
     "BATCH_STRATEGIES",
     "BatchConfig",

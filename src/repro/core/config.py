@@ -24,6 +24,7 @@ from typing import Any, Callable
 from repro.core.stopping import StoppingRule
 from repro.faults.acquisition import AcquisitionFaultModel, FailurePolicy
 from repro.gp.kernels import Kernel
+from repro.registry import policy_registry, surrogate_registry
 
 
 @dataclass(frozen=True)
@@ -66,16 +67,24 @@ class ALConfig:
     #: ``{"policy_file": "policy.npz", "epsilon": 0.05}``), normalized
     #: like ``surrogate_options``.
     policy_options: tuple[tuple[str, Any], ...] = ()
-
-    _SURROGATES = ("dense", "iterative", "sparse")
-    _POLICIES = (
-        "amortized",
-        "max_sigma",
-        "min_pred",
-        "rand_goodness",
-        "rand_uniform",
-        "rgma",
-    )
+    #: The fidelity axis (:mod:`repro.data.fidelity`): how many rungs the
+    #: co-kriging stack models.  1 is classic single-fidelity AL.
+    num_fidelities: int = 1
+    #: Explicit ``((mx_divisor, maxlevel_delta), ...)`` ladder, low to
+    #: high, one pair per fidelity (the top pair must be the identity
+    #: ``(1, 0)``).  Empty selects the default ladder for
+    #: ``num_fidelities`` (:func:`repro.data.fidelity.default_schedule`).
+    fidelity_schedule: tuple[tuple[int, int], ...] = ()
+    #: Seed of the deterministic sub-top pricing stream
+    #: (:meth:`repro.data.fidelity.MultiFidelityDataset.from_dataset`).
+    fidelity_seed: int = 0
+    #: Picks per acquisition round (portfolio size B).  1 reduces the
+    #: batch layer to sequential selection.
+    batch_size: int = 1
+    #: Per-round node-hour budget the portfolio must fit under
+    #: (``None`` = unbudgeted); enforced on predicted costs through a
+    #: per-round :class:`~repro.machine.accounting.CampaignLedger`.
+    round_budget_node_hours: float | None = None
 
     def __post_init__(self) -> None:
         if self.n_restarts < 0:
@@ -94,10 +103,14 @@ class ALConfig:
         )
         object.__setattr__(self, "cache_candidates", bool(self.cache_candidates))
         object.__setattr__(self, "use_workspace", bool(self.use_workspace))
-        if self.surrogate not in self._SURROGATES:
+        # Surrogate/policy names resolve through the registries
+        # (:mod:`repro.registry`): anything registered — built-in or
+        # third-party — is a valid configuration value, and unknown
+        # names fail listing the registered keys.
+        if self.surrogate not in surrogate_registry:
             raise ValueError(
-                f"surrogate must be one of {self._SURROGATES}, "
-                f"got {self.surrogate!r}"
+                f"surrogate must be one of the registered surrogates "
+                f"{surrogate_registry.names()}, got {self.surrogate!r}"
             )
         opts = self.surrogate_options
         if isinstance(opts, dict):
@@ -107,9 +120,10 @@ class ALConfig:
             "surrogate_options",
             tuple(sorted((str(k), v) for k, v in opts)),
         )
-        if self.policy is not None and self.policy not in self._POLICIES:
+        if self.policy is not None and self.policy not in policy_registry:
             raise ValueError(
-                f"policy must be one of {self._POLICIES}, got {self.policy!r}"
+                f"policy must be one of the registered policies "
+                f"{policy_registry.names()}, got {self.policy!r}"
             )
         popts = self.policy_options
         if isinstance(popts, dict):
@@ -119,6 +133,29 @@ class ALConfig:
             "policy_options",
             tuple(sorted((str(k), v) for k, v in popts)),
         )
+        if self.num_fidelities < 1:
+            raise ValueError("num_fidelities must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if (
+            self.round_budget_node_hours is not None
+            and self.round_budget_node_hours <= 0
+        ):
+            raise ValueError("round_budget_node_hours must be positive (or None)")
+        schedule = tuple(
+            (int(d), int(m)) for d, m in self.fidelity_schedule
+        )
+        if schedule:
+            if len(schedule) != self.num_fidelities:
+                raise ValueError(
+                    f"fidelity_schedule must list {self.num_fidelities} "
+                    f"(mx_divisor, maxlevel_delta) pairs, got {len(schedule)}"
+                )
+            if schedule[-1] != (1, 0):
+                raise ValueError(
+                    "the top fidelity_schedule pair must be the identity (1, 0)"
+                )
+        object.__setattr__(self, "fidelity_schedule", schedule)
 
     def describe(self) -> dict[str, Any]:
         """JSON-able summary of the resolved configuration.
@@ -160,7 +197,28 @@ class ALConfig:
             "surrogate_options": [[k, v] for k, v in self.surrogate_options],
             "policy": self.policy,
             "policy_options": [[k, v] for k, v in self.policy_options],
+            # The fidelity axis is part of the config identity: a
+            # checkpoint written under one fidelity schedule must be
+            # refused on resume under another (the fingerprint pin).
+            "num_fidelities": self.num_fidelities,
+            "fidelity_schedule": [list(pair) for pair in self.fidelity_schedule],
+            "fidelity_seed": self.fidelity_seed,
+            "batch_size": self.batch_size,
+            "round_budget_node_hours": self.round_budget_node_hours,
         }
+
+    def resolved_schedule(self):
+        """The :class:`~repro.data.fidelity.FidelitySchedule` declared here.
+
+        An explicit ``fidelity_schedule`` wins; otherwise the default
+        ladder for ``num_fidelities``.  Lazy import: the data layer must
+        stay importable without the core package.
+        """
+        from repro.data.fidelity import FidelitySchedule, default_schedule
+
+        if self.fidelity_schedule:
+            return FidelitySchedule.from_pairs(self.fidelity_schedule)
+        return default_schedule(self.num_fidelities)
 
     def fingerprint(self) -> str:
         """Short stable hash of :meth:`describe`.

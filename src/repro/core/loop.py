@@ -33,6 +33,7 @@ from repro.faults.model import FaultEvent, FaultKind
 from repro.gp.gpr import GPRegressor
 from repro.gp.kernels import Kernel, default_kernel
 from repro.gp.surrogate import (
+    build_surrogate,
     cross_appends,
     cross_points,
     cross_version,
@@ -335,37 +336,21 @@ class ActiveLearner:
             base_kernel = cfg.kernel if cfg.kernel is not None else default_kernel()
             opts = dict(cfg.surrogate_options)
             # The two models get structurally independent kernel copies
-            # (with_theta) so their workspaces/fits never alias.
+            # (with_theta) so their workspaces/fits never alias.  The
+            # backend name resolves through the surrogate registry
+            # (repro.registry) — any registered model plugs in here.
             kernels = (base_kernel, base_kernel.with_theta(base_kernel.theta))
-            if cfg.surrogate == "sparse":
-                from repro.gp.sparse import SparseGPRegressor
-
-                self.gpr_cost, self.gpr_mem = (
-                    SparseGPRegressor(
-                        kernel=k,
-                        rng=rng,
-                        use_workspace=cfg.use_workspace,
-                        **opts,
-                    )
-                    for k in kernels
+            self.gpr_cost, self.gpr_mem = (
+                build_surrogate(
+                    cfg.surrogate,
+                    kernel=k,
+                    rng=rng,
+                    n_restarts=cfg.n_restarts,
+                    use_workspace=cfg.use_workspace,
+                    options=opts,
                 )
-            else:
-                if cfg.surrogate == "iterative":
-                    from repro.gp.iterative import IterativeGPRegressor
-
-                    model_cls = IterativeGPRegressor
-                else:
-                    model_cls = GPRegressor
-                self.gpr_cost, self.gpr_mem = (
-                    model_cls(
-                        kernel=k,
-                        n_restarts=cfg.n_restarts,
-                        rng=rng,
-                        use_workspace=cfg.use_workspace,
-                        **opts,
-                    )
-                    for k in kernels
-                )
+                for k in kernels
+            )
 
         self.acquisition_faults = cfg.acquisition_faults
         self.on_failure = cfg.on_failure

@@ -20,6 +20,7 @@ from typing import Protocol
 import numpy as np
 
 from repro import obs
+from repro.registry import register_policy
 
 
 def timed_select(select):
@@ -81,6 +82,7 @@ class SelectionPolicy(Protocol):
         ...
 
 
+@register_policy("rand_uniform")
 class RandUniform:
     """Uniform random sampling — the reference point, no model feedback.
 
@@ -97,6 +99,7 @@ class RandUniform:
         return int(rng.integers(len(view)))
 
 
+@register_policy("max_sigma")
 class MaxSigma:
     """Uncertainty sampling: the largest predictive std of the cost model.
 
@@ -115,6 +118,7 @@ class MaxSigma:
         return int(np.argmax(view.sigma_cost))
 
 
+@register_policy("min_pred")
 class MinPred:
     """Greedy "uncertainty per unit cost": argmax (sigma - mu) in log space.
 
@@ -157,6 +161,7 @@ def goodness_distribution(
     return g / total
 
 
+@register_policy("rand_goodness")
 class RandGoodness:
     """Randomized cost-efficiency sampling (the paper's exploration fix).
 
@@ -179,6 +184,7 @@ class RandGoodness:
         return int(rng.choice(len(view), p=g))
 
 
+@register_policy("rgma")
 class RGMA:
     """RandGoodness with Memory Awareness — Algorithm 2.
 

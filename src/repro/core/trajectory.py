@@ -57,6 +57,10 @@ class IterationRecord:
     censored : bool
         The acquisition completed but lost its MaxRSS (the accounting
         bug); only the cost response was usable.
+    fidelity : int
+        Fidelity level the sample was observed at (0 = coarsest rung of
+        the :mod:`repro.data.fidelity` ladder); ``-1`` for records from
+        single-fidelity runs predating the axis.
     """
 
     iteration: int
@@ -70,6 +74,7 @@ class IterationRecord:
     rmse_cost_weighted: float = float("nan")
     failed: bool = False
     censored: bool = False
+    fidelity: int = -1
 
 
 @dataclass(frozen=True)

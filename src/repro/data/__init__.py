@@ -24,6 +24,13 @@ from repro.data.campaign import (
     run_campaign,
 )
 from repro.data.dataset import Dataset, FEATURE_NAMES, RESPONSE_NAMES
+from repro.data.fidelity import (
+    FidelityLevel,
+    FidelitySchedule,
+    MultiFidelityDataset,
+    default_schedule,
+    run_mf_campaign,
+)
 from repro.data.summary import ColumnSummary, summarize_dataset, table1_rows, render_table1
 from repro.data.io import save_npz, load_npz, save_csv, load_csv
 
@@ -38,6 +45,11 @@ __all__ = [
     "Dataset",
     "FEATURE_NAMES",
     "RESPONSE_NAMES",
+    "FidelityLevel",
+    "FidelitySchedule",
+    "MultiFidelityDataset",
+    "default_schedule",
+    "run_mf_campaign",
     "ColumnSummary",
     "summarize_dataset",
     "table1_rows",

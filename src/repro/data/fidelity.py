@@ -1,0 +1,271 @@
+"""The fidelity axis: one design point, observable at F prices.
+
+The paper's campaign observes every design point at full fidelity — the
+``mx``/``maxlevel`` the point itself specifies.  But the machine model in
+:mod:`repro.machine` prices *any* job configuration, including coarsened
+ones (smaller ``mx``, fewer AMR levels), and coarse runs of the same
+point are orders of magnitude cheaper while remaining strongly
+correlated with the full-fidelity cost/memory surfaces.  Following Li et
+al. (PAPERS.md, "Batch Multi-Fidelity Active Learning with Budget
+Constraints"), this module adds that axis:
+
+- :class:`FidelityLevel` — how to coarsen a job before pricing it;
+- :class:`FidelitySchedule` — the low-to-high ladder of F levels whose
+  top entry is always the identity (the original job);
+- :class:`MultiFidelityDataset` — a classic :class:`Dataset` (the top
+  fidelity) plus ``(F, n)`` wall/cost/memory response surfaces priced by
+  :class:`~repro.machine.runner.JobRunner` at every level;
+- :func:`run_mf_campaign` — the campaign generator with the axis on.
+
+Pricing is a *pure function* of ``(dataset, schedule, seed, runner)``:
+:meth:`MultiFidelityDataset.from_dataset` draws its measurement noise
+from a private ``SeedSequence`` stream, so a resumed campaign service
+can rebuild bit-identical fidelity surfaces from the checkpointed
+configuration instead of persisting ``3·F·n`` floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.campaign import CampaignConfig, run_campaign
+from repro.data.dataset import Dataset
+from repro.data.space import TABLE1_SPACE, ParameterSpace
+from repro.machine.runner import JobConfig, JobRunner
+
+__all__ = [
+    "FidelityLevel",
+    "FidelitySchedule",
+    "MultiFidelityDataset",
+    "default_schedule",
+    "run_mf_campaign",
+]
+
+#: Entropy tag mixed into the pricing stream so fidelity noise never
+#: collides with campaign or learner rng streams sharing a base seed.
+_PRICING_SPAWN_KEY = 0xF1DE
+
+
+@dataclass(frozen=True)
+class FidelityLevel:
+    """One rung of the ladder: coarsen a job, then price it normally.
+
+    ``mx_divisor`` divides the mesh resolution (clamped to the machine
+    model's minimum of an even ``mx >= 4``); ``maxlevel_delta`` strips
+    AMR refinement levels (clamped to ``maxlevel >= 1``).  The identity
+    level ``(1, 0)`` is the full-fidelity job.
+    """
+
+    mx_divisor: int = 1
+    maxlevel_delta: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mx_divisor < 1:
+            raise ValueError("mx_divisor must be >= 1")
+        if self.maxlevel_delta < 0:
+            raise ValueError("maxlevel_delta must be non-negative")
+
+    @property
+    def is_identity(self) -> bool:
+        return self.mx_divisor == 1 and self.maxlevel_delta == 0
+
+    def coarsen(self, config: JobConfig) -> JobConfig:
+        """The coarsened job this level actually prices."""
+        mx = max(4, (config.mx // self.mx_divisor) // 2 * 2)
+        maxlevel = max(1, config.maxlevel - self.maxlevel_delta)
+        return JobConfig(
+            p=config.p,
+            mx=mx,
+            maxlevel=maxlevel,
+            r0=config.r0,
+            rhoin=config.rhoin,
+        )
+
+    def describe(self) -> list[int]:
+        return [int(self.mx_divisor), int(self.maxlevel_delta)]
+
+
+@dataclass(frozen=True)
+class FidelitySchedule:
+    """Low-to-high ladder of F fidelities; the top must be the identity.
+
+    Level indices run 0 (coarsest/cheapest) to ``F - 1`` (the original
+    full-fidelity job), matching the autoregressive co-kriging stack in
+    :class:`~repro.gp.multifidelity.MultiFidelityGPRegressor`.
+    """
+
+    levels: tuple[FidelityLevel, ...] = (FidelityLevel(),)
+
+    def __post_init__(self) -> None:
+        levels = tuple(
+            lvl if isinstance(lvl, FidelityLevel) else FidelityLevel(*lvl)
+            for lvl in self.levels
+        )
+        if not levels:
+            raise ValueError("a fidelity schedule needs at least one level")
+        if not levels[-1].is_identity:
+            raise ValueError(
+                "the top fidelity level must be the identity (1, 0); "
+                f"got {levels[-1]}"
+            )
+        object.__setattr__(self, "levels", levels)
+
+    @property
+    def num_fidelities(self) -> int:
+        return len(self.levels)
+
+    def describe(self) -> list[list[int]]:
+        """JSON-able form, embedded in ``ALConfig.describe`` (and hence
+        the config fingerprint the campaign service pins resumes to)."""
+        return [lvl.describe() for lvl in self.levels]
+
+    @classmethod
+    def from_pairs(cls, pairs) -> "FidelitySchedule":
+        """Build from ``((mx_divisor, maxlevel_delta), ...)`` pairs."""
+        return cls(tuple(FidelityLevel(int(d), int(m)) for d, m in pairs))
+
+
+def default_schedule(num_fidelities: int) -> FidelitySchedule:
+    """The default ladder for ``F`` levels: halve ``mx`` twice per rung.
+
+    ``F=1`` is the identity schedule (classic single-fidelity AL);
+    ``F=2`` adds one coarse level at ``mx/4`` with one fewer AMR level,
+    and so on — each extra rung is 4x coarser in ``mx`` and one level
+    shallower than the rung above it.
+    """
+    if num_fidelities < 1:
+        raise ValueError("num_fidelities must be >= 1")
+    levels = [
+        FidelityLevel(
+            mx_divisor=4 ** (num_fidelities - 1 - t),
+            maxlevel_delta=num_fidelities - 1 - t,
+        )
+        for t in range(num_fidelities)
+    ]
+    return FidelitySchedule(tuple(levels))
+
+
+def _job_config(features: np.ndarray) -> JobConfig:
+    p, mx, maxlevel, r0, rhoin = features
+    return JobConfig(
+        p=int(round(p)),
+        mx=int(round(mx)),
+        maxlevel=int(round(maxlevel)),
+        r0=float(r0),
+        rhoin=float(rhoin),
+    )
+
+
+@dataclass(frozen=True)
+class MultiFidelityDataset:
+    """A :class:`Dataset` plus its ``(F, n)`` per-fidelity responses.
+
+    ``base`` is the unchanged top-fidelity dataset — every existing
+    consumer (learners, policies, the campaign service's interning
+    pickler) keeps working on it.  ``wall``/``cost``/``mem`` stack the F
+    response surfaces low-to-high; row ``F - 1`` equals the base arrays.
+    """
+
+    base: Dataset
+    wall: np.ndarray
+    cost: np.ndarray
+    mem: np.ndarray
+    schedule: FidelitySchedule = field(default_factory=FidelitySchedule)
+
+    def __post_init__(self) -> None:
+        n = self.base.X.shape[0]
+        F = self.schedule.num_fidelities
+        for name in ("wall", "cost", "mem"):
+            arr = np.asarray(getattr(self, name), dtype=np.float64)
+            if arr.shape != (F, n):
+                raise ValueError(f"{name} must have shape ({F}, {n})")
+            if not np.all(arr > 0):
+                raise ValueError(f"{name} must be strictly positive")
+            object.__setattr__(self, name, arr)
+        if not np.allclose(self.cost[-1], self.base.cost):
+            raise ValueError("top-fidelity cost must match the base dataset")
+        if not np.allclose(self.mem[-1], self.base.mem):
+            raise ValueError("top-fidelity mem must match the base dataset")
+
+    @property
+    def num_fidelities(self) -> int:
+        return self.schedule.num_fidelities
+
+    def __len__(self) -> int:
+        return int(self.base.X.shape[0])
+
+    def log_cost(self, level: int) -> np.ndarray:
+        """log10 node-hour cost surface at ``level``."""
+        return np.log10(self.cost[level])
+
+    def log_mem(self, level: int) -> np.ndarray:
+        """log10 MaxRSS surface at ``level``."""
+        return np.log10(self.mem[level])
+
+    def memory_limit(self, **kwargs) -> float:
+        """The base dataset's memory limit (fidelities share the node)."""
+        return self.base.memory_limit(**kwargs)
+
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: Dataset,
+        schedule: FidelitySchedule,
+        runner: JobRunner | None = None,
+        seed: int = 0,
+    ) -> "MultiFidelityDataset":
+        """Price every sub-top fidelity of ``dataset``'s design points.
+
+        Deterministic in ``(dataset, schedule, seed, runner)``: noise is
+        drawn from ``SeedSequence(seed, spawn_key=(0xF1DE,))`` with one
+        fixed-order sweep (levels outer, rows inner), so a resumed
+        campaign rebuilds identical surfaces from configuration alone.
+        """
+        runner = runner if runner is not None else JobRunner()
+        F = schedule.num_fidelities
+        n = dataset.X.shape[0]
+        wall = np.empty((F, n))
+        cost = np.empty((F, n))
+        mem = np.empty((F, n))
+        wall[-1] = dataset.wall
+        cost[-1] = dataset.cost
+        mem[-1] = dataset.mem
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=seed, spawn_key=(_PRICING_SPAWN_KEY,))
+        )
+        for t, level in enumerate(schedule.levels[:-1]):
+            for i in range(n):
+                job = level.coarsen(_job_config(dataset.X[i]))
+                rec = runner.run(job, rng, job_id=t * n + i)
+                wall[t, i] = rec.wall_seconds
+                cost[t, i] = rec.cost_node_hours
+                mem[t, i] = rec.max_rss_MB
+        return cls(base=dataset, wall=wall, cost=cost, mem=mem, schedule=schedule)
+
+
+def run_mf_campaign(
+    rng: np.random.Generator,
+    space: ParameterSpace = TABLE1_SPACE,
+    config: CampaignConfig | None = None,
+    runner: JobRunner | None = None,
+    schedule: FidelitySchedule | None = None,
+    fidelity_seed: int = 0,
+) -> MultiFidelityDataset:
+    """The campaign generator with the fidelity axis on.
+
+    Runs the classic top-fidelity campaign (:func:`run_campaign`), then
+    prices every sub-top level of the resulting design.  ``schedule``
+    defaults to :func:`default_schedule` with two levels.
+    """
+    schedule = schedule if schedule is not None else default_schedule(2)
+    result = run_campaign(
+        rng,
+        space=space,
+        config=config if config is not None else CampaignConfig(),
+        runner=runner if runner is not None else JobRunner(),
+    )
+    return MultiFidelityDataset.from_dataset(
+        result.dataset, schedule, runner=runner, seed=fidelity_seed
+    )

@@ -42,11 +42,13 @@ from repro.gp.gpr import GPRegressor
 from repro.gp.iterative import IterativeGPRegressor
 from repro.gp.surrogate import (
     Surrogate,
+    build_surrogate,
     cross_appends,
     cross_points,
     cross_version,
     supports_cross,
 )
+from repro.gp.multifidelity import MultiFidelityGPRegressor, split_fidelity_column
 from repro.gp.local import LocalGPRegressor, kmeans
 from repro.gp.sparse import SparseGPRegressor
 from repro.gp.spectral import SpectralGPRegressor
@@ -55,7 +57,10 @@ from repro.gp.treed import TreedGPRegressor
 __all__ = [
     "IterativeGPRegressor",
     "LocalGPRegressor",
+    "MultiFidelityGPRegressor",
+    "split_fidelity_column",
     "Surrogate",
+    "build_surrogate",
     "cross_appends",
     "cross_points",
     "cross_version",

@@ -30,6 +30,7 @@ from scipy.optimize import minimize
 
 from repro import obs
 from repro.gp.kernels import Kernel, KernelWorkspace, default_kernel
+from repro.registry import register_surrogate
 
 #: Jitter ladder tried when the covariance is numerically indefinite.
 _JITTERS = (0.0, 1e-10, 1e-8, 1e-6, 1e-4)
@@ -38,6 +39,7 @@ _JITTERS = (0.0, 1e-10, 1e-8, 1e-6, 1e-4)
 _CHOL_ERRORS = (np.linalg.LinAlgError, scipy.linalg.LinAlgError)
 
 
+@register_surrogate("dense")
 class GPRegressor:
     """Exact GP regression with marginal-likelihood hyperparameter fitting.
 

@@ -64,6 +64,7 @@ from repro.gp.kernels import (
     WhiteKernel,
     _grow_square,
 )
+from repro.registry import register_surrogate
 
 __all__ = [
     "IterativeGPRegressor",
@@ -439,6 +440,7 @@ def slq_logdet(
     return float(est.mean()), total_steps
 
 
+@register_surrogate("iterative")
 class IterativeGPRegressor(GPRegressor):
     """Exact-interface GP regression via iterative solves (large-n fast path).
 

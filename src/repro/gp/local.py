@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.gp.gpr import GPRegressor
 from repro.gp.kernels import Kernel, default_kernel
+from repro.registry import register_surrogate
 
 
 def kmeans(
@@ -66,6 +67,7 @@ def kmeans(
     return C, labels
 
 
+@register_surrogate("local")
 class LocalGPRegressor:
     """K independent local GPs with distance-weighted prediction blending.
 

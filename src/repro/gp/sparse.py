@@ -55,10 +55,12 @@ from repro import obs
 from repro.gp.gpr import GPRegressor
 from repro.gp.kernels import Kernel, default_kernel
 from repro.gp.local import kmeans
+from repro.registry import register_surrogate
 
 _JITTER = 1e-8
 
 
+@register_surrogate("sparse")
 class SparseGPRegressor:
     """DTC sparse GP with k-means inducing points.
 

@@ -97,6 +97,51 @@ class Surrogate(Protocol):
         ...
 
 
+def build_surrogate(
+    name: str,
+    *,
+    kernel=None,
+    rng=None,
+    n_restarts: int | None = None,
+    use_workspace: bool = True,
+    options=(),
+) -> Any:
+    """Construct the registered surrogate ``name`` with the loop's inputs.
+
+    The single surrogate factory behind ``ALConfig.surrogate``: resolves
+    ``name`` through :data:`repro.registry.surrogate_registry` (unknown
+    names raise listing the registered keys) and adapts to the model's
+    constructor signature — ``kernel``/``rng``/``n_restarts``/
+    ``use_workspace`` are forwarded only when the class accepts them, so
+    e.g. the sparse model (no ``n_restarts``) needs no special case.
+    ``options`` (the config's ``surrogate_options``) always win over the
+    adapted defaults.
+    """
+    import inspect
+
+    from repro.registry import surrogate_registry
+
+    cls = surrogate_registry.get(name)
+    kwargs = dict(options)
+    params = inspect.signature(cls.__init__).parameters
+    accepts_any = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
+
+    def accepts(key: str) -> bool:
+        return accepts_any or key in params
+
+    if accepts("kernel") and kernel is not None:
+        kwargs.setdefault("kernel", kernel)
+    if accepts("rng") and rng is not None:
+        kwargs.setdefault("rng", rng)
+    if accepts("n_restarts") and n_restarts is not None:
+        kwargs.setdefault("n_restarts", n_restarts)
+    if accepts("use_workspace"):
+        kwargs.setdefault("use_workspace", use_workspace)
+    return cls(**kwargs)
+
+
 def supports_cross(model: Any) -> bool:
     """Does ``model`` offer the exact-GP cross-covariance fast path?
 

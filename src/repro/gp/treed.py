@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.gp.gpr import GPRegressor
 from repro.gp.kernels import Kernel, default_kernel
+from repro.registry import register_surrogate
 
 
 @dataclass
@@ -44,6 +45,7 @@ class _Node:
         return self.model is not None
 
 
+@register_surrogate("treed")
 class TreedGPRegressor:
     """Median-split treed GP with per-leaf hyperparameters.
 

@@ -38,8 +38,17 @@ __all__ = [
 ]
 
 
+#: Policy names whose constructor takes a ``memory_limit_MB`` the config
+#: may omit — defaulted to the dataset's own limit (Sec. III-B).
+_MEMORY_AWARE = ("rgma", "portfolio", "amortized")
+
+
 def make_policy(cfg: ALConfig, dataset: Dataset):
     """Instantiate the selection policy named by ``cfg.policy``.
+
+    Resolution goes through :data:`repro.registry.policy_registry` —
+    any registered policy (built-in or third-party) is constructible
+    here, and unknown names raise listing the registered keys.
 
     ``policy="amortized"`` loads the scorer file named in
     ``policy_options["policy_file"]``; a missing/unset file falls back to
@@ -48,11 +57,15 @@ def make_policy(cfg: ALConfig, dataset: Dataset):
     to the exact paper policy, never crash, when the learned artifact is
     absent.
     """
+    from repro.registry import policy_registry
+
     name = cfg.policy or "rgma"
     opts = dict(cfg.policy_options)
+    policy_cls = policy_registry.get(name)  # unknown -> KeyError with keys
+    if name in _MEMORY_AWARE:
+        opts.setdefault("memory_limit_MB", dataset.memory_limit())
     if name == "amortized":
         path = opts.pop("policy_file", None)
-        opts.setdefault("memory_limit_MB", dataset.memory_limit())
         if path is None or not os.path.exists(path):
             warnings.warn(
                 f"amortized policy file {path!r} not found; "
@@ -67,6 +80,4 @@ def make_policy(cfg: ALConfig, dataset: Dataset):
             epsilon=float(opts.get("epsilon", 0.05)),
             temperature=float(opts.get("temperature", 1.0)),
         )
-    if name == "rgma":
-        opts.setdefault("memory_limit_MB", dataset.memory_limit())
-    return POLICIES[name](**opts)
+    return policy_cls(**opts)

@@ -28,10 +28,12 @@ from repro import obs
 from repro.core.policies import CandidateView, timed_select
 from repro.policy.features import FeatureExtractor, PolicyContext
 from repro.policy.scorer import MLPScorer
+from repro.registry import register_policy
 
 __all__ = ["AmortizedPolicy", "load_amortized_policy"]
 
 
+@register_policy("amortized")
 class AmortizedPolicy:
     """Offline-trained, GP-free candidate selection (the amortized server).
 

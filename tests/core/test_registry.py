@@ -1,0 +1,175 @@
+"""The pluggable policy/surrogate registry (repro.registry).
+
+Pins the resolution rules DESIGN.md documents: decorator registration,
+lazy builtin loading, helpful unknown-name errors, idempotent
+re-registration, and the config/factory layers resolving through the
+registry instead of hand-listed names.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ALConfig, PortfolioPolicy, RGMA
+from repro.gp import GPRegressor, MultiFidelityGPRegressor, build_surrogate
+from repro.policy import make_policy
+from repro.registry import (
+    Registry,
+    policy_registry,
+    register_policy,
+    register_surrogate,
+    surrogate_registry,
+)
+
+
+class TestRegistry:
+    def test_builtin_policies_registered(self):
+        assert set(policy_registry.names()) >= {
+            "rand_uniform",
+            "max_sigma",
+            "min_pred",
+            "rand_goodness",
+            "rgma",
+            "portfolio",
+            "amortized",
+        }
+
+    def test_builtin_surrogates_registered(self):
+        assert set(surrogate_registry.names()) >= {
+            "dense",
+            "iterative",
+            "sparse",
+            "local",
+            "treed",
+            "multifidelity",
+        }
+
+    def test_get_resolves_to_class(self):
+        assert policy_registry.get("rgma") is RGMA
+        assert policy_registry.get("portfolio") is PortfolioPolicy
+        assert surrogate_registry.get("dense") is GPRegressor
+        assert surrogate_registry.get("multifidelity") is MultiFidelityGPRegressor
+
+    def test_unknown_name_lists_registered_keys(self):
+        with pytest.raises(KeyError, match="rgma"):
+            policy_registry.get("definitely-not-a-policy")
+        with pytest.raises(KeyError, match="dense"):
+            surrogate_registry.get("definitely-not-a-surrogate")
+
+    def test_contains_and_iteration(self):
+        assert "rgma" in policy_registry
+        assert "nope" not in policy_registry
+        assert sorted(policy_registry) == list(policy_registry.names())
+        assert len(surrogate_registry) == len(surrogate_registry.names())
+
+    def test_reregistering_same_object_is_idempotent(self):
+        assert register_policy("rgma")(RGMA) is RGMA
+        assert register_surrogate("dense")(GPRegressor) is GPRegressor
+
+    def test_reregistering_different_object_raises(self):
+        class Impostor:
+            pass
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_policy("rgma")(Impostor)
+
+    def test_fresh_registry_decorator(self):
+        reg = Registry("widget", builtin_modules=())
+
+        @reg.register("thing")
+        class Thing:
+            pass
+
+        assert reg.get("thing") is Thing
+        assert reg.names() == ("thing",)
+
+
+class TestConfigResolution:
+    def test_config_accepts_any_registered_name(self):
+        for name in policy_registry.names():
+            ALConfig(policy=name)
+        for name in surrogate_registry.names():
+            ALConfig(surrogate=name)
+
+    def test_config_rejects_unknown_names_listing_keys(self):
+        with pytest.raises(ValueError, match="policy must be one of"):
+            ALConfig(policy="nope")
+        with pytest.raises(ValueError, match="surrogate must be one of"):
+            ALConfig(surrogate="nope")
+
+    def test_make_policy_resolves_through_registry(self, small_dataset):
+        policy = make_policy(ALConfig(policy="portfolio"), small_dataset)
+        assert isinstance(policy, PortfolioPolicy)
+        # Memory-aware names default L_mem from the dataset.
+        assert policy.memory_limit_MB == pytest.approx(
+            small_dataset.memory_limit()
+        )
+
+    def test_build_surrogate_adapts_signatures(self, rng):
+        # sparse takes no n_restarts; multifidelity takes **kwargs: the
+        # factory forwards only what each constructor accepts.
+        sparse = build_surrogate("sparse", rng=rng, n_restarts=3,
+                                 options={"n_inducing": 8})
+        assert sparse.n_inducing == 8
+        mf = build_surrogate("multifidelity", rng=rng, n_restarts=3,
+                             options={"num_fidelities": 2})
+        assert mf.num_fidelities == 2
+        assert mf.n_restarts == 3
+
+    def test_build_surrogate_unknown_name(self):
+        with pytest.raises(KeyError, match="registered surrogate"):
+            build_surrogate("nope")
+
+
+class TestFidelityFingerprint:
+    """Satellite fix: the fingerprint covers the fidelity axis."""
+
+    def test_fingerprint_changes_with_fidelity_axis(self):
+        base = ALConfig()
+        assert base.fingerprint() != ALConfig(num_fidelities=2).fingerprint()
+        assert base.fingerprint() != ALConfig(batch_size=4).fingerprint()
+        assert (
+            base.fingerprint()
+            != ALConfig(round_budget_node_hours=1.0).fingerprint()
+        )
+        assert base.fingerprint() != ALConfig(fidelity_seed=7).fingerprint()
+
+    def test_fingerprint_distinguishes_schedules(self):
+        a = ALConfig(num_fidelities=2, fidelity_schedule=((4, 1), (1, 0)))
+        b = ALConfig(num_fidelities=2, fidelity_schedule=((8, 2), (1, 0)))
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_schedule_validation(self):
+        with pytest.raises(ValueError, match="fidelity_schedule"):
+            ALConfig(num_fidelities=2, fidelity_schedule=((4, 1),))
+        with pytest.raises(ValueError, match="identity"):
+            ALConfig(num_fidelities=2, fidelity_schedule=((4, 1), (2, 0)))
+        with pytest.raises(ValueError, match="num_fidelities"):
+            ALConfig(num_fidelities=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            ALConfig(batch_size=0)
+        with pytest.raises(ValueError, match="round_budget"):
+            ALConfig(round_budget_node_hours=-1.0)
+
+    def test_resolved_schedule(self):
+        sched = ALConfig(num_fidelities=3).resolved_schedule()
+        assert sched.num_fidelities == 3
+        assert sched.levels[-1].is_identity
+        explicit = ALConfig(
+            num_fidelities=2, fidelity_schedule=((8, 2), (1, 0))
+        ).resolved_schedule()
+        assert explicit.levels[0].mx_divisor == 8
+
+    def test_describe_includes_fidelity_axis(self):
+        desc = ALConfig(num_fidelities=2, batch_size=3).describe()
+        assert desc["num_fidelities"] == 2
+        assert desc["batch_size"] == 3
+        assert "round_budget_node_hours" in desc
+        assert "fidelity_seed" in desc
+
+
+def test_rng_required_message_mentions_registered_policies():
+    """The config error message pins the test-visible phrasing."""
+    with pytest.raises(ValueError) as exc:
+        ALConfig(policy="not-there")
+    assert "registered policies" in str(exc.value)
+    assert "rgma" in str(exc.value)

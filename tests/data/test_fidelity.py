@@ -1,0 +1,131 @@
+"""The fidelity axis (repro.data.fidelity).
+
+Schedule validation, deterministic sub-top pricing, and the cost
+monotonicity that makes the portfolio's coarse rungs worth buying.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    FidelityLevel,
+    FidelitySchedule,
+    MultiFidelityDataset,
+    default_schedule,
+    run_mf_campaign,
+)
+from repro.data.campaign import CampaignConfig
+from repro.machine.runner import JobConfig
+
+
+class TestFidelityLevel:
+    def test_identity(self):
+        assert FidelityLevel().is_identity
+        assert not FidelityLevel(mx_divisor=2).is_identity
+        assert not FidelityLevel(maxlevel_delta=1).is_identity
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FidelityLevel(mx_divisor=0)
+        with pytest.raises(ValueError):
+            FidelityLevel(maxlevel_delta=-1)
+
+    def test_coarsen_clamps_to_machine_minimums(self):
+        job = JobConfig(p=16, mx=32, maxlevel=3, r0=0.5, rhoin=0.5)
+        coarse = FidelityLevel(mx_divisor=4, maxlevel_delta=1).coarsen(job)
+        assert coarse.mx == 8 and coarse.maxlevel == 2
+        floor = FidelityLevel(mx_divisor=64, maxlevel_delta=9).coarsen(job)
+        assert floor.mx == 4 and floor.maxlevel == 1
+        # mx stays even after division.
+        odd = FidelityLevel(mx_divisor=3).coarsen(job)
+        assert odd.mx % 2 == 0
+
+
+class TestFidelitySchedule:
+    def test_top_level_must_be_identity(self):
+        with pytest.raises(ValueError, match="identity"):
+            FidelitySchedule((FidelityLevel(4, 1), FidelityLevel(2, 0)))
+
+    def test_needs_at_least_one_level(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FidelitySchedule(())
+
+    def test_from_pairs_and_describe_round_trip(self):
+        sched = FidelitySchedule.from_pairs(((4, 1), (1, 0)))
+        assert sched.num_fidelities == 2
+        assert sched.describe() == [[4, 1], [1, 0]]
+        assert FidelitySchedule.from_pairs(sched.describe()) == sched
+
+    def test_default_schedule_geometry(self):
+        assert default_schedule(1).describe() == [[1, 0]]
+        assert default_schedule(3).describe() == [[16, 2], [4, 1], [1, 0]]
+        with pytest.raises(ValueError):
+            default_schedule(0)
+
+
+class TestMultiFidelityDataset:
+    def test_from_dataset_is_deterministic(self, small_dataset):
+        sched = default_schedule(2)
+        a = MultiFidelityDataset.from_dataset(small_dataset, sched, seed=3)
+        b = MultiFidelityDataset.from_dataset(small_dataset, sched, seed=3)
+        np.testing.assert_array_equal(a.cost, b.cost)
+        np.testing.assert_array_equal(a.mem, b.mem)
+        c = MultiFidelityDataset.from_dataset(small_dataset, sched, seed=4)
+        assert not np.array_equal(a.cost[0], c.cost[0])
+
+    def test_top_row_is_the_base_dataset(self, small_dataset):
+        mf = MultiFidelityDataset.from_dataset(
+            small_dataset, default_schedule(2), seed=0
+        )
+        np.testing.assert_array_equal(mf.cost[-1], small_dataset.cost)
+        np.testing.assert_array_equal(mf.mem[-1], small_dataset.mem)
+        assert mf.base is small_dataset
+        assert len(mf) == len(small_dataset)
+        assert mf.memory_limit() == small_dataset.memory_limit()
+
+    def test_coarse_rungs_are_cheaper_in_aggregate(self, small_dataset):
+        mf = MultiFidelityDataset.from_dataset(
+            small_dataset, default_schedule(2), seed=0
+        )
+        # Coarsening mx by 4x and stripping an AMR level must slash the
+        # node-hour bill — that price gap is the portfolio's entire edge.
+        assert mf.cost[0].sum() < 0.25 * mf.cost[1].sum()
+        assert np.median(mf.mem[0]) < np.median(mf.mem[1])
+
+    def test_log_surfaces(self, small_dataset):
+        mf = MultiFidelityDataset.from_dataset(
+            small_dataset, default_schedule(2), seed=0
+        )
+        np.testing.assert_allclose(10.0 ** mf.log_cost(0), mf.cost[0])
+        np.testing.assert_allclose(10.0 ** mf.log_mem(1), mf.mem[1])
+
+    def test_shape_and_positivity_validation(self, small_dataset):
+        n = len(small_dataset)
+        good = np.ones((2, n))
+        with pytest.raises(ValueError, match="shape"):
+            MultiFidelityDataset(
+                base=small_dataset,
+                wall=np.ones((3, n)),
+                cost=good,
+                mem=good,
+                schedule=default_schedule(2),
+            )
+        with pytest.raises(ValueError, match="top-fidelity cost"):
+            MultiFidelityDataset(
+                base=small_dataset,
+                wall=good,
+                cost=good,
+                mem=good,
+                schedule=default_schedule(2),
+            )
+
+
+class TestRunMfCampaign:
+    def test_generator_with_axis_on(self):
+        mf = run_mf_campaign(
+            np.random.default_rng(9),
+            config=CampaignConfig(num_unique=30, num_repeats=10),
+        )
+        assert mf.num_fidelities == 2
+        assert mf.cost.shape == (2, len(mf))
+        assert np.all(mf.cost > 0)

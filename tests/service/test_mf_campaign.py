@@ -1,0 +1,159 @@
+"""Multi-fidelity campaigns through the campaign service.
+
+Pins the service-side MF contracts: slicing/checkpointing reproduces the
+inline learner bit-for-bit, chaos kill/resume lands on the uninterrupted
+run, and a checkpoint written under one fidelity schedule refuses to
+resume under another (the fingerprint satellite fix).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ALConfig,
+    CampaignService,
+    CampaignSpec,
+    PortfolioPolicy,
+    ServiceError,
+)
+from repro.core.service import CheckpointStore, build_learner
+
+from tests.service.test_chaos import chaos_config
+
+MF_CFG = ALConfig(
+    max_iterations=8,
+    num_fidelities=2,
+    batch_size=2,
+    round_budget_node_hours=0.5,
+)
+
+
+def mf_spec(memory_limit: float, campaign_id: str = "mf-0") -> CampaignSpec:
+    return CampaignSpec(
+        campaign_id=campaign_id,
+        policy_factory=functools.partial(
+            PortfolioPolicy, memory_limit_MB=memory_limit
+        ),
+        base_seed=3,
+        traj_index=0,
+        n_init=20,
+        n_test=30,
+        config=MF_CFG,
+    )
+
+
+@pytest.fixture(scope="module")
+def mem_limit(small_dataset):
+    return small_dataset.memory_limit()
+
+
+@pytest.fixture(scope="module")
+def inline_reference(small_dataset, mem_limit):
+    """The uninterrupted run every service execution must reproduce."""
+    traj = build_learner(mf_spec(mem_limit), small_dataset).run()
+    assert len(traj.records) > 0
+    assert any(r.fidelity == 0 for r in traj.records)
+    return traj
+
+
+def _service_selections(svc, campaign_id="mf-0"):
+    traj = svc.result(campaign_id)
+    return tuple(traj.selected_indices), [r.fidelity for r in traj.records]
+
+
+class TestServiceParity:
+    def test_sliced_run_matches_inline(
+        self, small_dataset, mem_limit, inline_reference
+    ):
+        with CampaignService(small_dataset, steps_per_slice=2) as svc:
+            svc.submit(mf_spec(mem_limit))
+            report = svc.run()
+            sel, fids = _service_selections(svc)
+        assert report.campaigns["mf-0"] == "done"
+        np.testing.assert_array_equal(sel, inline_reference.selected_indices)
+        assert fids == [r.fidelity for r in inline_reference.records]
+
+    def test_kill_resume_matches_inline(
+        self, tmp_path, small_dataset, mem_limit, inline_reference
+    ):
+        with CampaignService(
+            small_dataset, store=tmp_path, steps_per_slice=2
+        ) as s1:
+            s1.submit(mf_spec(mem_limit))
+            s1.run(max_slices=2)
+        with CampaignService(
+            small_dataset, store=tmp_path, steps_per_slice=2
+        ) as s2:
+            report = s2.run()
+            sel, fids = _service_selections(s2)
+        assert report.campaigns["mf-0"] == "done"
+        np.testing.assert_array_equal(sel, inline_reference.selected_indices)
+        assert fids == [r.fidelity for r in inline_reference.records]
+
+    def test_chaos_kill_resume_matches_inline(
+        self, tmp_path, small_dataset, mem_limit, inline_reference
+    ):
+        """Chaos strikes the slices *and* the service dies mid-run; the
+        resumed fleet still lands on the uninterrupted MF trajectory."""
+        chaos = chaos_config("mixed")
+        with CampaignService(
+            small_dataset, store=tmp_path, steps_per_slice=2, chaos=chaos
+        ) as s1:
+            s1.submit(mf_spec(mem_limit))
+            s1.run(max_slices=3)
+        with CampaignService(
+            small_dataset, store=tmp_path, steps_per_slice=2, chaos=chaos
+        ) as s2:
+            report = s2.run()
+            sel, fids = _service_selections(s2)
+        assert report.campaigns["mf-0"] == "done"
+        np.testing.assert_array_equal(sel, inline_reference.selected_indices)
+        assert fids == [r.fidelity for r in inline_reference.records]
+
+
+class TestFidelityScheduleRefusal:
+    def test_schedule_change_refused_on_resume(
+        self, tmp_path, small_dataset, mem_limit
+    ):
+        """The config fingerprint covers the fidelity axis: rewriting the
+        checkpointed spec with a different schedule must refuse resume."""
+        store = CheckpointStore(tmp_path)
+        with CampaignService(
+            small_dataset, store=store, steps_per_slice=2
+        ) as svc:
+            svc.submit(mf_spec(mem_limit))
+            svc.run(max_slices=1)
+        payload = store.load("mf-0")
+        spec = payload["spec"]
+        payload["spec"] = dataclasses.replace(
+            spec,
+            config=dataclasses.replace(
+                spec.config, fidelity_schedule=((8, 2), (1, 0))
+            ),
+        )
+        store.save("mf-0", payload)
+        with pytest.raises(ServiceError, match="refusing to resume"):
+            CampaignService(small_dataset, store=store)
+
+    def test_fidelity_seed_change_refused_on_resume(
+        self, tmp_path, small_dataset, mem_limit
+    ):
+        store = CheckpointStore(tmp_path)
+        with CampaignService(
+            small_dataset, store=store, steps_per_slice=2
+        ) as svc:
+            svc.submit(mf_spec(mem_limit))
+            svc.run(max_slices=1)
+        payload = store.load("mf-0")
+        spec = payload["spec"]
+        payload["spec"] = dataclasses.replace(
+            spec, config=dataclasses.replace(spec.config, fidelity_seed=99)
+        )
+        store.save("mf-0", payload)
+        with pytest.raises(ServiceError, match="refusing to resume"):
+            CampaignService(small_dataset, store=store)

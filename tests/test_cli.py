@@ -228,6 +228,136 @@ def _train_policy_file(dir_):
     return str(path)
 
 
+class TestRegistrySelectors:
+    def test_list_policies(self, capsys):
+        assert main(["run", "--list-policies"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "rgma" in out and "portfolio" in out and "amortized" in out
+
+    def test_list_surrogates(self, capsys):
+        assert main(["run", "--list-surrogates"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "dense" in out and "sparse" in out and "multifidelity" in out
+
+    def test_unknown_policy_exits_listing_names(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["run", "--policy", "nope"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown policy 'nope'" in err and "rgma" in err
+
+    def test_unknown_surrogate_exits_listing_names(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["run", "--surrogate", "nope"])
+        assert exc.value.code == 2
+        assert "unknown surrogate 'nope'" in capsys.readouterr().err
+
+    def test_selector_option_suffix(self, tmp_path, capsys):
+        csv = tmp_path / "d.csv"
+        main(["dataset", "--out", str(csv)])
+        capsys.readouterr()
+        rc = main(
+            ["run", "--dataset", str(csv), "--policy", "rand_goodness",
+             "--surrogate", "sparse,n_inducing=16", "--iterations", "3",
+             "--n-init", "20", "--n-test", "40"]
+        )
+        assert rc == 0
+        assert "sparse" in capsys.readouterr().out
+
+    def test_bad_option_suffix_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--surrogate", "sparse,n_inducing"]
+            )
+        assert "key=value" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "flag,value,surrogate",
+        [
+            ("--n-inducing", "16", "sparse"),
+            ("--exact-lml-max-n", "50", "iterative"),
+        ],
+    )
+    def test_legacy_surrogate_flags_warn_once(
+        self, tmp_path, capsys, flag, value, surrogate
+    ):
+        csv = tmp_path / "d.csv"
+        main(["dataset", "--out", str(csv)])
+        with pytest.warns(DeprecationWarning, match=flag) as record:
+            rc = main(
+                ["run", "--dataset", str(csv), "--surrogate", surrogate,
+                 flag, value, "--iterations", "2",
+                 "--n-init", "20", "--n-test", "40"]
+            )
+        assert rc == 0
+        ours = [w for w in record if flag in str(w.message)]
+        assert len(ours) == 1
+        # The warning names the replacement selector spelling.
+        assert "--surrogate" in str(ours[0].message)
+
+    @pytest.mark.parametrize("flag", ["--policy-file", "--policy-epsilon"])
+    def test_legacy_amortized_flags_warn_once(self, tmp_path, capsys, flag):
+        csv = tmp_path / "d.csv"
+        main(["dataset", "--out", str(csv)])
+        pf = _train_policy_file(tmp_path)
+        argv = ["run", "--dataset", str(csv), "--policy", "amortized",
+                "--iterations", "2", "--n-init", "20", "--n-test", "40",
+                "--policy-file", pf]
+        if flag == "--policy-epsilon":
+            argv += ["--policy-epsilon", "0.1"]
+        with pytest.warns(DeprecationWarning, match=flag) as record:
+            assert main(argv) == 0
+        ours = [w for w in record if flag in str(w.message)]
+        assert len(ours) == 1
+        assert "--policy amortized," in str(ours[0].message)
+
+
+class TestMultiFidelityCLI:
+    def test_run_mf_portfolio(self, tmp_path, capsys):
+        csv = tmp_path / "d.csv"
+        main(["dataset", "--out", str(csv)])
+        capsys.readouterr()
+        rc = main(
+            ["run", "--dataset", str(csv), "--fidelities", "2",
+             "--batch-size", "3", "--round-budget", "0.5",
+             "--iterations", "8", "--n-init", "20", "--n-test", "40"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "portfolio" in out
+        assert "fidelities" in out and "node-hours committed" in out
+
+    def test_acquisition_faults_rejected_in_mf_mode(self, tmp_path, capsys):
+        csv = tmp_path / "d.csv"
+        main(["dataset", "--out", str(csv)])
+        capsys.readouterr()
+        rc = main(
+            ["run", "--dataset", str(csv), "--fidelities", "2",
+             "--acq-crash-prob", "0.5", "--iterations", "3",
+             "--n-init", "20", "--n-test", "40"]
+        )
+        assert rc == 2
+        assert "fault" in capsys.readouterr().err
+
+    def test_submit_serve_mf_campaign(self, tmp_path, capsys, service_dataset_csv):
+        store = str(tmp_path / "store")
+        rc = main(
+            ["campaign", "submit", "--store", store,
+             "--dataset", service_dataset_csv, "--id", "mf0",
+             "--policy", "portfolio", "--fidelities", "2",
+             "--batch-size", "2", "--round-budget", "0.5",
+             "--base-seed", "3", "--n-init", "20", "--n-test", "30",
+             "--iterations", "4"]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        assert main(
+            ["serve", "--store", store, "--dataset", service_dataset_csv,
+             "--steps-per-slice", "2"]
+        ) == 0
+        assert "1 done, 0 failed" in capsys.readouterr().out
+
+
 class TestAmortizedCLI:
     def test_run_amortized_skips_gp(self, tmp_path, capsys):
         csv = tmp_path / "d.csv"
